@@ -1,0 +1,217 @@
+// Package dedupsim's root benchmark suite regenerates every table and
+// figure of the paper's evaluation at benchmark scale (one bench per
+// experiment; see DESIGN.md's per-experiment index), plus
+// micro-benchmarks for the pipeline stages. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches use the reduced QuickConfig grid so the whole
+// suite completes in minutes; `go run ./cmd/experiments -all` regenerates
+// the full-scale numbers.
+package dedupsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"dedupsim/internal/codegen"
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/perfmodel"
+	"dedupsim/internal/sched"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+func benchConfig() harness.Config {
+	cfg := harness.QuickConfig()
+	cfg.Cycles = 60
+	return cfg
+}
+
+func runReport(b *testing.B, f func() (*harness.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Body == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// --- One benchmark per paper table and figure ----------------------------
+
+func BenchmarkTable2NodeReduction(b *testing.B) { runReport(b, benchConfig().Table2) }
+func BenchmarkTable3Contention(b *testing.B)    { runReport(b, benchConfig().Table3) }
+func BenchmarkTable4Counters(b *testing.B)      { runReport(b, benchConfig().Table4) }
+func BenchmarkFig1ParallelScaling(b *testing.B) { runReport(b, benchConfig().Fig1) }
+func BenchmarkFig2LLCWays(b *testing.B)         { runReport(b, benchConfig().Fig2) }
+func BenchmarkFig8SingleSim(b *testing.B)       { runReport(b, benchConfig().Fig8) }
+func BenchmarkFig9Throughput(b *testing.B)      { runReport(b, benchConfig().Fig9) }
+func BenchmarkFig10Desktop(b *testing.B)        { runReport(b, benchConfig().Fig10) }
+func BenchmarkFig11PartitionTime(b *testing.B)  { runReport(b, benchConfig().Fig11) }
+func BenchmarkFig12Workloads(b *testing.B)      { runReport(b, benchConfig().Fig12) }
+
+// --- Pipeline-stage micro-benchmarks --------------------------------------
+
+func BenchmarkElaborateLargeBoom2C(b *testing.B) {
+	p := gen.Config(gen.LargeBoom, 2, 0.5)
+	src := gen.GenerateFIRRTL(p)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Build(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionBaseline(b *testing.B) {
+	c := gen.MustBuild(gen.Config(gen.LargeBoom, 4, 0.5))
+	g := c.SchedGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Partition(g, partition.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeduplicate(b *testing.B) {
+	c := gen.MustBuild(gen.Config(gen.LargeBoom, 4, 0.5))
+	g := c.SchedGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dedup.Deduplicate(c, g, dedup.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalitySchedule(b *testing.B) {
+	c := gen.MustBuild(gen.Config(gen.LargeBoom, 4, 0.5))
+	g := c.SchedGraph()
+	dr, err := dedup.Deduplicate(c, g, dedup.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := dr.Part.Quotient(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.LocalityAware(q, dr.Class); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngine(b *testing.B, v harness.Variant) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
+	cv, err := harness.CompileVariant(c, v, partition.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.New(cv.Program, cv.Activity)
+	drive := stimulus.VVAddA().NewDrive()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(e, i)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStepESSENT(b *testing.B) { benchEngine(b, harness.ESSENT) }
+func BenchmarkEngineStepDedup(b *testing.B)  { benchEngine(b, harness.Dedup) }
+
+func BenchmarkEngineStepVerilator(b *testing.B) { benchEngine(b, harness.Verilator) }
+
+func BenchmarkReferenceStep(b *testing.B) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
+	r, err := sim.NewRef(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drive := stimulus.VVAddA().NewDrive()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(r, i)
+		r.Step()
+	}
+}
+
+func BenchmarkCacheModelReplay(b *testing.B) {
+	cfg := benchConfig()
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 2, cfg.Scale))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drive := stimulus.VVAddA().NewDrive()
+	tr := perfmodel.Record(cv.Program, true, 60, func(e *sim.Engine, cyc int) { drive(e, cyc) })
+	m := cfg.ServerMachine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perfmodel.RunSingle(tr, m, m.LLCWays)
+	}
+}
+
+func BenchmarkAblationBoundaryDissolve(b *testing.B) {
+	runReport(b, benchConfig().AblationBoundaryDissolve)
+}
+
+func BenchmarkAblationLocality(b *testing.B) { runReport(b, benchConfig().AblationLocality) }
+
+func BenchmarkEventDrivenStep(b *testing.B) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
+	ed, err := sim.NewEventDriven(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drive := stimulus.VVAddA().NewDrive()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(ed, i)
+		ed.Step()
+	}
+}
+
+func BenchmarkEmitCpp(b *testing.B) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := codegen.EmitCpp(&sb, cv.Program, c.Name); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(sb.Len()))
+	}
+}
+
+func benchParallel(b *testing.B, threads int) {
+	c := gen.MustBuild(gen.Config(gen.MegaBoom, 8, 0.3))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pe, err := sim.NewParallel(cv.Program, cv.Dedup.Part.Quotient(c.SchedGraph()), threads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drive := stimulus.VVAddB().NewDrive()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(pe, i)
+		pe.Step()
+	}
+}
+
+func BenchmarkParallelEngine1T(b *testing.B) { benchParallel(b, 1) }
+func BenchmarkParallelEngine4T(b *testing.B) { benchParallel(b, 4) }

@@ -1,0 +1,249 @@
+// Command dedupsim compiles one design under one simulator variant, runs
+// it, and reports simulation statistics — the library's front door.
+//
+// Usage:
+//
+//	dedupsim -design LargeBoom-4C -variant Dedup -cycles 2000
+//	dedupsim -firrtl mydesign.fir -variant ESSENT -workload B
+//	dedupsim -design Rocket-2C -variant Dedup -verify   # against reference
+//	dedupsim -design MegaBoom-8C -variant Dedup -model  # modeled counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/codegen"
+	"dedupsim/internal/firrtl"
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/perfmodel"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+func main() {
+	design := flag.String("design", "", "generated design name, e.g. Rocket-2C, LargeBoom-6C")
+	firrtlPath := flag.String("firrtl", "", "path to a FIRRTL-dialect source file (alternative to -design)")
+	variantName := flag.String("variant", "Dedup", "simulator variant: "+variantList())
+	scale := flag.Float64("scale", 1.0, "generator scale in (0, 1]")
+	cycles := flag.Int("cycles", 1000, "simulated cycles to run")
+	workload := flag.String("workload", "A", "stimulus workload: A (low activity) or B (high activity)")
+	verify := flag.Bool("verify", false, "co-simulate against the reference interpreter and compare outputs")
+	model := flag.Bool("model", false, "also report modeled host performance counters")
+	vcdPath := flag.String("vcd", "", "dump a waveform of all registers and I/O to this VCD file")
+	stats := flag.Bool("stats", false, "report per-partition activity and the hottest partitions")
+	cppPath := flag.String("emit-cpp", "", "write the compiled simulator as C++ source to this file")
+	flag.Parse()
+
+	c, err := loadDesign(*design, *firrtlPath, *scale)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("design: %s\n", c)
+
+	v := harness.Variant(*variantName)
+	if v == harness.Commercial {
+		fail(fmt.Errorf("the Commercial variant is event-driven and only exists in the performance model; use cmd/experiments"))
+	}
+	start := time.Now()
+	cv, err := harness.CompileVariant(c, v, partition.Options{})
+	if err != nil {
+		fail(err)
+	}
+	prog := cv.Program
+	fmt.Printf("compiled %s in %s: %d partitions, %d kernels (%d shared classes), code %d B, tables %d B\n",
+		v, time.Since(start).Round(time.Millisecond),
+		prog.NumParts, len(prog.Kernels), sharedClasses(cv), prog.UniqueCodeBytes, prog.TableBytes)
+	if cv.Dedup != nil && cv.Dedup.Stats.Module != "" {
+		s := cv.Dedup.Stats
+		fmt.Printf("dedup: module %s x%d (%d nodes each), ideal %.2f%%, real %.2f%%\n",
+			s.Module, s.Instances, s.InstanceSize, 100*s.IdealReduction, 100*s.RealReduction)
+	}
+
+	if *cppPath != "" {
+		f, err := os.Create(*cppPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := codegen.EmitCpp(f, prog, c.Name); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("emitted C++ simulator to %s\n", *cppPath)
+	}
+
+	var wl stimulus.Workload
+	switch strings.ToUpper(*workload) {
+	case "A":
+		wl = stimulus.VVAddA()
+	case "B":
+		wl = stimulus.VVAddB()
+	default:
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	e := sim.New(prog, cv.Activity)
+	drive := wl.NewDrive()
+	var ref *sim.Ref
+	var refDrive func(stimulus.Driver, int)
+	if *verify {
+		ref, err = sim.NewRef(c)
+		if err != nil {
+			fail(err)
+		}
+		refDrive = wl.NewDrive()
+	}
+	var pstats *sim.PartitionStats
+	if *stats {
+		pstats = sim.NewPartitionStats(e)
+	}
+	var vcd *sim.VCDWriter
+	var prober *sim.EngineProber
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		prober = sim.NewEngineProber(e, c)
+		var probes []string
+		for _, n := range sim.ProbeNames(c) {
+			if _, _, ok := prober.Probe(n); ok {
+				probes = append(probes, n)
+			}
+		}
+		vcd, err = sim.NewVCDWriter(f, c, probes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("dumping %d signals to %s\n", len(probes), *vcdPath)
+	}
+	start = time.Now()
+	for cyc := 0; cyc < *cycles; cyc++ {
+		drive(e, cyc)
+		e.Step()
+		if vcd != nil {
+			if err := vcd.Sample(prober, cyc); err != nil {
+				fail(err)
+			}
+		}
+		if pstats != nil {
+			pstats.Observe()
+		}
+		if ref != nil {
+			refDrive(ref, cyc)
+			ref.Step()
+			for _, out := range c.Outputs() {
+				name := c.Names[out]
+				got, _ := e.Output(name)
+				want, _ := ref.Output(name)
+				if got != want {
+					fail(fmt.Errorf("verification FAILED at cycle %d: output %q engine=%#x reference=%#x",
+						cyc, name, got, want))
+				}
+			}
+		}
+	}
+	if vcd != nil {
+		if err := vcd.Close(); err != nil {
+			fail(err)
+		}
+	}
+	wall := time.Since(start)
+	fmt.Printf("ran %d cycles in %s (%.0f simulated Hz in-process)\n",
+		*cycles, wall.Round(time.Millisecond), float64(*cycles)/wall.Seconds())
+	total := e.ActsExecuted + e.ActsSkipped
+	fmt.Printf("activations: %d executed, %d skipped (%.1f%% activity)\n",
+		e.ActsExecuted, e.ActsSkipped, 100*float64(e.ActsExecuted)/float64(total))
+	for _, out := range c.Outputs() {
+		val, _ := e.Output(c.Names[out])
+		fmt.Printf("output %-12s = %#x\n", c.Names[out], val)
+	}
+	if ref != nil {
+		fmt.Println("verification PASSED: all outputs matched the reference every cycle")
+	}
+	if pstats != nil {
+		fmt.Println()
+		if err := pstats.WriteReport(os.Stdout, prog, 10); err != nil {
+			fail(err)
+		}
+	}
+
+	if *model {
+		m := perfmodel.Server().ScaleCaches(int(20 / *scale))
+		drive2 := wl.NewDrive()
+		tr := perfmodel.Record(prog, cv.Activity, min(*cycles, 500),
+			func(e *sim.Engine, cyc int) { drive2(e, cyc) })
+		ctr := perfmodel.RunSingle(tr, m, 0)
+		fmt.Printf("modeled on %s: %.0f sim Hz, IPC %.2f, L1I MPKI %.1f, branch MPKI %.1f, stall %.1f%%\n",
+			m.Name, ctr.SimHz, ctr.IPC, ctr.L1IMPKI, ctr.BranchMPKI, ctr.StallPct)
+	}
+}
+
+func loadDesign(design, path string, scale float64) (*circuit.Circuit, error) {
+	switch {
+	case design != "" && path != "":
+		return nil, fmt.Errorf("use either -design or -firrtl, not both")
+	case path != "":
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return firrtl.Compile(string(src))
+	case design != "":
+		f, cores, err := parseDesign(design)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Build(gen.Config(f, cores, scale))
+	default:
+		return nil, fmt.Errorf("specify -design (e.g. Rocket-2C) or -firrtl FILE")
+	}
+}
+
+// parseDesign splits "LargeBoom-6C" into family and core count.
+func parseDesign(s string) (gen.Family, int, error) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 || !strings.HasSuffix(s, "C") {
+		return "", 0, fmt.Errorf("design %q: want FAMILY-nC, e.g. SmallBoom-4C", s)
+	}
+	cores, err := strconv.Atoi(s[i+1 : len(s)-1])
+	if err != nil || cores < 1 {
+		return "", 0, fmt.Errorf("design %q: bad core count", s)
+	}
+	for _, f := range gen.Families {
+		if string(f) == s[:i] {
+			return f, cores, nil
+		}
+	}
+	return "", 0, fmt.Errorf("design %q: unknown family (have %v)", s, gen.Families)
+}
+
+func sharedClasses(cv *harness.Compiled) int {
+	if cv.Dedup == nil {
+		return 0
+	}
+	return cv.Dedup.NumClasses
+}
+
+func variantList() string {
+	names := make([]string, len(harness.CompiledVariants))
+	for i, v := range harness.CompiledVariants {
+		names[i] = string(v)
+	}
+	return strings.Join(names, ", ")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dedupsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dedupsim/internal/gen"
+)
+
+func TestParseDesign(t *testing.T) {
+	f, cores, err := parseDesign("LargeBoom-6C")
+	if err != nil || f != gen.LargeBoom || cores != 6 {
+		t.Fatalf("parseDesign: %v %d %v", f, cores, err)
+	}
+	if _, _, err := parseDesign("Nope-2C"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, _, err := parseDesign("Rocket-0C"); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, _, err := parseDesign("Rocket2C"); err == nil {
+		t.Fatal("missing dash accepted")
+	}
+	if _, _, err := parseDesign("Rocket-2X"); err == nil {
+		t.Fatal("missing C suffix accepted")
+	}
+}
+
+func TestLoadDesignModes(t *testing.T) {
+	if _, err := loadDesign("", "", 1.0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadDesign("Rocket-1C", "x.fir", 1.0); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	c, err := loadDesign("Rocket-1C", "", 0.1)
+	if err != nil || c.NumNodes() == 0 {
+		t.Fatalf("generated design failed: %v", err)
+	}
+}
+
+func TestVariantList(t *testing.T) {
+	l := variantList()
+	for _, want := range []string{"ESSENT", "Dedup", "Verilator-NoDedup"} {
+		if !strings.Contains(l, want) {
+			t.Fatalf("variant list %q missing %s", l, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command designgen emits generated SoC designs as FIRRTL-dialect source,
+// for inspection or as input to dedupsim -firrtl.
+//
+// Usage:
+//
+//	designgen -design SmallBoom-4C > smallboom4.fir
+//	designgen -design Rocket-2C -scale 0.25 -o rocket2.fir
+//	designgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dedupsim/internal/gen"
+)
+
+func main() {
+	design := flag.String("design", "", "design name, e.g. Rocket-2C, MegaBoom-8C")
+	scale := flag.Float64("scale", 1.0, "generator scale in (0, 1]")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list the Table 2 design grid with node counts")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Design families:", gen.Families)
+		for _, f := range gen.Families {
+			for _, n := range []int{1, 2, 4, 6, 8} {
+				c := gen.MustBuild(gen.Config(f, n, *scale))
+				fmt.Printf("  %-14s %8d nodes %8d edges\n",
+					fmt.Sprintf("%s-%dC", f, n), c.NumNodes(), c.NumEdges())
+			}
+		}
+		return
+	}
+	if *design == "" {
+		fmt.Fprintln(os.Stderr, "designgen: specify -design or -list")
+		os.Exit(2)
+	}
+	i := strings.LastIndexByte(*design, '-')
+	if i < 0 || !strings.HasSuffix(*design, "C") {
+		fmt.Fprintf(os.Stderr, "designgen: design %q: want FAMILY-nC\n", *design)
+		os.Exit(2)
+	}
+	cores, err := strconv.Atoi((*design)[i+1 : len(*design)-1])
+	if err != nil || cores < 1 {
+		fmt.Fprintf(os.Stderr, "designgen: bad core count in %q\n", *design)
+		os.Exit(2)
+	}
+	var family gen.Family
+	for _, f := range gen.Families {
+		if string(f) == (*design)[:i] {
+			family = f
+		}
+	}
+	if family == "" {
+		fmt.Fprintf(os.Stderr, "designgen: unknown family in %q (have %v)\n", *design, gen.Families)
+		os.Exit(2)
+	}
+
+	src := gen.GenerateFIRRTL(gen.Config(family, cores, *scale))
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "designgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(src))
+}

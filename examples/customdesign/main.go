@@ -1,0 +1,109 @@
+// customdesign: build a circuit programmatically with the circuit.Builder
+// API (no FIRRTL text), deduplicate it, and prove cycle-accurate
+// equivalence between the deduplicated engine and the reference
+// interpreter — the workflow for embedding the library in another tool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/codegen"
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/sched"
+	"dedupsim/internal/sim"
+)
+
+// buildFilterBank constructs a bank of identical 3-tap moving-sum filters
+// feeding a shared comparator — replication without any HDL source.
+func buildFilterBank(banks int) *circuit.Circuit {
+	b := circuit.NewBuilder("FilterBank")
+	in := b.Input("sample", 16)
+	thresh := b.Input("threshold", 16)
+
+	var outs []circuit.NodeID
+	for i := 0; i < banks; i++ {
+		b.PushInstance(fmt.Sprintf("filter%d", i), "Filter")
+		// Delay line.
+		d0 := b.Reg("d0", 16, 0)
+		d1 := b.Reg("d1", 16, 0)
+		d2 := b.Reg("d2", 16, 0)
+		b.SetRegNext(d0, in)
+		b.SetRegNext(d1, d0)
+		b.SetRegNext(d2, d1)
+		// Moving sum; the filters are exact replicas (per-bank variation
+		// lives outside the instance so deduplication can verify them as
+		// structurally identical).
+		s0 := b.Binary(circuit.OpAdd, d0, d1)
+		sum := b.Binary(circuit.OpAdd, s0, d2)
+		smooth := b.Binary(circuit.OpShr, sum, b.Const(2, 1))
+		b.PopInstance()
+		bias := b.Const(16, uint64(i))
+		outs = append(outs, b.Binary(circuit.OpAdd, smooth, bias))
+	}
+
+	// Shared comparator tree: how many banks exceed the threshold?
+	count := b.Const(8, 0)
+	for _, o := range outs {
+		hit := b.Binary(circuit.OpGeq, o, thresh)
+		wide := b.Binary(circuit.OpOr, b.Const(8, 0), hit)
+		count = b.Binary(circuit.OpAdd, count, wide)
+	}
+	b.Output("hits", count)
+	return b.MustFinish()
+}
+
+func main() {
+	const banks = 8
+	c := buildFilterBank(banks)
+	fmt.Println("built:", c)
+
+	g := c.SchedGraph()
+	dr, err := dedup.Deduplicate(c, g, dedup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dedup found %q x%d, real reduction %.1f%%\n",
+		dr.Stats.Module, dr.Stats.Instances, 100*dr.Stats.RealReduction)
+
+	s, err := sched.LocalityAware(dr.Part.Quotient(g), dr.Class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := codegen.Compile(c, dr, s, codegen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := sim.New(prog, true)
+	ref, err := sim.NewRef(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Lockstep co-simulation on a sawtooth stimulus.
+	mismatches := 0
+	for cyc := 0; cyc < 64; cyc++ {
+		sample := uint64((cyc * 37) % 1000)
+		for _, d := range []interface {
+			SetInput(string, uint64) error
+		}{engine, ref} {
+			d.SetInput("sample", sample)
+			d.SetInput("threshold", 350)
+		}
+		engine.Step()
+		ref.Step()
+		got, _ := engine.Output("hits")
+		want, _ := ref.Output("hits")
+		if got != want {
+			mismatches++
+			fmt.Printf("cycle %d: MISMATCH engine=%d reference=%d\n", cyc, got, want)
+		}
+	}
+	if mismatches == 0 {
+		fmt.Println("co-simulation: 64 cycles, all outputs equivalent")
+	}
+	final, _ := engine.Output("hits")
+	fmt.Printf("final hits=%d (of %d banks), activations executed=%d skipped=%d\n",
+		final, banks, engine.ActsExecuted, engine.ActsSkipped)
+}

@@ -1,0 +1,94 @@
+// Quickstart: parse a FIRRTL design with two identical cores, deduplicate
+// it, and simulate — the minimal end-to-end tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dedupsim/internal/codegen"
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/firrtl"
+	"dedupsim/internal/sched"
+	"dedupsim/internal/sim"
+)
+
+// A tiny SoC: two identical accumulator cores behind a shared input.
+const src = `
+circuit TwinSoC :
+  module Core :
+    input in : UInt<16>
+    output out : UInt<16>
+    reg inr : UInt<16>, reset 0
+    inr <= in
+    reg acc : UInt<16>, reset 0
+    node sum = add(acc, inr)
+    node capped = mux(lt(sum, UInt<16>(40000)), sum, UInt<16>(0))
+    acc <= capped
+    reg s1 : UInt<16>, reset 0
+    reg s2 : UInt<16>, reset 0
+    reg s3 : UInt<16>, reset 0
+    s1 <= xor(acc, shl(inr, UInt<2>(1)))
+    s2 <= add(s1, acc)
+    s3 <= or(s2, s1)
+    out <= add(acc, s3)
+
+  module TwinSoC :
+    input data : UInt<16>
+    output sum0 : UInt<16>
+    output sum1 : UInt<16>
+    inst core0 of Core
+    inst core1 of Core
+    core0.in <= data
+    core1.in <= not(data)
+    sum0 <= core0.out
+    sum1 <= core1.out
+`
+
+func main() {
+	// 1. Frontend: parse + elaborate into a flat, hierarchy-annotated
+	//    circuit graph.
+	c, err := firrtl.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("elaborated:", c)
+
+	// 2. Deduplicate: pick the replicated module, partition one instance,
+	//    dissolve the boundary, stamp, and partition the remainder.
+	g := c.SchedGraph()
+	dr, err := dedup.Deduplicate(c, g, dedup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dedup: module %q x%d, ideal %.1f%%, real %.1f%%, %d shared classes\n",
+		dr.Stats.Module, dr.Stats.Instances,
+		100*dr.Stats.IdealReduction, 100*dr.Stats.RealReduction, dr.NumClasses)
+
+	// 3. Schedule with temporal locality: same-class partitions run
+	//    back-to-back.
+	s, err := sched.LocalityAware(dr.Part.Quotient(g), dr.Class)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Compile to kernels: one shared kernel per class, direct kernels
+	//    elsewhere.
+	prog, err := codegen.Compile(c, dr, s, codegen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d partitions -> %d kernels, %d B of unique code\n",
+		prog.NumParts, len(prog.Kernels), prog.UniqueCodeBytes)
+
+	// 5. Simulate with ESSENT-style activity skipping.
+	e := sim.New(prog, true)
+	for cyc := 0; cyc < 10; cyc++ {
+		e.SetInput("data", uint64(cyc*3))
+		e.Step()
+		s0, _ := e.Output("sum0")
+		s1, _ := e.Output("sum1")
+		fmt.Printf("cycle %2d: sum0=%5d sum1=%5d\n", cyc, s0, s1)
+	}
+	fmt.Printf("activations executed=%d skipped=%d\n", e.ActsExecuted, e.ActsSkipped)
+}

@@ -1,0 +1,3 @@
+module dedupsim
+
+go 1.22

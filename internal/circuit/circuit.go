@@ -1,0 +1,270 @@
+package circuit
+
+import (
+	"fmt"
+
+	"dedupsim/internal/graph"
+)
+
+// NodeID identifies a node within a Circuit (same domain as graph.NodeID).
+type NodeID = int32
+
+// Instance describes one node of the flattened instance tree. Instance 0
+// is always the top module itself.
+type Instance struct {
+	// Name is the instance's hierarchical path name, e.g. "top.core1.alu".
+	Name string
+	// Module is the name of the module this instance instantiates.
+	Module string
+	// Parent is the index of the enclosing instance, or -1 for the top.
+	Parent int32
+}
+
+// Memory describes one memory block. Read and write ports reference it by
+// index via Circuit.MemOf.
+type Memory struct {
+	Name  string
+	Depth int
+	Width uint8
+}
+
+// Circuit is the elaborated, flattened design. Node attributes are stored
+// in parallel slices (struct-of-arrays) because designs reach hundreds of
+// thousands of nodes.
+//
+// Vals is overloaded per op: the literal for OpConst, the reset value for
+// OpReg/OpRegEn, and the low bit index for OpBits; zero otherwise.
+type Circuit struct {
+	Name string
+
+	Ops   []Op
+	Width []uint8
+	Args  [][]NodeID
+	Vals  []uint64
+	// Names holds a flattened signal name per node; optional (may be "")
+	// for intermediate expression nodes.
+	Names []string
+	// Inst is the index of the deepest instance that owns each node.
+	Inst []int32
+	// MemOf maps OpMemRead/OpMemWrite nodes to an index into Mems; -1
+	// elsewhere.
+	MemOf []int32
+
+	Instances []Instance
+	Mems      []Memory
+}
+
+// NumNodes returns the node count.
+func (c *Circuit) NumNodes() int { return len(c.Ops) }
+
+// NumEdges returns the total argument (dependency) count.
+func (c *Circuit) NumEdges() int {
+	n := 0
+	for _, a := range c.Args {
+		n += len(a)
+	}
+	return n
+}
+
+// Inputs returns the IDs of all OpInput nodes in ID order.
+func (c *Circuit) Inputs() []NodeID { return c.nodesOf(OpInput) }
+
+// Outputs returns the IDs of all OpOutput nodes in ID order.
+func (c *Circuit) Outputs() []NodeID { return c.nodesOf(OpOutput) }
+
+// Registers returns the IDs of all register nodes in ID order.
+func (c *Circuit) Registers() []NodeID {
+	var ids []NodeID
+	for v, op := range c.Ops {
+		if op.IsState() {
+			ids = append(ids, NodeID(v))
+		}
+	}
+	return ids
+}
+
+func (c *Circuit) nodesOf(op Op) []NodeID {
+	var ids []NodeID
+	for v, o := range c.Ops {
+		if o == op {
+			ids = append(ids, NodeID(v))
+		}
+	}
+	return ids
+}
+
+// InputByName finds an OpInput node by its flattened name; ok is false if
+// absent.
+func (c *Circuit) InputByName(name string) (NodeID, bool) {
+	return c.byName(name, OpInput)
+}
+
+// OutputByName finds an OpOutput node by its flattened name.
+func (c *Circuit) OutputByName(name string) (NodeID, bool) {
+	return c.byName(name, OpOutput)
+}
+
+func (c *Circuit) byName(name string, op Op) (NodeID, bool) {
+	for v, o := range c.Ops {
+		if o == op && c.Names[v] == name {
+			return NodeID(v), true
+		}
+	}
+	return -1, false
+}
+
+// SchedGraph builds the combinational scheduling graph: an edge per
+// argument dependency, except that register state reads break the cycle —
+// a register's Args produce its *next* value, so the register node is a
+// source and the edge producer->register exists (the producer must be
+// evaluated before the cycle boundary) but is marked as a "next" edge by
+// the two-phase engine, not here. Concretely:
+//
+//   - For combinational nodes and OpOutput/OpMemWrite: edge arg -> node.
+//   - For OpReg/OpRegEn: edge arg -> node IS included; the register node
+//     itself has no evaluation work during the combinational phase, but
+//     placing it after its next-value producer lets a partition own the
+//     commit locally, mirroring ESSENT. Crucially the register's *readers*
+//     do NOT get an edge from the producer of its next value, because they
+//     observe the old state: reader edges come from the register node, and
+//     cycles through registers are broken by treating the register's
+//     outgoing edges as weak (excluded here).
+//
+// The result is a DAG for any legal synchronous design without
+// combinational loops. Residual combinational loops (illegal or exotic
+// designs) are the caller's concern; see Validate.
+func (c *Circuit) SchedGraph() *graph.Graph {
+	g := graph.New(c.NumNodes())
+	for v := 0; v < c.NumNodes(); v++ {
+		op := c.Ops[v]
+		for _, a := range c.Args[v] {
+			if c.Ops[a].IsState() {
+				// Reading register state: no scheduling dependency; the
+				// state is available from the previous cycle.
+				continue
+			}
+			g.AddEdge(a, NodeID(v))
+		}
+		_ = op
+	}
+	g.Dedup()
+	return g
+}
+
+// Validate checks structural invariants: arities, argument ranges, widths,
+// memory port references, instance tree shape, and acyclicity of the
+// scheduling graph. It returns the first violation found.
+func (c *Circuit) Validate() error {
+	n := c.NumNodes()
+	if len(c.Width) != n || len(c.Args) != n || len(c.Vals) != n ||
+		len(c.Names) != n || len(c.Inst) != n || len(c.MemOf) != n {
+		return fmt.Errorf("circuit %q: parallel slices disagree on node count", c.Name)
+	}
+	if len(c.Instances) == 0 {
+		return fmt.Errorf("circuit %q: missing top instance", c.Name)
+	}
+	if c.Instances[0].Parent != -1 {
+		return fmt.Errorf("circuit %q: instance 0 must be the top (parent -1)", c.Name)
+	}
+	for i := 1; i < len(c.Instances); i++ {
+		p := c.Instances[i].Parent
+		if p < 0 || int(p) >= i {
+			return fmt.Errorf("circuit %q: instance %d has invalid parent %d", c.Name, i, p)
+		}
+	}
+	for v := 0; v < n; v++ {
+		op := c.Ops[v]
+		if op == OpInvalid || op >= numOps {
+			return fmt.Errorf("node %d: invalid op", v)
+		}
+		if want := op.Arity(); len(c.Args[v]) != want {
+			return fmt.Errorf("node %d (%s): has %d args, want %d", v, op, len(c.Args[v]), want)
+		}
+		for _, a := range c.Args[v] {
+			if a < 0 || int(a) >= n {
+				return fmt.Errorf("node %d (%s): arg %d out of range", v, op, a)
+			}
+			if c.Ops[a] == OpMemWrite || c.Ops[a] == OpOutput {
+				return fmt.Errorf("node %d (%s): consumes valueless node %d (%s)", v, op, a, c.Ops[a])
+			}
+		}
+		switch op {
+		case OpMemWrite:
+			if c.Width[v] != 0 {
+				return fmt.Errorf("node %d: memwrite must have width 0", v)
+			}
+		default:
+			if c.Width[v] == 0 || c.Width[v] > 64 {
+				return fmt.Errorf("node %d (%s): width %d out of (0,64]", v, op, c.Width[v])
+			}
+		}
+		switch op {
+		case OpMemRead, OpMemWrite:
+			m := c.MemOf[v]
+			if m < 0 || int(m) >= len(c.Mems) {
+				return fmt.Errorf("node %d (%s): bad memory index %d", v, op, m)
+			}
+		default:
+			if c.MemOf[v] != -1 {
+				return fmt.Errorf("node %d (%s): non-port has memory index", v, op)
+			}
+		}
+		if inst := c.Inst[v]; inst < 0 || int(inst) >= len(c.Instances) {
+			return fmt.Errorf("node %d: invalid instance %d", v, c.Inst[v])
+		}
+		if op == OpBits {
+			lo := c.Vals[v]
+			if lo+uint64(c.Width[v]) > 64 {
+				return fmt.Errorf("node %d: bits [%d +%d] exceeds 64", v, lo, c.Width[v])
+			}
+		}
+	}
+	for i, m := range c.Mems {
+		if m.Depth <= 0 || m.Width == 0 || m.Width > 64 {
+			return fmt.Errorf("memory %d (%s): bad shape depth=%d width=%d", i, m.Name, m.Depth, m.Width)
+		}
+	}
+	if !c.SchedGraph().IsAcyclic() {
+		return fmt.Errorf("circuit %q: combinational loop detected", c.Name)
+	}
+	return nil
+}
+
+// InstanceSubtrees returns, for each instance, the instance itself plus all
+// transitive children, as a list of instance indices. Index 0 therefore
+// lists every instance.
+func (c *Circuit) InstanceSubtrees() [][]int32 {
+	children := make([][]int32, len(c.Instances))
+	for i := 1; i < len(c.Instances); i++ {
+		p := c.Instances[i].Parent
+		children[p] = append(children[p], int32(i))
+	}
+	subtree := make([][]int32, len(c.Instances))
+	// Instances are topologically ordered (parent before child), so a
+	// reverse sweep accumulates subtrees bottom-up.
+	for i := len(c.Instances) - 1; i >= 0; i-- {
+		s := []int32{int32(i)}
+		for _, ch := range children[i] {
+			s = append(s, subtree[ch]...)
+		}
+		subtree[i] = s
+	}
+	return subtree
+}
+
+// NodesByDeepInstance returns node lists keyed by the owning (deepest)
+// instance index.
+func (c *Circuit) NodesByDeepInstance() [][]NodeID {
+	out := make([][]NodeID, len(c.Instances))
+	for v := 0; v < c.NumNodes(); v++ {
+		i := c.Inst[v]
+		out[i] = append(out[i], NodeID(v))
+	}
+	return out
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("circuit %q: %d nodes, %d edges, %d instances, %d memories",
+		c.Name, c.NumNodes(), c.NumEdges(), len(c.Instances), len(c.Mems))
+}

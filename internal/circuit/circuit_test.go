@@ -1,0 +1,237 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCounter returns a tiny validated design: an 8-bit counter with an
+// enable input and a wrap output.
+func buildCounter(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("counter")
+	en := b.Input("en", 1)
+	cnt := b.Reg("cnt", 8, 0)
+	one := b.Const(8, 1)
+	sum := b.Binary(OpAdd, cnt, one)
+	next := b.Mux(en, sum, cnt)
+	b.SetRegNext(cnt, next)
+	max := b.Const(8, 0xff)
+	wrap := b.Binary(OpEq, cnt, max)
+	b.Output("wrap", wrap)
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatalf("counter did not validate: %v", err)
+	}
+	return c
+}
+
+func TestBuilderCounterValidates(t *testing.T) {
+	c := buildCounter(t)
+	if c.NumNodes() != 8 {
+		t.Fatalf("nodes = %d, want 8", c.NumNodes())
+	}
+	if len(c.Inputs()) != 1 || len(c.Outputs()) != 1 || len(c.Registers()) != 1 {
+		t.Fatalf("io/reg counts wrong: %d %d %d",
+			len(c.Inputs()), len(c.Outputs()), len(c.Registers()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	c := buildCounter(t)
+	if _, ok := c.InputByName("en"); !ok {
+		t.Fatal("input en not found")
+	}
+	if _, ok := c.OutputByName("wrap"); !ok {
+		t.Fatal("output wrap not found")
+	}
+	if _, ok := c.InputByName("nope"); ok {
+		t.Fatal("phantom input found")
+	}
+	if _, ok := c.OutputByName("en"); ok {
+		t.Fatal("input matched as output")
+	}
+}
+
+func TestSchedGraphBreaksRegisterCycle(t *testing.T) {
+	// cnt's next value depends on cnt itself; the scheduling graph must be
+	// acyclic because register reads carry last cycle's state.
+	c := buildCounter(t)
+	g := c.SchedGraph()
+	if !g.IsAcyclic() {
+		t.Fatal("scheduling graph cyclic despite register break")
+	}
+	// The register node must have no incoming edge from its own state read
+	// but must come after its next-value producer (the mux).
+	if g.InDegree(1) == 0 {
+		t.Fatal("register should depend on its next-value producer")
+	}
+}
+
+func TestValidateRejectsCombLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	x := b.Input("x", 1)
+	// a = a & x: a true combinational self-loop.
+	a := b.add(OpAnd, 1, "", 0, -1, x, 0)
+	b.c.Args[a][1] = a
+	b.Output("y", a)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "combinational loop") {
+		t.Fatalf("want combinational loop error, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadMemIndex(t *testing.T) {
+	b := NewBuilder("badmem")
+	addr := b.Input("addr", 4)
+	n := b.add(OpMemRead, 8, "", 0, 7, addr) // memory 7 does not exist
+	b.Output("q", n)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "bad memory index") {
+		t.Fatalf("want bad memory index, got %v", err)
+	}
+}
+
+func TestValidateRejectsConsumingMemWrite(t *testing.T) {
+	b := NewBuilder("usewrite")
+	mem := b.Memory("m", 16, 8)
+	addr := b.Input("addr", 4)
+	data := b.Input("data", 8)
+	en := b.Input("en", 1)
+	w := b.MemWrite(mem, addr, data, en)
+	b.c.Ops = append(b.c.Ops, OpNot)
+	b.c.Width = append(b.c.Width, 8)
+	b.c.Args = append(b.c.Args, []NodeID{w})
+	b.c.Vals = append(b.c.Vals, 0)
+	b.c.Names = append(b.c.Names, "")
+	b.c.Inst = append(b.c.Inst, 0)
+	b.c.MemOf = append(b.c.MemOf, -1)
+	if err := b.c.Validate(); err == nil || !strings.Contains(err.Error(), "valueless") {
+		t.Fatalf("want valueless-consumption error, got %v", err)
+	}
+}
+
+func TestMemoryPortsValidate(t *testing.T) {
+	b := NewBuilder("mem")
+	mem := b.Memory("m", 16, 8)
+	addr := b.Input("addr", 4)
+	data := b.Input("data", 8)
+	en := b.Input("en", 1)
+	b.MemWrite(mem, addr, data, en)
+	q := b.MemRead(mem, addr)
+	b.Output("q", q)
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Mems) != 1 || c.Mems[0].Depth != 16 {
+		t.Fatalf("mems = %+v", c.Mems)
+	}
+}
+
+func TestInstanceTracking(t *testing.T) {
+	b := NewBuilder("soc")
+	x := b.Input("x", 8)
+	b.PushInstance("core0", "Core")
+	r0 := b.Reg("r", 8, 0)
+	b.SetRegNext(r0, x)
+	b.PushInstance("alu", "ALU")
+	s0 := b.Binary(OpAdd, r0, x)
+	b.PopInstance()
+	b.PopInstance()
+	b.PushInstance("core1", "Core")
+	r1 := b.Reg("r", 8, 0)
+	b.SetRegNext(r1, x)
+	b.PopInstance()
+	b.Output("y", s0)
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Instances) != 4 {
+		t.Fatalf("instances = %d, want 4", len(c.Instances))
+	}
+	if c.Instances[1].Module != "Core" || c.Instances[2].Module != "ALU" || c.Instances[3].Module != "Core" {
+		t.Fatalf("instance modules wrong: %+v", c.Instances)
+	}
+	if c.Instances[2].Parent != 1 {
+		t.Fatalf("alu parent = %d, want 1", c.Instances[2].Parent)
+	}
+	if c.Instances[1].Name != "soc.core0" || c.Instances[2].Name != "soc.core0.alu" {
+		t.Fatalf("hierarchical names wrong: %+v", c.Instances)
+	}
+	if c.Inst[r0] != 1 || c.Inst[s0] != 2 || c.Inst[r1] != 3 || c.Inst[x] != 0 {
+		t.Fatalf("node ownership wrong: r0=%d s0=%d r1=%d x=%d",
+			c.Inst[r0], c.Inst[s0], c.Inst[r1], c.Inst[x])
+	}
+
+	subs := c.InstanceSubtrees()
+	if len(subs[0]) != 4 {
+		t.Fatalf("top subtree = %v", subs[0])
+	}
+	if len(subs[1]) != 2 || subs[1][0] != 1 || subs[1][1] != 2 {
+		t.Fatalf("core0 subtree = %v", subs[1])
+	}
+	if len(subs[3]) != 1 {
+		t.Fatalf("core1 subtree = %v", subs[3])
+	}
+
+	byInst := c.NodesByDeepInstance()
+	if len(byInst[2]) != 1 || byInst[2][0] != s0 {
+		t.Fatalf("alu nodes = %v", byInst[2])
+	}
+}
+
+func TestFinishInsideInstanceFails(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("x", 1)
+	b.PushInstance("c", "C")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish inside open instance should fail")
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	if OpMux.Arity() != 3 || OpConst.Arity() != 0 || OpMemWrite.Arity() != 3 {
+		t.Fatal("arities wrong")
+	}
+	if !OpReg.IsState() || !OpRegEn.IsState() || OpAdd.IsState() {
+		t.Fatal("IsState wrong")
+	}
+	if OpReg.IsComb() || OpConst.IsComb() || !OpAdd.IsComb() || !OpMemRead.IsComb() {
+		t.Fatal("IsComb wrong")
+	}
+	if OpAdd.String() != "add" || OpMemWrite.String() != "memwrite" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Fatal("mask(0)")
+	}
+	if Mask(1) != 1 || Mask(8) != 0xff || Mask(64) != ^uint64(0) {
+		t.Fatal("mask values")
+	}
+}
+
+func TestBinaryWidths(t *testing.T) {
+	b := NewBuilder("w")
+	x := b.Input("x", 8)
+	y := b.Input("y", 12)
+	if w := b.Width(b.Binary(OpAdd, x, y)); w != 12 {
+		t.Fatalf("add width %d", w)
+	}
+	if w := b.Width(b.Binary(OpEq, x, y)); w != 1 {
+		t.Fatalf("eq width %d", w)
+	}
+	if w := b.Width(b.Binary(OpCat, x, y)); w != 20 {
+		t.Fatalf("cat width %d", w)
+	}
+	if w := b.Width(b.Bits(y, 4, 3)); w != 3 {
+		t.Fatalf("bits width %d", w)
+	}
+	out := b.Binary(OpAdd, x, y)
+	b.Output("o", out)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

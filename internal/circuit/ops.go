@@ -1,0 +1,158 @@
+// Package circuit defines the elaborated circuit intermediate
+// representation shared by the whole tool flow. A circuit is a flat,
+// hierarchy-annotated dataflow graph: each node is a primitive operation,
+// register, memory port, or I/O, and each dependency is an edge. The
+// module hierarchy survives elaboration as per-node instance ownership,
+// which is exactly the information the coarse-grained deduplication pass
+// needs to find replicated instances (paper Section 4).
+//
+// Signal values are unsigned integers of at most 64 bits; every node's
+// result is masked to its declared width. This is a deliberate
+// simplification of full FIRRTL (no signed types, no bundles after
+// elaboration) that preserves everything the deduplication study depends
+// on: graph shape, instance replication, and evaluation cost.
+package circuit
+
+import "fmt"
+
+// Op enumerates the primitive node kinds of the elaborated IR.
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; a validated circuit never contains it.
+	OpInvalid Op = iota
+
+	// OpConst is a literal. Its value lives in Circuit.Vals.
+	OpConst
+	// OpInput is a top-level circuit input, written by the testbench.
+	OpInput
+	// OpOutput is a top-level circuit output; Args[0] is its driver.
+	OpOutput
+
+	// Bitwise and arithmetic primitives. Result width is the node's
+	// declared width; operands are masked before and results after.
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpAdd
+	OpSub
+	OpMul
+
+	// Comparisons produce width-1 results.
+	OpEq
+	OpNeq
+	OpLt
+	OpGeq
+
+	// OpShl and OpShr shift Args[0] by the dynamic amount Args[1],
+	// keeping the node's declared width.
+	OpShl
+	OpShr
+
+	// OpMux selects Args[1] (when Args[0] is nonzero) or Args[2].
+	OpMux
+	// OpCat concatenates Args[0] (high) and Args[1] (low).
+	OpCat
+	// OpBits extracts the bit range [Lo, Lo+Width-1] of Args[0]; the low
+	// index is stored in Circuit.Vals.
+	OpBits
+
+	// OpReg is a register. Its value during a cycle is the current state;
+	// Args[0] produces the next state, committed at the cycle boundary.
+	// The reset value is stored in Circuit.Vals.
+	OpReg
+	// OpRegEn is a register with a write enable: Args[0] is the next
+	// state, Args[1] the enable. State is retained when enable is zero.
+	OpRegEn
+
+	// OpMemRead reads memory Circuit.MemOf[node] at address Args[0]
+	// combinationally (read-first semantics versus same-cycle writes).
+	OpMemRead
+	// OpMemWrite writes memory Circuit.MemOf[node]: Args are
+	// [addr, data, enable]. Writes commit at the cycle boundary, after
+	// all reads. Its result width is 0 (it produces no value).
+	OpMemWrite
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid:  "invalid",
+	OpConst:    "const",
+	OpInput:    "input",
+	OpOutput:   "output",
+	OpAnd:      "and",
+	OpOr:       "or",
+	OpXor:      "xor",
+	OpNot:      "not",
+	OpAdd:      "add",
+	OpSub:      "sub",
+	OpMul:      "mul",
+	OpEq:       "eq",
+	OpNeq:      "neq",
+	OpLt:       "lt",
+	OpGeq:      "geq",
+	OpShl:      "shl",
+	OpShr:      "shr",
+	OpMux:      "mux",
+	OpCat:      "cat",
+	OpBits:     "bits",
+	OpReg:      "reg",
+	OpRegEn:    "regen",
+	OpMemRead:  "memread",
+	OpMemWrite: "memwrite",
+}
+
+// String returns the lowercase mnemonic of the op.
+func (o Op) String() string {
+	if o >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opNames[o]
+}
+
+// Arity returns the number of arguments the op requires, or -1 for
+// OpInvalid.
+func (o Op) Arity() int {
+	switch o {
+	case OpConst, OpInput:
+		return 0
+	case OpOutput, OpNot, OpBits, OpReg:
+		return 1
+	case OpAnd, OpOr, OpXor, OpAdd, OpSub, OpMul, OpEq, OpNeq, OpLt, OpGeq,
+		OpShl, OpShr, OpCat, OpRegEn:
+		return 2
+	case OpMux:
+		return 3
+	case OpMemRead:
+		return 1
+	case OpMemWrite:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// IsState reports whether the op holds sequential state (registers). State
+// nodes act as sources in the combinational scheduling graph: their value
+// is available at the start of a cycle, and their Args produce the *next*
+// state.
+func (o Op) IsState() bool { return o == OpReg || o == OpRegEn }
+
+// IsComb reports whether the op is a combinational value producer.
+func (o Op) IsComb() bool {
+	switch o {
+	case OpConst, OpInput, OpReg, OpRegEn, OpMemWrite, OpInvalid:
+		return false
+	}
+	return true
+}
+
+// Mask returns the bitmask for a width in [0, 64].
+func Mask(width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}

@@ -1,0 +1,334 @@
+package codegen
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/graph"
+	"dedupsim/internal/sched"
+)
+
+// Options selects the code-generation strategy.
+type Options struct {
+	// FineGrainDedup enables Verilator-style statement deduplication:
+	// only kernels of at most FineGrainMaxInstrs instructions are shared
+	// (by body hash). It is independent of coarse-grained class sharing.
+	FineGrainDedup bool
+	// FineGrainMaxInstrs bounds fine-grained sharing; default 6.
+	FineGrainMaxInstrs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FineGrainMaxInstrs <= 0 {
+		o.FineGrainMaxInstrs = 6
+	}
+	return o
+}
+
+// Compile lowers the circuit under the given (possibly deduplicated)
+// partitioning and schedule into an executable Program.
+func Compile(c *circuit.Circuit, dr *dedup.Result, s *sched.Schedule, opt Options) (*Program, error) {
+	opt = opt.withDefaults()
+	cc := &compiler{c: c, dr: dr}
+	cc.assignSlots()
+
+	p := &Program{
+		NumSlots:   cc.numSlots,
+		NumParts:   dr.Part.NumParts,
+		Mems:       c.Mems,
+		Regs:       cc.regs,
+		WritePorts: cc.writePorts,
+		Inputs:     cc.inputs,
+		Outputs:    cc.outputs,
+		SlotOfNode: cc.slotOf,
+	}
+
+	// Compile every partition in external (position-independent) form.
+	numParts := dr.Part.NumParts
+	units := make([]*unit, numParts)
+	for pid := 0; pid < numParts; pid++ {
+		u, err := cc.compilePartition(dr.Members[pid], int32(pid))
+		if err != nil {
+			return nil, err
+		}
+		units[pid] = u
+	}
+
+	// Decide sharing: coarse classes first, then optional fine-grained.
+	kernelOf := make([]int32, numParts)
+	for i := range kernelOf {
+		kernelOf[i] = -1
+	}
+	addKernel := func(code []Instr, numTemps int, shared bool, numExt, numMems int) *Kernel {
+		k := &Kernel{
+			ID:       int32(len(p.Kernels)),
+			Code:     code,
+			NumTemps: numTemps,
+			Shared:   shared,
+			NumExt:   numExt,
+			NumMems:  numMems,
+		}
+		costKernel(k)
+		p.Kernels = append(p.Kernels, k)
+		return k
+	}
+
+	// Coarse-grained class kernels.
+	byClass := map[int32][]int32{}
+	for pid, cl := range dr.Class {
+		if cl >= 0 {
+			byClass[cl] = append(byClass[cl], int32(pid))
+		}
+	}
+	for cl, parts := range byClass {
+		tmpl := units[parts[0]]
+		for _, pid := range parts[1:] {
+			if !sameCode(tmpl.code, units[pid].code) {
+				return nil, fmt.Errorf("codegen: class %d partitions disagree structurally", cl)
+			}
+		}
+		k := addKernel(tmpl.code, tmpl.numTemps, true, len(tmpl.ext), len(tmpl.mems))
+		for _, pid := range parts {
+			kernelOf[pid] = k.ID
+		}
+	}
+
+	// Fine-grained sharing for small unshared kernels (Verilator mode).
+	if opt.FineGrainDedup {
+		byHash := map[uint64][]int32{}
+		for pid := 0; pid < numParts; pid++ {
+			if kernelOf[pid] >= 0 {
+				continue
+			}
+			u := units[pid]
+			if len(u.code) > opt.FineGrainMaxInstrs {
+				continue
+			}
+			h := hashCode(u.code)
+			byHash[h] = append(byHash[h], int32(pid))
+		}
+		for _, parts := range byHash {
+			if len(parts) < 2 {
+				continue
+			}
+			// Confirm real equality (hash collision guard) against the
+			// first; non-matching partitions stay direct.
+			tmpl := units[parts[0]]
+			group := parts[:1]
+			for _, pid := range parts[1:] {
+				if sameCode(tmpl.code, units[pid].code) {
+					group = append(group, pid)
+				}
+			}
+			if len(group) < 2 {
+				continue
+			}
+			k := addKernel(tmpl.code, tmpl.numTemps, true, len(tmpl.ext), len(tmpl.mems))
+			for _, pid := range group {
+				kernelOf[pid] = k.ID
+			}
+		}
+	}
+
+	// Everything else inlines to a direct kernel.
+	for pid := 0; pid < numParts; pid++ {
+		if kernelOf[pid] >= 0 {
+			continue
+		}
+		u := units[pid]
+		k := addKernel(inlineCode(u), u.numTemps, false, 0, 0)
+		kernelOf[pid] = k.ID
+	}
+
+	// Activations in schedule order.
+	p.Activations = make([]Activation, 0, numParts)
+	p.PartOfActivation = make([]int32, 0, numParts)
+	for _, pid := range s.Order {
+		u := units[pid]
+		k := p.Kernels[kernelOf[pid]]
+		act := Activation{Kernel: k.ID, Part: pid, TouchedSlots: u.touchedSlots(cc)}
+		if k.Shared {
+			act.Ext = append([]int32(nil), u.extSlots...)
+			if len(u.mems) > 0 {
+				act.Mems = append([]int32(nil), u.mems...)
+			}
+			p.TableBytes += 4*len(act.Ext) + 4*len(act.Mems) + 16
+		}
+		p.Activations = append(p.Activations, act)
+		p.PartOfActivation = append(p.PartOfActivation, pid)
+	}
+
+	// Activity fan-out maps: who reads which slot / memory.
+	p.ConsumersOfSlot = make([][]int32, cc.numSlots)
+	p.ConsumersOfMem = make([][]int32, len(c.Mems))
+	for pid := 0; pid < numParts; pid++ {
+		u := units[pid]
+		for _, ref := range u.reads {
+			slot := cc.resolveRef(ref)
+			p.ConsumersOfSlot[slot] = appendUnique(p.ConsumersOfSlot[slot], int32(pid))
+		}
+		for _, mem := range u.readMems {
+			p.ConsumersOfMem[mem] = appendUnique(p.ConsumersOfMem[mem], int32(pid))
+		}
+	}
+
+	for _, k := range p.Kernels {
+		p.UniqueCodeBytes += k.CodeBytes
+	}
+	return p, nil
+}
+
+func appendUnique(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// refKind distinguishes the slot roles a node can expose.
+type refKind uint8
+
+const (
+	refValue refKind = iota // comb value / register current state
+	refRegNext
+	refRegEn
+	refWPAddr
+	refWPData
+	refWPEn
+)
+
+// slotRef names a slot abstractly; resolution differs per instance, which
+// is what makes class kernels position-independent.
+type slotRef struct {
+	node graph.NodeID
+	kind refKind
+}
+
+// unit is one compiled partition before the sharing decision.
+type unit struct {
+	code     []Instr
+	numTemps int
+	ext      []slotRef // ext table descriptors, indexed by KLoadExt/KStoreExt operands
+	extSlots []int32   // ext descriptors resolved for THIS partition
+	mems     []int32   // global memory ids, indexed by KMemRead B in ext form
+	reads    []slotRef // slots this partition reads (activity fan-in)
+	writes   []slotRef // slots this partition writes
+	readMems []int32   // memories this partition reads
+}
+
+// touchedSlots returns the distinct resolved slots the partition accesses.
+func (u *unit) touchedSlots(cc *compiler) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, refs := range [][]slotRef{u.reads, u.writes} {
+		for _, r := range refs {
+			s := cc.resolveRef(r)
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// inlineCode rewrites a unit's external-form code into direct form:
+// KLoadExt/KStoreExt become KLoad/KStore on absolute slots and KMemRead's
+// memory operand becomes the global memory id. The unit's ext table is
+// consulted via the compiler that produced it.
+func inlineCode(u *unit) []Instr {
+	code := make([]Instr, len(u.code))
+	copy(code, u.code)
+	for i := range code {
+		switch code[i].Op {
+		case KLoadExt:
+			code[i].Op = KLoad
+			code[i].A = u.extSlots[code[i].A]
+		case KStoreExt:
+			code[i].Op = KStore
+			code[i].Dst = u.extSlots[code[i].Dst]
+		case KMemRead:
+			code[i].B = u.mems[code[i].B]
+		}
+	}
+	return code
+}
+
+func sameCode(a, b []Instr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hashCode(code []Instr) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, in := range code {
+		put(uint64(in.Op) | uint64(in.Dst)<<8 | uint64(in.Width)<<40 | uint64(in.BinOp)<<48)
+		put(uint64(uint32(in.A)) | uint64(uint32(in.B))<<32)
+		put(uint64(uint32(in.C)))
+		put(in.Val)
+	}
+	return h.Sum64()
+}
+
+// costKernel fills the host-cost model fields: estimated native code
+// bytes, dynamic instructions per activation, and branch sites. The
+// constants approximate x86-64 code emitted by an optimizing compiler;
+// indirect (Ext) accesses pay one extra load and larger encodings — the
+// dedup tax.
+func costKernel(k *Kernel) {
+	bytes, dyn, branches := 16, 4, 1 // prologue/epilogue + dispatch
+	for _, in := range k.Code {
+		switch in.Op {
+		case KConst:
+			bytes += 5
+			dyn++
+		case KLoad, KStore:
+			bytes += 5
+			dyn++
+		case KLoadExt, KStoreExt:
+			bytes += 9
+			dyn += 2
+		case KBin:
+			bytes += 4
+			dyn++
+		case KNot:
+			bytes += 3
+			dyn++
+		case KBits:
+			bytes += 7
+			dyn += 2
+		case KMux:
+			bytes += 8
+			dyn += 2
+			branches++
+		case KMemRead:
+			bytes += 12
+			dyn += 3
+			if k.Shared {
+				bytes += 4
+				dyn++
+			}
+		}
+	}
+	k.CodeBytes = bytes
+	k.DynInstrs = dyn
+	k.BranchSites = branches
+}

@@ -1,0 +1,173 @@
+// Package codegen lowers an acyclic partitioning of a circuit into an
+// executable Program: one bytecode kernel per partition, plus the state
+// layout and the per-cycle activation list.
+//
+// The package is where the paper's central mechanism lives:
+//
+//   - Partitions with unique code get a *direct* kernel whose
+//     instructions reference absolute state slots — the compiler can
+//     "hardcode" every address, like ESSENT's generated C++.
+//   - Partitions in a shared class get ONE kernel for the whole class.
+//     Its instructions reference state indirectly through a
+//     per-activation external-slot table (the per-instance struct of
+//     paper Section 5.1, realized as a table because our substrate is an
+//     interpreter). Indirection costs extra instructions — the "dedup
+//     tax" of Section 3.3 — but the class shares a single code body, so
+//     the simulator's code footprint shrinks with the replica count.
+//
+// A Verilator-style *fine-grained* statement deduplication is also
+// provided: only trivially small kernels are shared, modeling the limited
+// dedup the paper observes in Verilator (Section 2.4).
+package codegen
+
+import "dedupsim/internal/circuit"
+
+// OpCode enumerates kernel bytecode operations.
+type OpCode uint8
+
+const (
+	// KConst loads the immediate Val into temp Dst.
+	KConst OpCode = iota
+	// KLoad loads state slot A (absolute) into temp Dst.
+	KLoad
+	// KLoadExt loads the state slot found in the activation's Ext[A]
+	// table into temp Dst (shared kernels only; the extra table lookup is
+	// the dedup tax).
+	KLoadExt
+	// KStore writes temp A to state slot Dst (absolute).
+	KStore
+	// KStoreExt writes temp A to the slot in the activation's Ext[Dst].
+	KStoreExt
+	// KBin computes Dst <- BinOp(A, B) masked to Width. For OpCat, Val
+	// holds the width of operand B.
+	KBin
+	// KNot computes Dst <- ^A masked to Width.
+	KNot
+	// KMux computes Dst <- A != 0 ? B : C.
+	KMux
+	// KBits computes Dst <- (A >> Val) masked to Width.
+	KBits
+	// KMemRead reads memory: Dst <- mem[A % depth]. For direct kernels B
+	// is the global memory index; for shared kernels B indexes the
+	// activation's Mems table.
+	KMemRead
+)
+
+// Instr is one bytecode instruction. Dst/A/B/C are temp indices except
+// where an opcode documents otherwise.
+type Instr struct {
+	Op    OpCode
+	Dst   int32
+	A     int32
+	B     int32
+	C     int32
+	BinOp circuit.Op // for KBin
+	Width uint8
+	Val   uint64
+}
+
+// Kernel is the compiled body of one partition (direct) or one shared
+// class.
+type Kernel struct {
+	// ID is the kernel's index in Program.Kernels.
+	ID int32
+	// Code is the instruction sequence.
+	Code []Instr
+	// NumTemps is the temp-register count the engine must provide.
+	NumTemps int
+	// Shared marks class kernels (indirect addressing).
+	Shared bool
+	// NumExt is the length of the activation Ext table this kernel needs.
+	NumExt int
+	// NumMems is the length of the activation Mems table.
+	NumMems int
+	// CodeBytes estimates the native code footprint of this kernel, used
+	// by the host performance model. Shared kernels are slightly larger
+	// per instruction (indirection) but exist once per class.
+	CodeBytes int
+	// DynInstrs estimates the native instructions executed per
+	// activation.
+	DynInstrs int
+	// BranchSites counts conditional-branch sites (muxes and the loop/
+	// call overhead), used by the branch-predictor model.
+	BranchSites int
+}
+
+// Activation is one scheduled kernel invocation: partition p evaluated
+// once per simulated cycle (unless activity skipping elides it).
+type Activation struct {
+	// Kernel indexes Program.Kernels.
+	Kernel int32
+	// Part is the partition this activation evaluates.
+	Part int32
+	// Ext is the external slot table (nil for direct kernels).
+	Ext []int32
+	// Mems is the memory table (nil for direct kernels or kernels without
+	// memory ports).
+	Mems []int32
+	// TouchedSlots lists the distinct state slots this activation reads
+	// or writes, for the host cache model's data-side trace.
+	TouchedSlots []int32
+}
+
+// RegSpec describes one register for the commit phase.
+type RegSpec struct {
+	Cur   int32 // current-state slot
+	Next  int32 // next-state slot, written during evaluation
+	En    int32 // enable slot, or -1 (OpReg commits unconditionally)
+	Width uint8
+	Reset uint64
+}
+
+// WritePortSpec describes one memory write port: the evaluation phase
+// stages addr/data/enable into slots; the commit phase applies them.
+type WritePortSpec struct {
+	Mem  int32
+	Addr int32
+	Data int32
+	En   int32
+}
+
+// PortSpec maps a named top-level input or output to its slot.
+type PortSpec struct {
+	Name  string
+	Slot  int32
+	Width uint8
+}
+
+// Program is a fully lowered design ready for the engine.
+type Program struct {
+	Kernels []*Kernel
+	// Activations holds one activation per partition, in schedule order.
+	Activations []Activation
+	// NumSlots sizes the state vector.
+	NumSlots int
+	// NumParts is the partition count (for activity flags).
+	NumParts int
+	// Mems lists memory shapes (index = global memory ID).
+	Mems []circuit.Memory
+	// Regs drive the commit phase.
+	Regs []RegSpec
+	// WritePorts drive the memory-commit phase.
+	WritePorts []WritePortSpec
+	// Inputs and Outputs expose the testbench interface.
+	Inputs  []PortSpec
+	Outputs []PortSpec
+	// SlotOfNode maps circuit nodes to slots (-1 when the value lives
+	// only in kernel temps). Exposed for probes and tests.
+	SlotOfNode []int32
+	// ConsumersOfSlot lists, per slot, the partitions that read it —
+	// the activity-tracking fan-out map.
+	ConsumersOfSlot [][]int32
+	// ConsumersOfMem lists, per memory, the partitions that read it.
+	ConsumersOfMem [][]int32
+	// PartOfActivation maps schedule position to partition (same as
+	// Activations[i].Part, kept for fast access).
+	PartOfActivation []int32
+	// UniqueCodeBytes sums CodeBytes over kernels (each kernel counted
+	// once): the simulator's code footprint.
+	UniqueCodeBytes int
+	// TableBytes estimates the activation-table data footprint
+	// (per-instance structs): the data-side dedup overhead.
+	TableBytes int
+}

@@ -1,0 +1,390 @@
+package codegen
+
+import (
+	"fmt"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/graph"
+)
+
+// compiler carries slot-assignment state across partition lowering.
+type compiler struct {
+	c  *circuit.Circuit
+	dr *dedup.Result
+
+	numSlots int
+	// slotOf is the value slot per node (-1 = temp-only).
+	slotOf []int32
+	// regNextSlot / regEnSlot are the commit-phase slots of registers.
+	regNextSlot map[graph.NodeID]int32
+	regEnSlot   map[graph.NodeID]int32
+	// wpSlot holds [addr, data, en] staging slots per OpMemWrite node.
+	wpSlot map[graph.NodeID][3]int32
+
+	regs       []RegSpec
+	writePorts []WritePortSpec
+	inputs     []PortSpec
+	outputs    []PortSpec
+}
+
+// assignSlots decides which node values live in the state vector. A node
+// needs a slot when its value crosses a partition boundary, is register
+// state, or is testbench-visible; everything else stays in kernel temps
+// ("hardcoded" locals, as in ESSENT's generated code).
+func (cc *compiler) assignSlots() {
+	c := cc.c
+	n := c.NumNodes()
+	part := cc.dr.Part.Assign
+
+	cross := make([]bool, n)
+	for v := 0; v < n; v++ {
+		for _, a := range c.Args[v] {
+			if part[a] != part[v] {
+				cross[a] = true
+			}
+		}
+	}
+
+	cc.slotOf = make([]int32, n)
+	for i := range cc.slotOf {
+		cc.slotOf[i] = -1
+	}
+	cc.regNextSlot = map[graph.NodeID]int32{}
+	cc.regEnSlot = map[graph.NodeID]int32{}
+	cc.wpSlot = map[graph.NodeID][3]int32{}
+
+	alloc := func() int32 {
+		s := int32(cc.numSlots)
+		cc.numSlots++
+		return s
+	}
+
+	for v := 0; v < n; v++ {
+		op := c.Ops[v]
+		switch {
+		case op == circuit.OpInput:
+			cc.slotOf[v] = alloc()
+			cc.inputs = append(cc.inputs, PortSpec{Name: c.Names[v], Slot: cc.slotOf[v], Width: c.Width[v]})
+		case op == circuit.OpOutput:
+			cc.slotOf[v] = alloc()
+			cc.outputs = append(cc.outputs, PortSpec{Name: c.Names[v], Slot: cc.slotOf[v], Width: c.Width[v]})
+		case op.IsState():
+			cur, next := alloc(), alloc()
+			cc.slotOf[v] = cur
+			cc.regNextSlot[graph.NodeID(v)] = next
+			spec := RegSpec{Cur: cur, Next: next, En: -1, Width: c.Width[v], Reset: c.Vals[v]}
+			if op == circuit.OpRegEn {
+				en := alloc()
+				cc.regEnSlot[graph.NodeID(v)] = en
+				spec.En = en
+			}
+			cc.regs = append(cc.regs, spec)
+		case op == circuit.OpMemWrite:
+			s := [3]int32{alloc(), alloc(), alloc()}
+			cc.wpSlot[graph.NodeID(v)] = s
+			cc.writePorts = append(cc.writePorts, WritePortSpec{
+				Mem: c.MemOf[v], Addr: s[0], Data: s[1], En: s[2],
+			})
+		case cross[v]:
+			cc.slotOf[v] = alloc()
+		}
+	}
+}
+
+// resolveRef maps an abstract slot reference to its concrete slot.
+func (cc *compiler) resolveRef(r slotRef) int32 {
+	switch r.kind {
+	case refValue:
+		return cc.slotOf[r.node]
+	case refRegNext:
+		return cc.regNextSlot[r.node]
+	case refRegEn:
+		return cc.regEnSlot[r.node]
+	case refWPAddr:
+		return cc.wpSlot[r.node][0]
+	case refWPData:
+		return cc.wpSlot[r.node][1]
+	case refWPEn:
+		return cc.wpSlot[r.node][2]
+	}
+	panic("codegen: unknown ref kind")
+}
+
+// compilePartition lowers one partition into external (position-
+// independent) form. Members must be in canonical order: partitions of
+// one class compile to byte-identical code, differing only in the
+// resolved ext tables.
+func (cc *compiler) compilePartition(members []graph.NodeID, pid int32) (*unit, error) {
+	c := cc.c
+	u := &unit{}
+
+	memberIdx := make(map[graph.NodeID]int32, len(members))
+	for i, v := range members {
+		memberIdx[v] = int32(i)
+	}
+
+	// Local topological order over intra-partition combinational edges,
+	// tie-broken by canonical member index so class twins lower
+	// identically.
+	order, err := localTopo(c, members, memberIdx)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: partition %d: %w", pid, err)
+	}
+
+	tempOf := make(map[graph.NodeID]int32) // member comb results
+	extIdx := make(map[slotRef]int32)      // ext table positions
+	loaded := make(map[slotRef]int32)      // memoized external loads
+	memIdx := make(map[int32]int32)        // global mem -> local table idx
+	nextTemp := int32(0)
+
+	newTemp := func() int32 { t := nextTemp; nextTemp++; return t }
+
+	extOf := func(r slotRef) int32 {
+		if i, ok := extIdx[r]; ok {
+			return i
+		}
+		i := int32(len(u.ext))
+		extIdx[r] = i
+		u.ext = append(u.ext, r)
+		u.extSlots = append(u.extSlots, cc.resolveRef(r))
+		return i
+	}
+
+	loadRef := func(r slotRef, width uint8) int32 {
+		if t, ok := loaded[r]; ok {
+			return t
+		}
+		t := newTemp()
+		u.code = append(u.code, Instr{Op: KLoadExt, Dst: t, A: extOf(r), Width: width})
+		u.reads = append(u.reads, r)
+		loaded[r] = t
+		return t
+	}
+
+	// val returns the temp holding node a's value from inside this
+	// partition: a compiled member temp, a register state load, or an
+	// external slot load.
+	val := func(a graph.NodeID) (int32, error) {
+		if t, ok := tempOf[a]; ok {
+			return t, nil
+		}
+		if _, isMember := memberIdx[a]; isMember && !c.Ops[a].IsState() && c.Ops[a] != circuit.OpInput {
+			return 0, fmt.Errorf("codegen: member %d (%s) used before lowering", a, c.Ops[a])
+		}
+		// Register state, inputs, and external values all load from the
+		// producer's value slot.
+		if cc.slotOf[a] < 0 {
+			return 0, fmt.Errorf("codegen: node %d (%s) has no slot but is read across partitions", a, c.Ops[a])
+		}
+		t := loadRef(slotRef{node: a, kind: refValue}, c.Width[a])
+		tempOf[a] = t
+		return t, nil
+	}
+
+	storeRef := func(r slotRef, t int32, width uint8) {
+		u.code = append(u.code, Instr{Op: KStoreExt, Dst: extOf(r), A: t, Width: width})
+		u.writes = append(u.writes, r)
+	}
+
+	for _, v := range order {
+		op := c.Ops[v]
+		w := c.Width[v]
+		args := c.Args[v]
+		switch {
+		case op == circuit.OpInput:
+			// Value arrives via the slot; nothing to compute.
+			continue
+
+		case op == circuit.OpConst:
+			t := newTemp()
+			u.code = append(u.code, Instr{Op: KConst, Dst: t, Width: w, Val: c.Vals[v]})
+			tempOf[v] = t
+
+		case op == circuit.OpOutput:
+			t, err := val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			storeRef(slotRef{node: v, kind: refValue}, t, w)
+			continue
+
+		case op.IsState():
+			t, err := val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			storeRef(slotRef{node: v, kind: refRegNext}, t, w)
+			if op == circuit.OpRegEn {
+				en, err := val(args[1])
+				if err != nil {
+					return nil, err
+				}
+				storeRef(slotRef{node: v, kind: refRegEn}, en, 1)
+			}
+			continue
+
+		case op == circuit.OpMemWrite:
+			kinds := [3]refKind{refWPAddr, refWPData, refWPEn}
+			for i := 0; i < 3; i++ {
+				t, err := val(args[i])
+				if err != nil {
+					return nil, err
+				}
+				storeRef(slotRef{node: v, kind: kinds[i]}, t, c.Width[args[i]])
+			}
+			continue
+
+		case op == circuit.OpMemRead:
+			addr, err := val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			gm := c.MemOf[v]
+			mi, ok := memIdx[gm]
+			if !ok {
+				mi = int32(len(u.mems))
+				memIdx[gm] = mi
+				u.mems = append(u.mems, gm)
+				u.readMems = append(u.readMems, gm)
+			}
+			t := newTemp()
+			u.code = append(u.code, Instr{Op: KMemRead, Dst: t, A: addr, B: mi, Width: w})
+			tempOf[v] = t
+
+		case op == circuit.OpNot:
+			a, err := val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			t := newTemp()
+			u.code = append(u.code, Instr{Op: KNot, Dst: t, A: a, Width: w})
+			tempOf[v] = t
+
+		case op == circuit.OpBits:
+			a, err := val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			t := newTemp()
+			u.code = append(u.code, Instr{Op: KBits, Dst: t, A: a, Width: w, Val: c.Vals[v]})
+			tempOf[v] = t
+
+		case op == circuit.OpMux:
+			s, err := val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			a, err := val(args[1])
+			if err != nil {
+				return nil, err
+			}
+			b, err := val(args[2])
+			if err != nil {
+				return nil, err
+			}
+			t := newTemp()
+			u.code = append(u.code, Instr{Op: KMux, Dst: t, A: s, B: a, C: b, Width: w})
+			tempOf[v] = t
+
+		default: // binary ops
+			a, err := val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := val(args[1])
+			if err != nil {
+				return nil, err
+			}
+			t := newTemp()
+			in := Instr{Op: KBin, Dst: t, A: a, B: b, BinOp: op, Width: w}
+			if op == circuit.OpCat {
+				in.Val = uint64(c.Width[args[1]])
+			}
+			u.code = append(u.code, in)
+			tempOf[v] = t
+		}
+
+		// Publish the value if any other partition (or the testbench)
+		// reads it.
+		if cc.slotOf[v] >= 0 && op != circuit.OpInput {
+			storeRef(slotRef{node: v, kind: refValue}, tempOf[v], w)
+		}
+	}
+	u.numTemps = int(nextTemp)
+	return u, nil
+}
+
+// localTopo orders the partition's members so every intra-partition
+// combinational producer precedes its consumers; ties break by canonical
+// member position, making class twins lower identically.
+func localTopo(c *circuit.Circuit, members []graph.NodeID, memberIdx map[graph.NodeID]int32) ([]graph.NodeID, error) {
+	n := len(members)
+	indeg := make([]int, n)
+	succs := make([][]int32, n)
+	for i, v := range members {
+		for _, a := range c.Args[v] {
+			j, internal := memberIdx[a]
+			if !internal || c.Ops[a].IsState() || c.Ops[a] == circuit.OpInput {
+				// State reads and inputs come from slots; no ordering.
+				continue
+			}
+			succs[j] = append(succs[j], int32(i))
+			indeg[i]++
+		}
+	}
+	// Min-heap by canonical index for determinism.
+	heap := make([]int32, 0, n)
+	push := func(x int32) {
+		heap = append(heap, x)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() int32 {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r, m := 2*i+1, 2*i+2, i
+			if l < len(heap) && heap[l] < heap[m] {
+				m = l
+			}
+			if r < len(heap) && heap[r] < heap[m] {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return top
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			push(int32(i))
+		}
+	}
+	order := make([]graph.NodeID, 0, n)
+	for len(heap) > 0 {
+		i := pop()
+		order = append(order, members[i])
+		for _, s := range succs[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				push(s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("internal combinational cycle among %d members", n)
+	}
+	return order, nil
+}

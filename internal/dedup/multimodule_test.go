@@ -1,0 +1,160 @@
+package dedup
+
+import (
+	"testing"
+
+	"dedupsim/internal/firrtl"
+	"dedupsim/internal/gen"
+)
+
+func TestSelectModulesOrderingAndDisjointness(t *testing.T) {
+	// testScale shrinks peripherals below 2 instances; use a scale where
+	// the uncore still has repeated blocks.
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.25))
+	choices := SelectModules(c)
+	if len(choices) < 2 {
+		t.Fatalf("expected cores + peripherals, got %d choices", len(choices))
+	}
+	if choices[0].Module != "SmallBoomCore" {
+		t.Fatalf("primary choice %q, want the cores", choices[0].Module)
+	}
+	for i := 1; i < len(choices); i++ {
+		if choices[i].Benefit > choices[i-1].Benefit {
+			t.Fatal("choices not sorted by benefit")
+		}
+	}
+	// Lanes/ALUs are nested inside the cores and must NOT be selected.
+	for _, ch := range choices {
+		if ch.Module == "SmallBoomCore_Lane" || ch.Module == "SmallBoomCore_ALU" {
+			t.Fatalf("nested module %q selected alongside its parent", ch.Module)
+		}
+	}
+	// Node sets across all choices must be disjoint.
+	seen := map[int32]string{}
+	for _, ch := range choices {
+		for _, set := range ch.NodeSets {
+			for _, v := range set {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("node %d claimed by both %s and %s", v, prev, ch.Module)
+				}
+				seen[v] = ch.Module
+			}
+		}
+	}
+}
+
+// heteroSoC instantiates two DIFFERENT substantial modules twice each, so
+// single-module dedup can only claim one of them.
+const heteroSoC = `
+circuit Hetero :
+  module Alpha :
+    input in : UInt<32>
+    output out : UInt<32>
+    reg inr : UInt<32>, reset 0
+    inr <= in
+    reg a0 : UInt<32>, reset 1
+    reg a1 : UInt<32>, reset 2
+    reg a2 : UInt<32>, reset 3
+    a0 <= add(a0, inr)
+    a1 <= xor(a1, shl(a0, UInt<2>(1)))
+    a2 <= mux(lt(a1, a0), add(a2, a1), a2)
+    out <= add(a2, a0)
+
+  module Beta :
+    input in : UInt<32>
+    output out : UInt<32>
+    reg inr : UInt<32>, reset 0
+    inr <= in
+    reg b0 : UInt<32>, reset 7
+    reg b1 : UInt<32>, reset 9
+    b0 <= sub(b0, inr)
+    b1 <= or(b1, shr(b0, UInt<2>(2)))
+    out <= xor(b1, b0)
+
+  module Hetero :
+    input x : UInt<32>
+    output y : UInt<32>
+    inst a0 of Alpha
+    inst a1 of Alpha
+    inst b0 of Beta
+    inst b1 of Beta
+    a0.in <= x
+    a1.in <= not(x)
+    b0.in <= a0.out
+    b1.in <= a1.out
+    y <= xor(xor(a0.out, a1.out), xor(b0.out, b1.out))
+`
+
+func TestMultiModuleDeduplicatesMore(t *testing.T) {
+	c, err := firrtl.Compile(heteroSoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.SchedGraph()
+	single, err := Deduplicate(c, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Deduplicate(c, g, Options{MultiModule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDedupResult(t, c, g, single)
+	checkDedupResult(t, c, g, multi)
+	if len(multi.Stats.Modules) <= len(single.Stats.Modules) {
+		t.Fatalf("multi-module deduped %v, single %v", multi.Stats.Modules, single.Stats.Modules)
+	}
+	if multi.Stats.RealReduction <= single.Stats.RealReduction {
+		t.Fatalf("multi-module did not increase reduction: %.3f vs %.3f",
+			multi.Stats.RealReduction, single.Stats.RealReduction)
+	}
+	if multi.NumClasses <= single.NumClasses {
+		t.Fatalf("multi-module classes %d <= single %d", multi.NumClasses, single.NumClasses)
+	}
+	t.Logf("real reduction: single %.2f%% -> multi %.2f%% (modules %v)",
+		100*single.Stats.RealReduction, 100*multi.Stats.RealReduction, multi.Stats.Modules)
+}
+
+func TestMultiModuleSingleCoreDesign(t *testing.T) {
+	// On a 1C design multi-module can grab lanes AND peripherals, which a
+	// single-module run cannot.
+	c := gen.MustBuild(gen.Config(gen.LargeBoom, 1, 0.25))
+	g := c.SchedGraph()
+	multi, err := Deduplicate(c, g, Options{MultiModule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDedupResult(t, c, g, multi)
+	if len(multi.Stats.Modules) < 2 {
+		t.Fatalf("1C design should offer several repeated modules, got %v", multi.Stats.Modules)
+	}
+}
+
+func TestMultiModuleClassInstanceConsistency(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, testScale))
+	g := c.SchedGraph()
+	r, err := Deduplicate(c, g, Options{MultiModule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every class must have >= 2 member partitions, all the same size.
+	byClass := map[int32][]int32{}
+	for p, cl := range r.Class {
+		if cl >= 0 {
+			byClass[cl] = append(byClass[cl], int32(p))
+		}
+	}
+	if len(byClass) != r.NumClasses {
+		t.Fatalf("NumClasses %d but %d distinct classes", r.NumClasses, len(byClass))
+	}
+	for cl, parts := range byClass {
+		if len(parts) < 2 {
+			t.Fatalf("class %d has a single member", cl)
+		}
+		for _, p := range parts[1:] {
+			if len(r.Members[p]) != len(r.Members[parts[0]]) {
+				t.Fatalf("class %d member sizes differ", cl)
+			}
+		}
+	}
+}

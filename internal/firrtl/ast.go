@@ -1,0 +1,181 @@
+// Package firrtl implements a frontend for a FIRRTL-flavored hardware
+// description dialect: a lexer, a line-oriented parser, and an elaborator
+// that flattens the module hierarchy into a circuit.Circuit while
+// preserving instance ownership of every node.
+//
+// The dialect covers the structural subset the deduplication study needs —
+// modules, instances, UInt signals up to 64 bits, registers, memories, and
+// the usual combinational primitives. FIRRTL's `when` blocks are assumed to
+// be already desugared to `mux` expressions (which is how the Chisel
+// toolchain lowers them before they ever reach a simulator backend), so
+// statements never nest and the grammar is one statement per line.
+//
+// Grammar (one statement per line, ';' starts a comment):
+//
+//	circuit NAME :
+//	  module NAME :
+//	    input  NAME : UInt<W>
+//	    output NAME : UInt<W>
+//	    wire   NAME : UInt<W>
+//	    reg    NAME : UInt<W>, reset VALUE
+//	    node   NAME = EXPR
+//	    inst   NAME of MODULE
+//	    mem    NAME : UInt<W>[DEPTH]
+//	    read   NAME = MEM[EXPR]
+//	    write  MEM[EXPR] <= EXPR when EXPR
+//	    TARGET <= EXPR                  (TARGET: wire, output, reg, or inst.port)
+//	    when EXPR :                     (indentation-delimited blocks;
+//	      STMT...                        connects inside follow FIRRTL's
+//	    else :                           last-connect-wins semantics and
+//	      STMT...                        lower to muxes)
+//
+//	EXPR := UInt<W>(VALUE) | IDENT | IDENT.IDENT
+//	      | FN(EXPR, ...)              FN in {add sub mul and or xor not eq neq
+//	                                          lt geq shl shr mux cat}
+//	      | bits(EXPR, HI, LO) | pad(EXPR, W)
+package firrtl
+
+// Circuit is the parsed (pre-elaboration) design: a named list of modules.
+type Circuit struct {
+	Name    string
+	Modules []*Module
+}
+
+// FindModule returns the module with the given name, or nil.
+func (c *Circuit) FindModule(name string) *Module {
+	for _, m := range c.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Module is one module definition.
+type Module struct {
+	Name  string
+	Ports []Port
+	Stmts []Stmt
+	Line  int
+}
+
+// Port is a module input or output.
+type Port struct {
+	Name  string
+	Width int
+	Input bool
+	Line  int
+}
+
+// Stmt is any module body statement.
+type Stmt interface{ stmtLine() int }
+
+type stmtBase struct{ Line int }
+
+func (s stmtBase) stmtLine() int { return s.Line }
+
+// WireStmt declares a named combinational alias that must be connected
+// exactly once.
+type WireStmt struct {
+	stmtBase
+	Name  string
+	Width int
+}
+
+// RegStmt declares a register with a reset value; its next state is set by
+// a connect.
+type RegStmt struct {
+	stmtBase
+	Name  string
+	Width int
+	Reset uint64
+}
+
+// NodeStmt binds a name to an expression (FIRRTL `node`).
+type NodeStmt struct {
+	stmtBase
+	Name string
+	Expr Expr
+}
+
+// InstStmt instantiates a module.
+type InstStmt struct {
+	stmtBase
+	Name   string
+	Module string
+}
+
+// MemStmt declares a memory block.
+type MemStmt struct {
+	stmtBase
+	Name  string
+	Width int
+	Depth int
+}
+
+// ConnectStmt drives a wire, output port, register (next state), or
+// instance input port.
+type ConnectStmt struct {
+	stmtBase
+	// TargetInst is the instance name for `inst.port <= ...`, else "".
+	TargetInst string
+	Target     string
+	Expr       Expr
+}
+
+// WhenStmt is a conditional block: connects (and writes) under Then apply
+// when Cond is nonzero, those under Else otherwise. Only connects, writes,
+// nodes, and nested whens may appear inside; declarations cannot.
+type WhenStmt struct {
+	stmtBase
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ReadStmt binds a name to a combinational memory read.
+type ReadStmt struct {
+	stmtBase
+	Name string
+	Mem  string
+	Addr Expr
+}
+
+// WriteStmt adds a conditional memory write port.
+type WriteStmt struct {
+	stmtBase
+	Mem  string
+	Addr Expr
+	Data Expr
+	En   Expr
+}
+
+// Expr is any expression.
+type Expr interface{ exprLine() int }
+
+type exprBase struct{ Line int }
+
+func (e exprBase) exprLine() int { return e.Line }
+
+// LitExpr is a sized literal UInt<W>(V).
+type LitExpr struct {
+	exprBase
+	Width int
+	Value uint64
+}
+
+// RefExpr references a local signal or an instance port (Inst non-empty).
+type RefExpr struct {
+	exprBase
+	Inst string
+	Name string
+}
+
+// CallExpr applies a primitive. For bits, IntArgs is [hi, lo]; for pad it
+// is [width]; empty otherwise.
+type CallExpr struct {
+	exprBase
+	Fn      string
+	Args    []Expr
+	IntArgs []uint64
+}

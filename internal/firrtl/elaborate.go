@@ -1,0 +1,664 @@
+package firrtl
+
+import (
+	"fmt"
+
+	"dedupsim/internal/circuit"
+)
+
+// Elaborate flattens the parsed design into a circuit.Circuit, rooted at
+// the module whose name matches the circuit name (FIRRTL's convention).
+// Wires and instance ports are resolved by aliasing — they produce no IR
+// nodes of their own — so the result matches what a lowering compiler
+// (like the one inside ESSENT) would see: one node per operation, register,
+// or memory port, each annotated with the instance that owns it.
+func Elaborate(ast *Circuit) (*circuit.Circuit, error) {
+	top := ast.FindModule(ast.Name)
+	if top == nil {
+		return nil, fmt.Errorf("firrtl: top module %q not defined", ast.Name)
+	}
+	el := &elaborator{
+		ast: ast,
+		b:   circuit.NewBuilder(ast.Name),
+	}
+	topEnv, err := el.instantiate(top, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Top-level output ports become circuit outputs; inputs were bound to
+	// OpInput nodes during instantiation.
+	for _, port := range top.Ports {
+		if port.Input {
+			continue
+		}
+		id, err := topEnv.resolve(port.Name, port.Line)
+		if err != nil {
+			return nil, err
+		}
+		el.b.SetInstance(0)
+		id = el.adaptWidth(id, uint8(port.Width))
+		el.b.Output(port.Name, id)
+	}
+	// Force every binding and deferred statement into existence so node
+	// counts reflect the whole design, not just the output cone.
+	if err := el.sweep(); err != nil {
+		return nil, err
+	}
+	el.b.SetInstance(0)
+	return el.b.Finish()
+}
+
+// elaborator carries global elaboration state.
+type elaborator struct {
+	ast  *Circuit
+	b    *circuit.Builder
+	envs []*env // all instance environments, in creation order
+}
+
+// env is the symbol environment of one module instance.
+type env struct {
+	el     *elaborator
+	inst   int32 // instance index in the output circuit
+	module *Module
+	binds  map[string]*binding
+	mems   map[string]int32
+	insts  map[string]*env
+	// Deferred statements evaluated during the final sweep.
+	regNexts []regNext
+	writes   []guardedWrite
+	// Memoized when-condition nodes (and their negations), one per
+	// WhenStmt per instance.
+	condMemo    map[*WhenStmt]circuit.NodeID
+	condNegMemo map[*WhenStmt]circuit.NodeID
+}
+
+type regNext struct {
+	reg    circuit.NodeID
+	driver Expr
+	conds  []condRef
+	line   int
+}
+
+// guardedWrite is a memory write with its enclosing when-conditions.
+type guardedWrite struct {
+	stmt  *WriteStmt
+	conds []condRef
+}
+
+// binding maps a name to a node, lazily for wires and ports.
+type binding struct {
+	resolved  bool
+	resolving bool // guards against combinational loops through aliases
+	id        circuit.NodeID
+	// drivers holds the guarded connects in source order; FIRRTL's
+	// last-connect-wins semantics folds them into a mux chain. read is
+	// set instead for `read` port bindings; node-statement bindings use a
+	// single unconditional driver.
+	drivers []driverEntry
+	read    *ReadStmt
+	readEnv *env
+	width   uint8
+	line    int
+	what    string // "wire", "input port", ... for diagnostics
+}
+
+// condRef is one enclosing when-condition with its polarity.
+type condRef struct {
+	when *WhenStmt
+	neg  bool
+}
+
+// driverEntry is one connect: expr evaluated in env, applied when every
+// cond holds.
+type driverEntry struct {
+	expr  Expr
+	env   *env
+	conds []condRef
+	line  int
+}
+
+// instantiate elaborates one instance of m. inst is its index in the
+// output circuit; stack holds the enclosing module names for recursion
+// detection.
+func (el *elaborator) instantiate(m *Module, inst int32, stack []string) (*env, error) {
+	for _, s := range stack {
+		if s == m.Name {
+			return nil, errf(m.Line, "module %q instantiates itself (via %v)", m.Name, stack)
+		}
+	}
+	stack = append(stack, m.Name)
+
+	e := &env{
+		el:          el,
+		inst:        inst,
+		module:      m,
+		binds:       map[string]*binding{},
+		mems:        map[string]int32{},
+		insts:       map[string]*env{},
+		condMemo:    map[*WhenStmt]circuit.NodeID{},
+		condNegMemo: map[*WhenStmt]circuit.NodeID{},
+	}
+	el.envs = append(el.envs, e)
+	prefix := el.instName(inst)
+
+	declare := func(name string, b *binding, line int) error {
+		if _, dup := e.binds[name]; dup {
+			return errf(line, "%q redeclared in module %q", name, m.Name)
+		}
+		if _, dup := e.mems[name]; dup {
+			return errf(line, "%q redeclared in module %q", name, m.Name)
+		}
+		if _, dup := e.insts[name]; dup {
+			return errf(line, "%q redeclared in module %q", name, m.Name)
+		}
+		e.binds[name] = b
+		return nil
+	}
+
+	// Ports. Top-level inputs materialize as OpInput nodes; everything
+	// else starts as an unresolved alias driven by a connect.
+	for _, port := range m.Ports {
+		var b *binding
+		if port.Input && inst == 0 {
+			el.b.SetInstance(0)
+			id := el.b.Input(port.Name, uint8(port.Width))
+			b = &binding{resolved: true, id: id, width: uint8(port.Width), line: port.Line, what: "input"}
+		} else {
+			what := "output port"
+			if port.Input {
+				what = "input port"
+			}
+			b = &binding{width: uint8(port.Width), line: port.Line, what: what}
+		}
+		if err := declare(port.Name, b, port.Line); err != nil {
+			return nil, err
+		}
+	}
+
+	// First pass: declarations and connect wiring. Expression evaluation
+	// is lazy so that textual order does not constrain dataflow order.
+	// when-blocks walk recursively, pushing their condition (or its
+	// negation) onto the guard stack of every connect and write inside.
+	var walk func(stmts []Stmt, conds []condRef) error
+	walk = func(stmts []Stmt, conds []condRef) error {
+		for _, stmt := range stmts {
+			if len(conds) > 0 {
+				switch stmt.(type) {
+				case *ConnectStmt, *WriteStmt, *NodeStmt, *ReadStmt, *WhenStmt:
+				default:
+					return errf(stmt.stmtLine(), "declaration not allowed inside a when block")
+				}
+			}
+			switch s := stmt.(type) {
+			case *WhenStmt:
+				inner := make([]condRef, len(conds), len(conds)+1)
+				copy(inner, conds)
+				if err := walk(s.Then, append(inner, condRef{when: s})); err != nil {
+					return err
+				}
+				if len(s.Else) > 0 {
+					innerE := make([]condRef, len(conds), len(conds)+1)
+					copy(innerE, conds)
+					if err := walk(s.Else, append(innerE, condRef{when: s, neg: true})); err != nil {
+						return err
+					}
+				}
+
+			case *WireStmt:
+				b := &binding{width: uint8(s.Width), line: s.Line, what: "wire"}
+				if err := declare(s.Name, b, s.Line); err != nil {
+					return err
+				}
+
+			case *RegStmt:
+				el.b.SetInstance(inst)
+				id := el.b.Reg(prefix+s.Name, uint8(s.Width), s.Reset)
+				b := &binding{resolved: true, id: id, width: uint8(s.Width), line: s.Line, what: "reg"}
+				if err := declare(s.Name, b, s.Line); err != nil {
+					return err
+				}
+
+			case *NodeStmt:
+				b := &binding{
+					drivers: []driverEntry{{expr: s.Expr, env: e, line: s.Line}},
+					line:    s.Line, what: "node",
+				}
+				if err := declare(s.Name, b, s.Line); err != nil {
+					return err
+				}
+
+			case *MemStmt:
+				if _, dup := e.mems[s.Name]; dup || e.binds[s.Name] != nil {
+					return errf(s.Line, "%q redeclared in module %q", s.Name, m.Name)
+				}
+				el.b.SetInstance(inst)
+				e.mems[s.Name] = el.b.Memory(prefix+s.Name, s.Depth, uint8(s.Width))
+
+			case *ReadStmt:
+				b := &binding{read: s, readEnv: e, line: s.Line, what: "read port"}
+				if err := declare(s.Name, b, s.Line); err != nil {
+					return err
+				}
+
+			case *WriteStmt:
+				e.writes = append(e.writes, guardedWrite{stmt: s, conds: conds})
+
+			case *InstStmt:
+				child := el.ast.FindModule(s.Module)
+				if child == nil {
+					return errf(s.Line, "instance %q: module %q not defined", s.Name, s.Module)
+				}
+				if _, dup := e.insts[s.Name]; dup || e.binds[s.Name] != nil {
+					return errf(s.Line, "%q redeclared in module %q", s.Name, m.Name)
+				}
+				el.b.SetInstance(inst)
+				childIdx := el.b.PushInstance(s.Name, s.Module)
+				childEnv, err := el.instantiate(child, childIdx, stack)
+				if err != nil {
+					return err
+				}
+				el.b.SetInstance(inst)
+				e.insts[s.Name] = childEnv
+
+			case *ConnectStmt:
+				var target *binding
+				if s.TargetInst != "" {
+					childEnv := e.insts[s.TargetInst]
+					if childEnv == nil {
+						return errf(s.Line, "connect to unknown instance %q", s.TargetInst)
+					}
+					target = childEnv.binds[s.Target]
+					if target == nil || target.what != "input port" {
+						return errf(s.Line, "%q.%q is not an input port", s.TargetInst, s.Target)
+					}
+				} else {
+					target = e.binds[s.Target]
+					if target == nil {
+						return errf(s.Line, "connect to undeclared %q", s.Target)
+					}
+				}
+				entry := driverEntry{expr: s.Expr, env: e, conds: conds, line: s.Line}
+				switch target.what {
+				case "reg":
+					e.regNexts = append(e.regNexts, regNext{reg: target.id, driver: s.Expr, conds: conds, line: s.Line})
+				case "wire", "input port", "output port":
+					// FIRRTL allows re-connection: last connect wins, folded
+					// into a mux chain at resolution.
+					target.drivers = append(target.drivers, entry)
+				default:
+					return errf(s.Line, "cannot connect to %s %q", target.what, s.Target)
+				}
+
+			default:
+				return errf(stmt.stmtLine(), "unhandled statement %T", stmt)
+			}
+		}
+		return nil
+	}
+	if err := walk(m.Stmts, nil); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// instName returns the hierarchical prefix ("top.a.b.") for naming signals
+// of an instance, empty for the top.
+func (el *elaborator) instName(inst int32) string {
+	if inst == 0 {
+		return ""
+	}
+	return el.b.InstanceName(inst) + "."
+}
+
+// resolve returns the node bound to name, elaborating its driver on
+// demand. line is the referencing source line for diagnostics.
+func (e *env) resolve(name string, line int) (circuit.NodeID, error) {
+	b := e.binds[name]
+	if b == nil {
+		return 0, errf(line, "reference to undeclared %q in module %q", name, e.module.Name)
+	}
+	return e.resolveBinding(name, b)
+}
+
+func (e *env) resolveBinding(name string, b *binding) (circuit.NodeID, error) {
+	if b.resolved {
+		return b.id, nil
+	}
+	if b.resolving {
+		return 0, errf(b.line, "combinational loop through %s %q in module %q", b.what, name, e.module.Name)
+	}
+	if b.read == nil && len(b.drivers) == 0 {
+		return 0, errf(b.line, "%s %q in module %q is never connected", b.what, name, e.module.Name)
+	}
+	b.resolving = true
+	var id circuit.NodeID
+	var err error
+	if b.read != nil {
+		id, err = b.readEnv.evalRead(b.read)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		// Fold the guarded connects in source order: an unconditional
+		// connect replaces everything before it; a conditional one wraps
+		// the value-so-far in a mux (FIRRTL last-connect-wins).
+		have := false
+		for _, d := range b.drivers {
+			val, verr := d.env.eval(d.expr)
+			if verr != nil {
+				return 0, verr
+			}
+			e.el.b.SetInstance(d.env.inst)
+			if b.width != 0 {
+				val = e.el.adaptWidth(val, b.width)
+			}
+			if len(d.conds) == 0 {
+				id = val
+				have = true
+				continue
+			}
+			if !have {
+				return 0, errf(d.line, "%s %q in module %q is conditionally connected without an unconditional default", b.what, name, e.module.Name)
+			}
+			cond, cerr := d.env.condNode(d.conds)
+			if cerr != nil {
+				return 0, cerr
+			}
+			e.el.b.SetInstance(d.env.inst)
+			id = e.el.b.Mux(cond, val, id)
+		}
+	}
+	b.resolving = false
+	b.resolved = true
+	b.id = id
+	if b.what == "node" || b.what == "read port" {
+		// Attach the source-level name if the produced node is unnamed.
+		e.el.nameIfAnon(id, e.el.instName(e.inst)+name)
+	}
+	return id, nil
+}
+
+// evalRead elaborates `read name = mem[addr]`.
+func (e *env) evalRead(s *ReadStmt) (circuit.NodeID, error) {
+	mem, ok := e.mems[s.Mem]
+	if !ok {
+		return 0, errf(s.Line, "read from undeclared memory %q", s.Mem)
+	}
+	addr, err := e.eval(s.Addr)
+	if err != nil {
+		return 0, err
+	}
+	e.el.b.SetInstance(e.inst)
+	return e.el.b.MemRead(mem, addr), nil
+}
+
+// eval elaborates an expression in this env, creating IR nodes owned by
+// this env's instance.
+func (e *env) eval(x Expr) (circuit.NodeID, error) {
+	el := e.el
+	switch ex := x.(type) {
+	case *LitExpr:
+		el.b.SetInstance(e.inst)
+		return el.b.Const(uint8(ex.Width), ex.Value), nil
+
+	case *RefExpr:
+		if ex.Inst == "" {
+			return e.resolve(ex.Name, ex.Line)
+		}
+		child := e.insts[ex.Inst]
+		if child == nil {
+			return 0, errf(ex.Line, "reference to unknown instance %q", ex.Inst)
+		}
+		pb := child.binds[ex.Name]
+		if pb == nil || (pb.what != "output port" && pb.what != "input port") {
+			return 0, errf(ex.Line, "%q.%q is not a port", ex.Inst, ex.Name)
+		}
+		return child.resolveBinding(ex.Name, pb)
+
+	case *CallExpr:
+		args := make([]circuit.NodeID, len(ex.Args))
+		for i, a := range ex.Args {
+			id, err := e.eval(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = id
+		}
+		el.b.SetInstance(e.inst)
+		switch ex.Fn {
+		case "add":
+			return el.b.Binary(circuit.OpAdd, args[0], args[1]), nil
+		case "sub":
+			return el.b.Binary(circuit.OpSub, args[0], args[1]), nil
+		case "mul":
+			return el.b.Binary(circuit.OpMul, args[0], args[1]), nil
+		case "and":
+			return el.b.Binary(circuit.OpAnd, args[0], args[1]), nil
+		case "or":
+			return el.b.Binary(circuit.OpOr, args[0], args[1]), nil
+		case "xor":
+			return el.b.Binary(circuit.OpXor, args[0], args[1]), nil
+		case "eq":
+			return el.b.Binary(circuit.OpEq, args[0], args[1]), nil
+		case "neq":
+			return el.b.Binary(circuit.OpNeq, args[0], args[1]), nil
+		case "lt":
+			return el.b.Binary(circuit.OpLt, args[0], args[1]), nil
+		case "geq":
+			return el.b.Binary(circuit.OpGeq, args[0], args[1]), nil
+		case "shl":
+			return el.b.Binary(circuit.OpShl, args[0], args[1]), nil
+		case "shr":
+			return el.b.Binary(circuit.OpShr, args[0], args[1]), nil
+		case "cat":
+			return el.b.Binary(circuit.OpCat, args[0], args[1]), nil
+		case "not":
+			return el.b.Not(args[0]), nil
+		case "mux":
+			return el.b.Mux(args[0], args[1], args[2]), nil
+		case "bits":
+			hi, lo := ex.IntArgs[0], ex.IntArgs[1]
+			if hi < lo || hi > 63 {
+				return 0, errf(ex.Line, "bits(%d, %d): bad range", hi, lo)
+			}
+			return el.b.Bits(args[0], uint8(lo), uint8(hi-lo+1)), nil
+		case "pad":
+			w := ex.IntArgs[0]
+			if w == 0 || w > 64 {
+				return 0, errf(ex.Line, "pad to width %d outside (0, 64]", w)
+			}
+			return el.adaptWidth(args[0], uint8(w)), nil
+		default:
+			return 0, errf(ex.Line, "unknown primitive %q", ex.Fn)
+		}
+
+	default:
+		return 0, errf(x.exprLine(), "unhandled expression %T", x)
+	}
+}
+
+// adaptWidth coerces a node to the given width: truncation via bits,
+// zero-extension via or with a wider zero, identity when equal. The caller
+// must have positioned the builder's instance context.
+func (el *elaborator) adaptWidth(id circuit.NodeID, w uint8) circuit.NodeID {
+	have := el.b.Width(id)
+	switch {
+	case have == w:
+		return id
+	case have > w:
+		return el.b.Bits(id, 0, w)
+	default:
+		zero := el.b.Const(w, 0)
+		return el.b.Binary(circuit.OpOr, id, zero)
+	}
+}
+
+// nameIfAnon names a node if it has no name yet (keeps literal consts and
+// shared subexpressions from stealing names).
+func (el *elaborator) nameIfAnon(id circuit.NodeID, name string) {
+	el.b.NameIfAnon(id, name)
+}
+
+// sweep forces elaboration of every binding and deferred statement in
+// every instance, in deterministic creation order.
+func (el *elaborator) sweep() error {
+	for _, e := range el.envs {
+		// Bindings in statement order (ports first).
+		for _, port := range e.module.Ports {
+			if _, err := e.resolve(port.Name, port.Line); err != nil {
+				return err
+			}
+		}
+		if err := el.sweepStmts(e, e.module.Stmts); err != nil {
+			return err
+		}
+		// Register next-state: fold each register's guarded connects in
+		// source order, defaulting to "hold" (the register itself) so a
+		// register only conditionally connected retains its value.
+		folded := map[circuit.NodeID]circuit.NodeID{}
+		order := []circuit.NodeID{}
+		for _, rn := range e.regNexts {
+			val, err := e.eval(rn.driver)
+			if err != nil {
+				return err
+			}
+			el.b.SetInstance(e.inst)
+			val = el.adaptWidth(val, el.b.Width(rn.reg))
+			cur, seen := folded[rn.reg]
+			if !seen {
+				cur = rn.reg // hold by default
+				order = append(order, rn.reg)
+			}
+			if len(rn.conds) == 0 {
+				cur = val
+			} else {
+				cond, err := e.condNode(rn.conds)
+				if err != nil {
+					return err
+				}
+				el.b.SetInstance(e.inst)
+				cur = el.b.Mux(cond, val, cur)
+			}
+			folded[rn.reg] = cur
+		}
+		for _, reg := range order {
+			el.b.SetRegNext(reg, folded[reg])
+		}
+		for _, gw := range e.writes {
+			w := gw.stmt
+			mem, ok := e.mems[w.Mem]
+			if !ok {
+				return errf(w.Line, "write to undeclared memory %q", w.Mem)
+			}
+			addr, err := e.eval(w.Addr)
+			if err != nil {
+				return err
+			}
+			data, err := e.eval(w.Data)
+			if err != nil {
+				return err
+			}
+			en, err := e.eval(w.En)
+			if err != nil {
+				return err
+			}
+			el.b.SetInstance(e.inst)
+			if len(gw.conds) > 0 {
+				cond, err := e.condNode(gw.conds)
+				if err != nil {
+					return err
+				}
+				el.b.SetInstance(e.inst)
+				en = el.b.Binary(circuit.OpAnd, en, cond)
+			}
+			el.b.MemWrite(mem, addr, data, en)
+		}
+	}
+	return nil
+}
+
+// sweepStmts resolves every named binding, recursing into when blocks.
+func (el *elaborator) sweepStmts(e *env, stmts []Stmt) error {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *WireStmt:
+			if _, err := e.resolve(s.Name, s.Line); err != nil {
+				return err
+			}
+		case *NodeStmt:
+			if _, err := e.resolve(s.Name, s.Line); err != nil {
+				return err
+			}
+		case *ReadStmt:
+			if _, err := e.resolve(s.Name, s.Line); err != nil {
+				return err
+			}
+		case *WhenStmt:
+			if err := el.sweepStmts(e, s.Then); err != nil {
+				return err
+			}
+			if err := el.sweepStmts(e, s.Else); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// condNode evaluates the conjunction of a guard stack, memoizing each
+// when-condition (and its negation) per instance.
+func (e *env) condNode(conds []condRef) (circuit.NodeID, error) {
+	var acc circuit.NodeID
+	haveAcc := false
+	for _, cr := range conds {
+		var node circuit.NodeID
+		if cr.neg {
+			if n, ok := e.condNegMemo[cr.when]; ok {
+				node = n
+			} else {
+				pos, err := e.condNodeOne(cr.when)
+				if err != nil {
+					return 0, err
+				}
+				e.el.b.SetInstance(e.inst)
+				node = e.el.b.Not(pos)
+				e.condNegMemo[cr.when] = node
+			}
+		} else {
+			n, err := e.condNodeOne(cr.when)
+			if err != nil {
+				return 0, err
+			}
+			node = n
+		}
+		if !haveAcc {
+			acc = node
+			haveAcc = true
+			continue
+		}
+		e.el.b.SetInstance(e.inst)
+		acc = e.el.b.Binary(circuit.OpAnd, acc, node)
+	}
+	return acc, nil
+}
+
+func (e *env) condNodeOne(w *WhenStmt) (circuit.NodeID, error) {
+	if n, ok := e.condMemo[w]; ok {
+		return n, nil
+	}
+	n, err := e.eval(w.Cond)
+	if err != nil {
+		return 0, err
+	}
+	e.condMemo[w] = n
+	return n, nil
+}
+
+// Compile parses and elaborates source in one step.
+func Compile(src string) (*circuit.Circuit, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Elaborate(ast)
+}

@@ -1,0 +1,143 @@
+package firrtl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/graph"
+)
+
+// Emit renders an elaborated circuit back to FIRRTL-dialect source as a
+// single flat module (elaboration discards the module boundaries' code;
+// hierarchy survives only as node ownership, which flat emission ignores).
+// The output re-compiles with this package's frontend, enabling
+// round-trip testing: compile(emit(c)) must be cycle-accurate-equivalent
+// to c.
+func Emit(w io.Writer, c *circuit.Circuit) error {
+	e := &emitState{c: c, names: make([]string, c.NumNodes())}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+	name := sanitizeName(c.Name)
+	p("; re-emitted by dedupsim (flattened)")
+	p("circuit %s :", name)
+	p("  module %s :", name)
+
+	// Ports first, then declarations, then dataflow in topological order.
+	for _, in := range c.Inputs() {
+		e.names[in] = sanitizeName(c.Names[in])
+		p("    input %s : UInt<%d>", e.names[in], c.Width[in])
+	}
+	for _, out := range c.Outputs() {
+		p("    output %s : UInt<%d>", sanitizeName(c.Names[out]), c.Width[out])
+	}
+	for i, reg := range c.Registers() {
+		e.names[reg] = fmt.Sprintf("_rg%d", i)
+		p("    reg %s : UInt<%d>, reset %d", e.names[reg], c.Width[reg], c.Vals[reg])
+	}
+	for i, m := range c.Mems {
+		p("    mem m%d : UInt<%d>[%d]", i, m.Width, m.Depth)
+	}
+
+	order, terr := c.SchedGraph().TopoSort()
+	if terr != nil {
+		return terr
+	}
+	readN, nodeN := 0, 0
+	for _, v := range order {
+		op := c.Ops[v]
+		args := c.Args[v]
+		switch {
+		case op == circuit.OpInput || op.IsState():
+			// declared above
+		case op == circuit.OpConst:
+			e.names[v] = fmt.Sprintf("UInt<%d>(%d)", c.Width[v], c.Vals[v])
+		case op == circuit.OpMemRead:
+			e.names[v] = fmt.Sprintf("_rd%d", readN)
+			readN++
+			p("    read %s = m%d[%s]", e.names[v], c.MemOf[v], e.ref(args[0]))
+		case op == circuit.OpMemWrite:
+			p("    write m%d[%s] <= %s when %s",
+				c.MemOf[v], e.ref(args[0]), e.ref(args[1]), e.ref(args[2]))
+		case op == circuit.OpOutput:
+			p("    %s <= %s", sanitizeName(c.Names[v]), e.ref(args[0]))
+		default:
+			e.names[v] = fmt.Sprintf("_n%d", nodeN)
+			nodeN++
+			p("    node %s = %s", e.names[v], e.expr(v))
+		}
+	}
+	for _, reg := range c.Registers() {
+		p("    %s <= %s", e.names[reg], e.ref(c.Args[reg][0]))
+		if c.Ops[reg] == circuit.OpRegEn {
+			return fmt.Errorf("firrtl: emit: enabled registers have no dialect syntax; lower to mux first")
+		}
+	}
+	return err
+}
+
+type emitState struct {
+	c     *circuit.Circuit
+	names []string
+}
+
+// ref returns the textual reference for a node (its declared name or
+// inline literal).
+func (e *emitState) ref(v graph.NodeID) string {
+	if e.names[v] == "" {
+		// Should not happen on a validated circuit in topo order.
+		return fmt.Sprintf("UInt<%d>(0)", e.c.Width[v])
+	}
+	return e.names[v]
+}
+
+// expr renders a combinational node as a primitive call.
+func (e *emitState) expr(v graph.NodeID) string {
+	c := e.c
+	a := c.Args[v]
+	switch op := c.Ops[v]; op {
+	case circuit.OpNot:
+		return fmt.Sprintf("not(%s)", e.ref(a[0]))
+	case circuit.OpMux:
+		return fmt.Sprintf("mux(%s, %s, %s)", e.ref(a[0]), e.ref(a[1]), e.ref(a[2]))
+	case circuit.OpBits:
+		lo := c.Vals[v]
+		hi := lo + uint64(c.Width[v]) - 1
+		return fmt.Sprintf("bits(%s, %d, %d)", e.ref(a[0]), hi, lo)
+	default:
+		fn := map[circuit.Op]string{
+			circuit.OpAnd: "and", circuit.OpOr: "or", circuit.OpXor: "xor",
+			circuit.OpAdd: "add", circuit.OpSub: "sub", circuit.OpMul: "mul",
+			circuit.OpEq: "eq", circuit.OpNeq: "neq", circuit.OpLt: "lt",
+			circuit.OpGeq: "geq", circuit.OpShl: "shl", circuit.OpShr: "shr",
+			circuit.OpCat: "cat",
+		}[op]
+		if fn == "" {
+			return fmt.Sprintf("UInt<%d>(0) ; unhandled %s", c.Width[v], op)
+		}
+		return fmt.Sprintf("%s(%s, %s)", fn, e.ref(a[0]), e.ref(a[1]))
+	}
+}
+
+// sanitizeName turns hierarchical names ("top.core0.lfsr") into legal
+// flat identifiers.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,448 @@
+package firrtl
+
+import (
+	"strings"
+	"testing"
+
+	"dedupsim/internal/circuit"
+)
+
+const counterSrc = `
+circuit Counter :
+  module Counter :
+    input en : UInt<1>
+    output count : UInt<8>
+    reg cnt : UInt<8>, reset 0
+    node inc = add(cnt, UInt<8>(1))
+    cnt <= mux(en, inc, cnt)
+    count <= cnt
+`
+
+func TestParseCounter(t *testing.T) {
+	ast, err := Parse(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Name != "Counter" || len(ast.Modules) != 1 {
+		t.Fatalf("ast = %+v", ast)
+	}
+	m := ast.Modules[0]
+	if len(m.Ports) != 2 || len(m.Stmts) != 4 {
+		t.Fatalf("ports=%d stmts=%d", len(m.Ports), len(m.Stmts))
+	}
+	if !m.Ports[0].Input || m.Ports[1].Input {
+		t.Fatal("port directions wrong")
+	}
+	if m.Ports[1].Width != 8 {
+		t.Fatal("port width wrong")
+	}
+}
+
+func TestElaborateCounter(t *testing.T) {
+	c, err := Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs()) != 1 || len(c.Outputs()) != 1 || len(c.Registers()) != 1 {
+		t.Fatalf("io: %d in %d out %d regs", len(c.Inputs()), len(c.Outputs()), len(c.Registers()))
+	}
+	// The register's next value must be the mux, not the placeholder.
+	reg := c.Registers()[0]
+	next := c.Args[reg][0]
+	if c.Ops[next] != circuit.OpMux {
+		t.Fatalf("reg next op = %s, want mux", c.Ops[next])
+	}
+}
+
+const socSrc = `
+circuit SoC :
+  module ALU :
+    input a : UInt<16>
+    input b : UInt<16>
+    input sel : UInt<1>
+    output q : UInt<16>
+    node sum = add(a, b)
+    node dif = sub(a, b)
+    q <= mux(sel, sum, dif)
+
+  module Core :
+    input in : UInt<16>
+    output out : UInt<16>
+    reg acc : UInt<16>, reset 0
+    inst alu of ALU
+    alu.a <= acc
+    alu.b <= in
+    alu.sel <= eq(in, UInt<16>(0))
+    acc <= alu.q
+    out <= acc
+
+  module SoC :
+    input data : UInt<16>
+    output r0 : UInt<16>
+    output r1 : UInt<16>
+    inst core0 of Core
+    inst core1 of Core
+    core0.in <= data
+    core1.in <= not(data)
+    r0 <= core0.out
+    r1 <= core1.out
+`
+
+func TestElaborateSoCHierarchy(t *testing.T) {
+	c, err := Compile(socSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instances: top, core0, core0.alu, core1, core1.alu.
+	if len(c.Instances) != 5 {
+		t.Fatalf("instances = %d: %+v", len(c.Instances), c.Instances)
+	}
+	mods := map[string]int{}
+	for _, in := range c.Instances {
+		mods[in.Module]++
+	}
+	if mods["Core"] != 2 || mods["ALU"] != 2 {
+		t.Fatalf("module counts: %v", mods)
+	}
+	// Both Core instances must own the same number of nodes (replicas).
+	byInst := c.NodesByDeepInstance()
+	subs := c.InstanceSubtrees()
+	countSub := func(root int32) int {
+		n := 0
+		for _, i := range subs[root] {
+			n += len(byInst[i])
+		}
+		return n
+	}
+	var coreRoots []int32
+	for i, in := range c.Instances {
+		if in.Module == "Core" {
+			coreRoots = append(coreRoots, int32(i))
+		}
+	}
+	if countSub(coreRoots[0]) != countSub(coreRoots[1]) {
+		t.Fatalf("replica node counts differ: %d vs %d",
+			countSub(coreRoots[0]), countSub(coreRoots[1]))
+	}
+	if countSub(coreRoots[0]) == 0 {
+		t.Fatal("core instance owns no nodes")
+	}
+}
+
+func TestElaborateMemory(t *testing.T) {
+	src := `
+circuit RF :
+  module RF :
+    input raddr : UInt<4>
+    input waddr : UInt<4>
+    input wdata : UInt<8>
+    input wen : UInt<1>
+    output rdata : UInt<8>
+    mem regs : UInt<8>[16]
+    read q = regs[raddr]
+    write regs[waddr] <= wdata when wen
+    rdata <= q
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Mems) != 1 || c.Mems[0].Depth != 16 || c.Mems[0].Width != 8 {
+		t.Fatalf("mems = %+v", c.Mems)
+	}
+	reads, writes := 0, 0
+	for _, op := range c.Ops {
+		switch op {
+		case circuit.OpMemRead:
+			reads++
+		case circuit.OpMemWrite:
+			writes++
+		}
+	}
+	if reads != 1 || writes != 1 {
+		t.Fatalf("ports: %d reads %d writes", reads, writes)
+	}
+}
+
+func TestWidthAdaptation(t *testing.T) {
+	src := `
+circuit W :
+  module W :
+    input narrow : UInt<4>
+    output wide : UInt<12>
+    output trunc : UInt<2>
+    wire w : UInt<12>
+    w <= narrow
+    wide <= w
+    trunc <= narrow
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, _ := c.OutputByName("wide")
+	if c.Width[c.Args[wide][0]] != 12 {
+		t.Fatalf("wide driver width = %d", c.Width[c.Args[wide][0]])
+	}
+	trunc, _ := c.OutputByName("trunc")
+	if c.Width[c.Args[trunc][0]] != 2 || c.Ops[c.Args[trunc][0]] != circuit.OpBits {
+		t.Fatalf("trunc driver: %s width %d", c.Ops[c.Args[trunc][0]], c.Width[c.Args[trunc][0]])
+	}
+}
+
+func TestBitsPadShifts(t *testing.T) {
+	src := `
+circuit B :
+  module B :
+    input x : UInt<16>
+    input amt : UInt<4>
+    output hi : UInt<8>
+    output padded : UInt<32>
+    output sl : UInt<16>
+    hi <= bits(x, 15, 8)
+    padded <= pad(x, 32)
+    sl <= shl(x, amt)
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := c.OutputByName("hi")
+	d := c.Args[hi][0]
+	if c.Ops[d] != circuit.OpBits || c.Vals[d] != 8 || c.Width[d] != 8 {
+		t.Fatalf("bits node wrong: %s lo=%d w=%d", c.Ops[d], c.Vals[d], c.Width[d])
+	}
+}
+
+func errContains(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got success", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestErrorUndeclaredReference(t *testing.T) {
+	errContains(t, `
+circuit E :
+  module E :
+    output y : UInt<1>
+    y <= ghost
+`, "undeclared")
+}
+
+func TestErrorUnconnectedWire(t *testing.T) {
+	errContains(t, `
+circuit E :
+  module E :
+    input x : UInt<1>
+    output y : UInt<1>
+    wire w : UInt<1>
+    y <= x
+`, "never connected")
+}
+
+func TestLastConnectWins(t *testing.T) {
+	// FIRRTL allows re-connection; the LAST connect is the driver.
+	src := `
+circuit E :
+  module E :
+    input x : UInt<4>
+    output y : UInt<4>
+    y <= x
+    y <= not(x)
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.OutputByName("y")
+	if c.Ops[c.Args[y][0]] != circuit.OpNot {
+		t.Fatalf("last connect did not win: driver is %s", c.Ops[c.Args[y][0]])
+	}
+}
+
+func TestLastConnectWinsForRegisters(t *testing.T) {
+	src := `
+circuit E :
+  module E :
+    input x : UInt<4>
+    output y : UInt<4>
+    reg r : UInt<4>, reset 0
+    r <= x
+    r <= not(x)
+    y <= r
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Registers()[0]
+	if c.Ops[c.Args[reg][0]] != circuit.OpNot {
+		t.Fatalf("register next is %s, want the last connect (not)", c.Ops[c.Args[reg][0]])
+	}
+}
+
+func TestErrorCombLoopThroughWires(t *testing.T) {
+	errContains(t, `
+circuit E :
+  module E :
+    output y : UInt<1>
+    wire a : UInt<1>
+    wire b : UInt<1>
+    a <= not(b)
+    b <= not(a)
+    y <= a
+`, "combinational loop")
+}
+
+func TestErrorSelfInstantiation(t *testing.T) {
+	errContains(t, `
+circuit E :
+  module E :
+    output y : UInt<1>
+    inst me of E
+    y <= me.y
+`, "instantiates itself")
+}
+
+func TestErrorMissingTopModule(t *testing.T) {
+	errContains(t, `
+circuit Top :
+  module Other :
+    output y : UInt<1>
+    y <= UInt<1>(1)
+`, "top module")
+}
+
+func TestErrorUnknownModule(t *testing.T) {
+	errContains(t, `
+circuit E :
+  module E :
+    output y : UInt<1>
+    inst c of Missing
+    y <= UInt<1>(0)
+`, "not defined")
+}
+
+func TestErrorConnectToNonInputPort(t *testing.T) {
+	errContains(t, `
+circuit E :
+  module Sub :
+    output q : UInt<1>
+    q <= UInt<1>(1)
+  module E :
+    output y : UInt<1>
+    inst s of Sub
+    s.q <= UInt<1>(0)
+    y <= s.q
+`, "not an input port")
+}
+
+func TestErrorWidthZero(t *testing.T) {
+	errContains(t, `
+circuit E :
+  module E :
+    input x : UInt<0>
+    output y : UInt<1>
+    y <= UInt<1>(0)
+`, "width")
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := Parse("circuit X :\n  module X :\n    input a UInt<1>\n")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	fe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if fe.Line != 3 {
+		t.Fatalf("error line = %d, want 3", fe.Line)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := lex("a b ; comment , ( )\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, b, newline, c, newline, EOF
+	if len(toks) != 6 {
+		t.Fatalf("tokens = %d: %+v", len(toks), toks)
+	}
+}
+
+func TestLexerHex(t *testing.T) {
+	toks, err := lex("0xff 255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].ival != 255 || toks[1].ival != 255 {
+		t.Fatalf("values: %d %d", toks[0].ival, toks[1].ival)
+	}
+}
+
+func TestLexerBadChar(t *testing.T) {
+	if _, err := lex("a @ b"); err == nil {
+		t.Fatal("expected lex error on '@'")
+	}
+}
+
+func TestSharedSubexpressionKeepsFirstName(t *testing.T) {
+	src := `
+circuit N :
+  module N :
+    input x : UInt<8>
+    output y : UInt<8>
+    node first = add(x, x)
+    node second = first
+    y <= second
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for v, name := range c.Names {
+		if name == "first" && c.Ops[v] == circuit.OpAdd {
+			found = true
+		}
+		if name == "second" {
+			t.Fatal("alias stole the node's name")
+		}
+	}
+	if !found {
+		t.Fatal("node name not attached")
+	}
+}
+
+func TestDeadLogicIsStillElaborated(t *testing.T) {
+	// Node `unused` feeds nothing, but the sweep must still create it so
+	// node counts reflect the whole design.
+	src := `
+circuit D :
+  module D :
+    input x : UInt<8>
+    output y : UInt<8>
+    node unused = mul(x, x)
+    y <= x
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasMul := false
+	for _, op := range c.Ops {
+		if op == circuit.OpMul {
+			hasMul = true
+		}
+	}
+	if !hasMul {
+		t.Fatal("dead node was dropped")
+	}
+}

@@ -1,0 +1,193 @@
+package firrtl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokInt
+	tokColon
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLAngle
+	tokRAngle
+	tokEquals
+	tokLArrow // <=
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF:      "end of file",
+	tokNewline:  "newline",
+	tokIdent:    "identifier",
+	tokInt:      "integer",
+	tokColon:    "':'",
+	tokComma:    "','",
+	tokDot:      "'.'",
+	tokLParen:   "'('",
+	tokRParen:   "')'",
+	tokLBracket: "'['",
+	tokRBracket: "']'",
+	tokLAngle:   "'<'",
+	tokRAngle:   "'>'",
+	tokEquals:   "'='",
+	tokLArrow:   "'<='",
+}
+
+func (k tokKind) String() string { return tokNames[k] }
+
+// token is one lexical token with its source position. col is the
+// 0-based column of the token's first character; block structure (when/
+// else) is indentation-sensitive like real FIRRTL.
+type token struct {
+	kind tokKind
+	text string
+	ival uint64
+	line int
+	col  int
+}
+
+// Error is a frontend diagnostic carrying a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Blank lines and comment-only lines produce no tokens;
+// every non-empty line is terminated by a tokNewline, and the stream ends
+// with tokEOF. Tokens carry their column so the parser can recover the
+// indentation-based block structure of when/else.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	lineStart := 0
+	lineHadToken := false
+	i := 0
+	// emit is always called while i still points at the token's first
+	// character, so the column is i relative to the current line start.
+	emit := func(k tokKind, text string, ival uint64) {
+		toks = append(toks, token{kind: k, text: text, ival: ival, line: line, col: i - lineStart})
+		lineHadToken = true
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if lineHadToken {
+				toks = append(toks, token{kind: tokNewline, line: line})
+			}
+			lineHadToken = false
+			line++
+			i++
+			lineStart = i
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentCont(src[j]) {
+				j++
+			}
+			emit(tokIdent, src[i:j], 0)
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			base := 10
+			if c == '0' && j < len(src) && (src[j] == 'x' || src[j] == 'X') {
+				j++
+				base = 16
+				for j < len(src) && isHexDigit(src[j]) {
+					j++
+				}
+			} else {
+				for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			text := src[i:j]
+			parse := text
+			if base == 16 {
+				parse = text[2:]
+			}
+			v, err := strconv.ParseUint(parse, base, 64)
+			if err != nil {
+				return nil, errf(line, "bad integer literal %q", text)
+			}
+			emit(tokInt, text, v)
+			i = j
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokLArrow, "<=", 0)
+				i += 2
+			} else {
+				emit(tokLAngle, "<", 0)
+				i++
+			}
+		case c == '>':
+			emit(tokRAngle, ">", 0)
+			i++
+		case c == ':':
+			emit(tokColon, ":", 0)
+			i++
+		case c == ',':
+			emit(tokComma, ",", 0)
+			i++
+		case c == '.':
+			emit(tokDot, ".", 0)
+			i++
+		case c == '(':
+			emit(tokLParen, "(", 0)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", 0)
+			i++
+		case c == '[':
+			emit(tokLBracket, "[", 0)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", 0)
+			i++
+		case c == '=':
+			emit(tokEquals, "=", 0)
+			i++
+		default:
+			return nil, errf(line, "unexpected character %q", string(c))
+		}
+	}
+	if lineHadToken {
+		toks = append(toks, token{kind: tokNewline, line: line})
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,521 @@
+package firrtl
+
+import "fmt"
+
+// Parse parses FIRRTL-dialect source into an AST. It reports the first
+// syntax error with its line number.
+func Parse(src string) (*Circuit, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseCircuit()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token       { return p.toks[p.pos] }
+func (p *parser) next() token       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		got := t.kind.String()
+		if t.kind == tokIdent || t.kind == tokInt {
+			got = fmt.Sprintf("%s %q", got, t.text)
+		}
+		return t, errf(t.line, "expected %s, found %s", k, got)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return errf(t.line, "expected %q, found %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) endLine() error {
+	t := p.next()
+	if t.kind != tokNewline && t.kind != tokEOF {
+		return errf(t.line, "unexpected %s %q at end of statement", t.kind, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseCircuit() (*Circuit, error) {
+	if err := p.expectKeyword("circuit"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	if err := p.endLine(); err != nil {
+		return nil, err
+	}
+	c := &Circuit{Name: name.text}
+	for !p.at(tokEOF) {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		if c.FindModule(m.Name) != nil {
+			return nil, errf(m.Line, "module %q defined twice", m.Name)
+		}
+		c.Modules = append(c.Modules, m)
+	}
+	if len(c.Modules) == 0 {
+		return nil, errf(name.line, "circuit %q has no modules", c.Name)
+	}
+	return c, nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	if err := p.endLine(); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.text, Line: name.line}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return m, nil
+		}
+		if t.kind == tokIdent && t.text == "module" {
+			return m, nil
+		}
+		stmt, port, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if port != nil {
+			m.Ports = append(m.Ports, *port)
+		} else {
+			m.Stmts = append(m.Stmts, stmt)
+		}
+	}
+}
+
+// parseStmt parses one statement line. Ports are returned separately.
+func (p *parser) parseStmt() (Stmt, *Port, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, nil, errf(t.line, "expected statement, found %s", t.kind)
+	}
+	switch t.text {
+	case "input", "output":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, nil, err
+		}
+		w, err := p.parseUIntType()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return nil, &Port{Name: name.text, Width: w, Input: t.text == "input", Line: t.line}, nil
+
+	case "wire":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, nil, err
+		}
+		w, err := p.parseUIntType()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &WireStmt{stmtBase{t.line}, name.text, w}, nil, nil
+
+	case "reg":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, nil, err
+		}
+		w, err := p.parseUIntType()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, nil, err
+		}
+		if err := p.expectKeyword("reset"); err != nil {
+			return nil, nil, err
+		}
+		v, err := p.expect(tokInt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &RegStmt{stmtBase{t.line}, name.text, w, v.ival}, nil, nil
+
+	case "node":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &NodeStmt{stmtBase{t.line}, name.text, e}, nil, nil
+
+	case "inst":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.expectKeyword("of"); err != nil {
+			return nil, nil, err
+		}
+		mod, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &InstStmt{stmtBase{t.line}, name.text, mod.text}, nil, nil
+
+	case "when":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		w := &WhenStmt{stmtBase: stmtBase{t.line}, Cond: cond}
+		w.Then, err = p.parseBlock(t.col)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(w.Then) == 0 {
+			return nil, nil, errf(t.line, "empty when block")
+		}
+		if e := p.peek(); e.kind == tokIdent && e.text == "else" && e.col == t.col {
+			p.next()
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, nil, err
+			}
+			if err := p.endLine(); err != nil {
+				return nil, nil, err
+			}
+			w.Else, err = p.parseBlock(t.col)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(w.Else) == 0 {
+				return nil, nil, errf(e.line, "empty else block")
+			}
+		}
+		return w, nil, nil
+
+	case "mem":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, nil, err
+		}
+		w, err := p.parseUIntType()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokLBracket); err != nil {
+			return nil, nil, err
+		}
+		d, err := p.expect(tokInt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &MemStmt{stmtBase{t.line}, name.text, w, int(d.ival)}, nil, nil
+
+	case "read":
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, nil, err
+		}
+		mem, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokLBracket); err != nil {
+			return nil, nil, err
+		}
+		addr, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &ReadStmt{stmtBase{t.line}, name.text, mem.text, addr}, nil, nil
+
+	case "write":
+		p.next()
+		mem, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokLBracket); err != nil {
+			return nil, nil, err
+		}
+		addr, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokLArrow); err != nil {
+			return nil, nil, err
+		}
+		data, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.expectKeyword("when"); err != nil {
+			return nil, nil, err
+		}
+		en, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &WriteStmt{stmtBase{t.line}, mem.text, addr, data, en}, nil, nil
+
+	default:
+		// A connect: IDENT [. IDENT] <= EXPR
+		p.next()
+		target := t.text
+		inst := ""
+		if p.at(tokDot) {
+			p.next()
+			port, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, nil, err
+			}
+			inst, target = t.text, port.text
+		}
+		if _, err := p.expect(tokLArrow); err != nil {
+			return nil, nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.endLine(); err != nil {
+			return nil, nil, err
+		}
+		return &ConnectStmt{stmtBase{t.line}, inst, target, e}, nil, nil
+	}
+}
+
+// parseBlock parses statements indented deeper than parentCol (the body
+// of a when/else).
+func (p *parser) parseBlock(parentCol int) ([]Stmt, error) {
+	var stmts []Stmt
+	for {
+		t := p.peek()
+		if t.kind == tokEOF || t.col <= parentCol {
+			return stmts, nil
+		}
+		stmt, port, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if port != nil {
+			return nil, errf(port.Line, "port declaration inside a when block")
+		}
+		switch stmt.(type) {
+		case *ConnectStmt, *WriteStmt, *NodeStmt, *WhenStmt, *ReadStmt:
+			stmts = append(stmts, stmt)
+		default:
+			return nil, errf(stmt.stmtLine(), "declaration not allowed inside a when block")
+		}
+	}
+}
+
+// parseUIntType parses UInt<W> and returns W.
+func (p *parser) parseUIntType() (int, error) {
+	t := p.next()
+	if t.kind != tokIdent || t.text != "UInt" {
+		return 0, errf(t.line, "expected UInt type, found %q", t.text)
+	}
+	if _, err := p.expect(tokLAngle); err != nil {
+		return 0, err
+	}
+	w, err := p.expect(tokInt)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(tokRAngle); err != nil {
+		return 0, err
+	}
+	if w.ival == 0 || w.ival > 64 {
+		return 0, errf(w.line, "width %d outside (0, 64]", w.ival)
+	}
+	return int(w.ival), nil
+}
+
+// primOps maps primitive names to their expression arity.
+var primOps = map[string]int{
+	"add": 2, "sub": 2, "mul": 2,
+	"and": 2, "or": 2, "xor": 2, "not": 1,
+	"eq": 2, "neq": 2, "lt": 2, "geq": 2,
+	"shl": 2, "shr": 2,
+	"mux": 3, "cat": 2,
+	"bits": 1, // plus two int args
+	"pad":  1, // plus one int arg
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if t.text == "UInt" {
+			// Literal: UInt<W>(V)
+			if _, err := p.expect(tokLAngle); err != nil {
+				return nil, err
+			}
+			w, err := p.expect(tokInt)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRAngle); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			v, err := p.expect(tokInt)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			if w.ival == 0 || w.ival > 64 {
+				return nil, errf(w.line, "literal width %d outside (0, 64]", w.ival)
+			}
+			return &LitExpr{exprBase{t.line}, int(w.ival), v.ival}, nil
+		}
+		if arity, isPrim := primOps[t.text]; isPrim && p.at(tokLParen) {
+			p.next() // (
+			call := &CallExpr{exprBase: exprBase{t.line}, Fn: t.text}
+			for i := 0; i < arity; i++ {
+				if i > 0 {
+					if _, err := p.expect(tokComma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			nInts := 0
+			switch t.text {
+			case "bits":
+				nInts = 2
+			case "pad":
+				nInts = 1
+			}
+			for i := 0; i < nInts; i++ {
+				if _, err := p.expect(tokComma); err != nil {
+					return nil, err
+				}
+				v, err := p.expect(tokInt)
+				if err != nil {
+					return nil, err
+				}
+				call.IntArgs = append(call.IntArgs, v.ival)
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Reference: IDENT or IDENT.IDENT
+		if p.at(tokDot) {
+			p.next()
+			port, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &RefExpr{exprBase{t.line}, t.text, port.text}, nil
+		}
+		return &RefExpr{exprBase{t.line}, "", t.text}, nil
+	default:
+		return nil, errf(t.line, "expected expression, found %s %q", t.kind, t.text)
+	}
+}

@@ -1,0 +1,56 @@
+package firrtl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the lexer never panics and never mislabels columns — on any
+// input it either errors or produces tokens whose columns are within
+// their lines.
+func TestQuickLexerTotal(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		toks, err := lex(src)
+		if err != nil {
+			return true
+		}
+		for _, tk := range toks {
+			if tk.col < 0 || tk.line < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser is total on arbitrary token soup built from valid
+// lexemes — it errors or succeeds, never panics.
+func TestQuickParserTotal(t *testing.T) {
+	words := []string{"circuit", "module", "input", "output", "wire", "reg", "node",
+		"when", "else", "inst", "mem", "read", "write", "UInt", "add", "mux",
+		"x", "y", ":", "<=", "=", "<", ">", "(", ")", "[", "]", ",", "7", "\n", "  "}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		src := "circuit T :\n  module T :\n"
+		for _, p := range picks {
+			src += words[int(p)%len(words)] + " "
+		}
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

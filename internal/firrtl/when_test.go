@@ -1,0 +1,316 @@
+package firrtl
+
+import (
+	"strings"
+	"testing"
+
+	"dedupsim/internal/circuit"
+)
+
+func TestParseWhenBlocks(t *testing.T) {
+	src := `
+circuit W :
+  module W :
+    input c : UInt<1>
+    input x : UInt<4>
+    output y : UInt<4>
+    y <= UInt<4>(0)
+    when c :
+      y <= x
+      when eq(x, UInt<4>(3)) :
+        y <= UInt<4>(15)
+    else :
+      y <= not(x)
+`
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ast.Modules[0]
+	var when *WhenStmt
+	for _, s := range m.Stmts {
+		if w, ok := s.(*WhenStmt); ok {
+			when = w
+		}
+	}
+	if when == nil {
+		t.Fatal("no when parsed")
+	}
+	if len(when.Then) != 2 || len(when.Else) != 1 {
+		t.Fatalf("then=%d else=%d", len(when.Then), len(when.Else))
+	}
+	if _, ok := when.Then[1].(*WhenStmt); !ok {
+		t.Fatalf("nested when not parsed: %T", when.Then[1])
+	}
+}
+
+func TestWhenElaboratesToMux(t *testing.T) {
+	src := `
+circuit W :
+  module W :
+    input c : UInt<1>
+    input x : UInt<4>
+    output y : UInt<4>
+    y <= UInt<4>(7)
+    when c :
+      y <= x
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.OutputByName("y")
+	d := c.Args[y][0]
+	if c.Ops[d] != circuit.OpMux {
+		t.Fatalf("when did not lower to mux: %s", c.Ops[d])
+	}
+}
+
+// evalOutput compiles the source and evaluates one combinational step with
+// the given inputs (register-free designs), returning output "y".
+func evalOutput(t *testing.T, src string, inputs map[string]uint64) uint64 {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A minimal topological interpreter is enough here and avoids an
+	// import cycle with the sim package.
+	g := c.SchedGraph()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]uint64, c.NumNodes())
+	for v, op := range c.Ops {
+		if op == circuit.OpConst || op.IsState() {
+			val[v] = c.Vals[v]
+		}
+		if op == circuit.OpInput {
+			val[v] = inputs[c.Names[v]] & circuit.Mask(c.Width[v])
+		}
+	}
+	for _, v := range order {
+		args := c.Args[v]
+		w := c.Width[v]
+		switch op := c.Ops[v]; op {
+		case circuit.OpConst, circuit.OpInput, circuit.OpReg, circuit.OpRegEn,
+			circuit.OpMemRead, circuit.OpMemWrite:
+		case circuit.OpOutput:
+			val[v] = val[args[0]]
+		case circuit.OpNot:
+			val[v] = ^val[args[0]] & circuit.Mask(w)
+		case circuit.OpMux:
+			if val[args[0]] != 0 {
+				val[v] = val[args[1]]
+			} else {
+				val[v] = val[args[2]]
+			}
+		case circuit.OpBits:
+			val[v] = (val[args[0]] >> c.Vals[v]) & circuit.Mask(w)
+		default:
+			val[v] = evalBinTest(op, w, val[args[0]], val[args[1]], c.Width[args[1]])
+		}
+	}
+	y, ok := c.OutputByName("y")
+	if !ok {
+		t.Fatal("no output y")
+	}
+	return val[y]
+}
+
+// evalBinTest mirrors sim.EvalBin for the ops used in these tests.
+func evalBinTest(op circuit.Op, w uint8, a, b uint64, bw uint8) uint64 {
+	m := circuit.Mask(w)
+	switch op {
+	case circuit.OpAdd:
+		return (a + b) & m
+	case circuit.OpAnd:
+		return (a & b) & m
+	case circuit.OpOr:
+		return (a | b) & m
+	case circuit.OpXor:
+		return (a ^ b) & m
+	case circuit.OpEq:
+		if a == b {
+			return 1
+		}
+		return 0
+	case circuit.OpLt:
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	panic("unhandled op in test: " + op.String())
+}
+
+const whenSemantics = `
+circuit W :
+  module W :
+    input c1 : UInt<1>
+    input c2 : UInt<1>
+    input x : UInt<8>
+    output y : UInt<8>
+    y <= UInt<8>(1)
+    when c1 :
+      y <= add(x, UInt<8>(10))
+      when c2 :
+        y <= add(x, UInt<8>(20))
+    else :
+      y <= add(x, UInt<8>(30))
+`
+
+func TestWhenSemantics(t *testing.T) {
+	cases := []struct {
+		c1, c2, x, want uint64
+	}{
+		{0, 0, 5, 35}, // else branch
+		{0, 1, 5, 35}, // inner cond irrelevant when outer false
+		{1, 0, 5, 15}, // then branch, inner when false
+		{1, 1, 5, 25}, // nested when wins (last connect under c1&c2)
+	}
+	for _, tc := range cases {
+		got := evalOutput(t, whenSemantics, map[string]uint64{"c1": tc.c1, "c2": tc.c2, "x": tc.x})
+		if got != tc.want {
+			t.Errorf("c1=%d c2=%d x=%d: y=%d, want %d", tc.c1, tc.c2, tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestWhenRegisterHoldsWithoutElse(t *testing.T) {
+	// A register connected only under a when must hold its value when the
+	// condition is false.
+	src := `
+circuit H :
+  module H :
+    input en : UInt<1>
+    input x : UInt<8>
+    output y : UInt<8>
+    reg r : UInt<8>, reset 42
+    when en :
+      r <= x
+    y <= r
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Registers()[0]
+	next := c.Args[reg][0]
+	if c.Ops[next] != circuit.OpMux {
+		t.Fatalf("guarded register next is %s, want mux", c.Ops[next])
+	}
+	// The mux's else branch must be the register itself (hold).
+	if c.Args[next][2] != reg {
+		t.Fatalf("register does not hold: else branch is node %d", c.Args[next][2])
+	}
+}
+
+func TestWhenGuardsMemoryWrites(t *testing.T) {
+	src := `
+circuit M :
+  module M :
+    input en : UInt<1>
+    input addr : UInt<3>
+    input data : UInt<8>
+    output y : UInt<8>
+    mem m : UInt<8>[8]
+    read q = m[addr]
+    when en :
+      write m[addr] <= data when UInt<1>(1)
+    y <= q
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write port's enable must be an AND of the when condition.
+	for v, op := range c.Ops {
+		if op == circuit.OpMemWrite {
+			en := c.Args[v][2]
+			if c.Ops[en] != circuit.OpAnd {
+				t.Fatalf("write enable is %s, want and(when, en)", c.Ops[en])
+			}
+			return
+		}
+	}
+	t.Fatal("no write port found")
+}
+
+func TestWhenConditionalWireWithoutDefaultFails(t *testing.T) {
+	_, err := Compile(`
+circuit E :
+  module E :
+    input c : UInt<1>
+    input x : UInt<4>
+    output y : UInt<4>
+    wire w : UInt<4>
+    when c :
+      w <= x
+    y <= w
+`)
+	if err == nil || !strings.Contains(err.Error(), "without an unconditional default") {
+		t.Fatalf("want default-required error, got %v", err)
+	}
+}
+
+func TestWhenDeclarationInsideBlockFails(t *testing.T) {
+	_, err := Parse(`
+circuit E :
+  module E :
+    input c : UInt<1>
+    output y : UInt<1>
+    when c :
+      reg r : UInt<1>, reset 0
+    y <= c
+`)
+	if err == nil || !strings.Contains(err.Error(), "not allowed inside") {
+		t.Fatalf("want declaration error, got %v", err)
+	}
+}
+
+func TestWhenEmptyBlockFails(t *testing.T) {
+	_, err := Parse(`
+circuit E :
+  module E :
+    input c : UInt<1>
+    output y : UInt<1>
+    when c :
+    y <= c
+`)
+	if err == nil || !strings.Contains(err.Error(), "empty when") {
+		t.Fatalf("want empty-when error, got %v", err)
+	}
+}
+
+func TestWhenConditionEvaluatedOnce(t *testing.T) {
+	// One when guards two connects; the condition expression must
+	// elaborate to a single node (memoized), not one per connect.
+	src := `
+circuit O :
+  module O :
+    input a : UInt<8>
+    input b : UInt<8>
+    output y : UInt<8>
+    output z : UInt<8>
+    y <= UInt<8>(0)
+    z <= UInt<8>(0)
+    when lt(a, b) :
+      y <= a
+      z <= b
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := 0
+	for _, op := range c.Ops {
+		if op == circuit.OpLt {
+			lts++
+		}
+	}
+	if lts != 1 {
+		t.Fatalf("when condition elaborated %d times, want 1", lts)
+	}
+}

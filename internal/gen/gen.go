@@ -1,0 +1,546 @@
+// Package gen generates synthetic SoC designs in the FIRRTL dialect,
+// standing in for the Chisel-generated Rocket Chip and BOOM designs the
+// paper evaluates (Table 2). The generators reproduce the structural
+// properties the deduplication study depends on:
+//
+//   - n identical core instances under a top-level SoC module, plus a
+//     non-replicated uncore (bus arbiter, shared memory, peripherals);
+//   - nested replication inside each core (ALU lanes), which is all a
+//     single-core design can deduplicate — matching the paper's tiny
+//     1C ideal reductions;
+//   - combinational paths from core inputs to core outputs (handshake
+//     logic) and from core outputs back to core inputs (arbiter grants),
+//     the exact shape that makes naive template stamping cyclic (Fig. 4);
+//   - internal state (LFSRs, pipelines, a reorder-buffer-like ring) so
+//     simulated designs exhibit realistic, stimulus-dependent activity.
+//
+// Sizes are scaled down ~20x from the paper's (10^4 rather than 10^5-10^6
+// nodes) so full experiment sweeps run on a laptop; the Scale parameter
+// shrinks them further for unit tests.
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/firrtl"
+)
+
+// CoreParams sizes one processor core.
+type CoreParams struct {
+	// ModuleName is the core's module name (must be unique per design).
+	ModuleName string
+	// Width is the datapath width in bits (<= 64).
+	Width int
+	// Lanes is the number of replicated execution lanes (ALU pipelines).
+	Lanes int
+	// Stages is the pipeline depth of each lane.
+	Stages int
+	// RobEntries sizes the reorder-buffer-like result ring.
+	RobEntries int
+	// VecBlocks appends that many inline vector-unit blocks (~24 nodes
+	// each) to pad the core to a realistic size without extra replication.
+	VecBlocks int
+	// BiuBlocks sizes the bus-interface unit: combinational logic that
+	// reads the raw (unregistered) core inputs. Partitions containing
+	// these nodes sit on the instance boundary and are dissolved by the
+	// deduplication flow, so this knob controls the real-vs-ideal
+	// reduction gap (paper Table 2 keeps roughly 70% of the ideal).
+	BiuBlocks int
+	// RegfileDepth is the register-file memory depth.
+	RegfileDepth int
+}
+
+// SoCParams describes a whole generated design.
+type SoCParams struct {
+	// Name is the design name (also the top module name).
+	Name string
+	// Cores is the number of identical core instances.
+	Cores int
+	// Core sizes each core.
+	Core CoreParams
+	// Peripherals is the number of replicated timer-like uncore blocks.
+	Peripherals int
+	// UncoreBlocks pads the uncore with inline logic blocks.
+	UncoreBlocks int
+}
+
+// Family identifies a design generator family from the paper.
+type Family string
+
+// The four design families of Table 2.
+const (
+	Rocket    Family = "Rocket"
+	SmallBoom Family = "SmallBoom"
+	LargeBoom Family = "LargeBoom"
+	MegaBoom  Family = "MegaBoom"
+)
+
+// Families lists all families in Table 2 order.
+var Families = []Family{Rocket, SmallBoom, LargeBoom, MegaBoom}
+
+// Config returns the parameters for a named design, e.g.
+// Config(LargeBoom, 6) for LargeBoom-6C. Scale in (0, 1] shrinks the
+// per-core and uncore padding knobs for fast tests; use 1.0 to reproduce
+// the evaluation designs.
+func Config(f Family, cores int, scale float64) SoCParams {
+	if scale <= 0 || scale > 1 {
+		panic("gen: scale must be in (0, 1]")
+	}
+	s := func(n int) int {
+		v := int(float64(n)*scale + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	// Knobs are calibrated so that, at scale 1.0, core and uncore node
+	// counts land at ~1/20 of the paper's Table 2 (which keeps the ideal
+	// node-reduction percentages aligned with the paper's).
+	var core CoreParams
+	var periph, ublocks int
+	switch f {
+	case Rocket:
+		core = CoreParams{Width: 32, Lanes: 2, Stages: 4,
+			RobEntries: s(8), VecBlocks: s(100), BiuBlocks: s(32), RegfileDepth: 32}
+		periph, ublocks = s(12), s(300)
+	case SmallBoom:
+		core = CoreParams{Width: 32, Lanes: 2, Stages: 6,
+			RobEntries: s(32), VecBlocks: s(300), BiuBlocks: s(96), RegfileDepth: 32}
+		periph, ublocks = s(10), s(260)
+	case LargeBoom:
+		core = CoreParams{Width: 64, Lanes: 3, Stages: 8,
+			RobEntries: s(96), VecBlocks: s(760), BiuBlocks: s(220), RegfileDepth: 64}
+		periph, ublocks = s(8), s(220)
+	case MegaBoom:
+		core = CoreParams{Width: 64, Lanes: 4, Stages: 10,
+			RobEntries: s(128), VecBlocks: s(1200), BiuBlocks: s(330), RegfileDepth: 64}
+		periph, ublocks = s(8), s(220)
+	default:
+		panic(fmt.Sprintf("gen: unknown family %q", f))
+	}
+	core.ModuleName = string(f) + "Core"
+	return SoCParams{
+		Name:         fmt.Sprintf("%s_%dC", f, cores),
+		Cores:        cores,
+		Core:         core,
+		Peripherals:  periph,
+		UncoreBlocks: ublocks,
+	}
+}
+
+// GenerateFIRRTL emits the design as FIRRTL-dialect source text.
+func GenerateFIRRTL(p SoCParams) string {
+	if p.Cores < 1 {
+		panic("gen: need at least one core")
+	}
+	g := &emitter{}
+	g.emitHeader(p)
+	g.emitALU(p.Core)
+	g.emitLane(p.Core)
+	g.emitCore(p.Core)
+	g.emitPeripheral(p)
+	g.emitUncore(p)
+	g.emitTop(p)
+	return g.String()
+}
+
+// Build generates and elaborates the design in one step.
+func Build(p SoCParams) (*circuit.Circuit, error) {
+	return firrtl.Compile(GenerateFIRRTL(p))
+}
+
+// MustBuild is Build for known-good parameters (tests, benchmarks).
+func MustBuild(p SoCParams) *circuit.Circuit {
+	c, err := Build(p)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %s failed to build: %v", p.Name, err))
+	}
+	return c
+}
+
+type emitter struct {
+	sb strings.Builder
+}
+
+func (g *emitter) String() string { return g.sb.String() }
+
+func (g *emitter) f(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *emitter) emitHeader(p SoCParams) {
+	g.f("; generated design %s: %d cores", p.Name, p.Cores)
+	g.f("circuit %s :", p.Name)
+}
+
+// emitALU produces a small multi-function ALU, instantiated once per lane.
+func (g *emitter) emitALU(c CoreParams) {
+	w := c.Width
+	g.f("  module %s_ALU :", c.ModuleName)
+	g.f("    input a : UInt<%d>", w)
+	g.f("    input b : UInt<%d>", w)
+	g.f("    input op : UInt<3>")
+	g.f("    output q : UInt<%d>", w)
+	g.f("    node sum = add(a, b)")
+	g.f("    node dif = sub(a, b)")
+	g.f("    node con = and(a, b)")
+	g.f("    node dis = or(a, b)")
+	g.f("    node exo = xor(a, b)")
+	g.f("    node shamt = bits(b, 2, 0)")
+	g.f("    node sll = shl(a, shamt)")
+	g.f("    node srl = shr(a, shamt)")
+	g.f("    node ltu = lt(a, b)")
+	g.f("    node lo = mux(bits(op, 0, 0), sum, dif)")
+	g.f("    node m1 = mux(bits(op, 0, 0), con, dis)")
+	g.f("    node m2 = mux(bits(op, 0, 0), exo, sll)")
+	g.f("    node m3 = mux(bits(op, 0, 0), srl, pad(ltu, %d))", w)
+	g.f("    node hi = mux(bits(op, 1, 1), m1, m2)")
+	g.f("    node top = mux(bits(op, 1, 1), m3, lo)")
+	g.f("    q <= mux(bits(op, 2, 2), hi, top)")
+}
+
+// emitLane produces one execution lane: an ALU feeding a Stages-deep
+// result pipeline with a valid shift chain and a forwarding mux.
+func (g *emitter) emitLane(c CoreParams) {
+	w := c.Width
+	g.f("  module %s_Lane :", c.ModuleName)
+	g.f("    input in_a : UInt<%d>", w)
+	g.f("    input in_b : UInt<%d>", w)
+	g.f("    input in_op : UInt<3>")
+	g.f("    input in_valid : UInt<1>")
+	g.f("    output out : UInt<%d>", w)
+	g.f("    output out_valid : UInt<1>")
+	g.f("    inst alu of %s_ALU", c.ModuleName)
+	g.f("    alu.a <= mux(in_valid, in_a, UInt<%d>(0))", w)
+	g.f("    alu.b <= in_b")
+	g.f("    alu.op <= in_op")
+	for s := 0; s < c.Stages; s++ {
+		g.f("    reg p%d : UInt<%d>, reset 0", s, w)
+		g.f("    reg v%d : UInt<1>, reset 0", s)
+	}
+	g.f("    p0 <= mux(in_valid, alu.q, p0)")
+	g.f("    v0 <= in_valid")
+	for s := 1; s < c.Stages; s++ {
+		// Each stage mixes the previous value so the pipeline does real
+		// work (rotate-and-add), keeping activity flowing.
+		g.f("    node rot%d = or(shl(p%d, UInt<3>(1)), shr(p%d, UInt<6>(%d)))", s, s-1, s-1, w-1)
+		g.f("    p%d <= mux(v%d, rot%d, p%d)", s, s-1, s, s)
+		g.f("    v%d <= v%d", s, s-1)
+	}
+	last := c.Stages - 1
+	g.f("    node fwd = mux(v%d, p%d, p0)", last, last)
+	g.f("    out <= fwd")
+	g.f("    out_valid <= v%d", last)
+}
+
+// emitCore produces the core: an LFSR-driven decoder, the replicated
+// lanes, a register file, a ROB-like result ring, vector padding blocks,
+// and a combinational in->out handshake path (out_req depends on in_valid,
+// which is what lets the surrounding context close partition cycles).
+func (g *emitter) emitCore(c CoreParams) {
+	w := c.Width
+	g.f("  module %s :", c.ModuleName)
+	g.f("    input in_data : UInt<%d>", w)
+	g.f("    input in_valid : UInt<1>")
+	g.f("    input grant : UInt<1>")
+	g.f("    output out_data : UInt<%d>", w)
+	g.f("    output out_req : UInt<1>")
+
+	// Input registers: like a real core, almost all internal logic sees
+	// registered bus inputs. Only the bus-interface unit (below) and the
+	// handshake shortcut touch the raw ports, so the scheduling-graph
+	// boundary stays a small periphery.
+	g.f("    reg in_data_r : UInt<%d>, reset 0", w)
+	g.f("    in_data_r <= in_data")
+	g.f("    reg in_valid_r : UInt<1>, reset 0")
+	g.f("    in_valid_r <= in_valid")
+	g.f("    reg grant_r : UInt<1>, reset 0")
+	g.f("    grant_r <= grant")
+
+	// Bus-interface unit: combinational mixers on the raw inputs. These
+	// nodes legitimately sit on the instance boundary.
+	for j := 0; j < c.BiuBlocks; j++ {
+		g.f("    reg biu%d : UInt<%d>, reset %d", j, w, (j*2246822519)%253+1)
+		g.f("    node biue%d = xor(in_data, add(shl(biu%d, UInt<2>(%d)), UInt<%d>(%d)))", j, j, j%3+1, w, j+1)
+		g.f("    biu%d <= mux(grant, bits(biue%d, %d, 0), biu%d)", j, j, w-1, j)
+	}
+
+	// Instruction-stream stand-in: a 16-bit Fibonacci LFSR provides ops
+	// and addresses, so the core has internal activity whenever enabled.
+	g.f("    reg lfsr : UInt<16>, reset 44257")
+	g.f("    node fb = xor(xor(bits(lfsr, 15, 15), bits(lfsr, 13, 13)), xor(bits(lfsr, 12, 12), bits(lfsr, 10, 10)))")
+	g.f("    node lfsr_next = or(shl(lfsr, UInt<1>(1)), pad(fb, 16))")
+	g.f("    lfsr <= mux(in_valid_r, bits(lfsr_next, 15, 0), lfsr)")
+
+	// Register file with one read and one write port.
+	abits := log2(c.RegfileDepth)
+	g.f("    mem rf : UInt<%d>[%d]", w, c.RegfileDepth)
+	g.f("    node raddr = bits(lfsr, %d, 0)", abits-1)
+	g.f("    read rdata = rf[raddr]")
+
+	// Decode: split LFSR into per-lane ops.
+	g.f("    node opnd = xor(in_data_r, rdata)")
+	for l := 0; l < c.Lanes; l++ {
+		g.f("    inst lane%d of %s_Lane", l, c.ModuleName)
+		g.f("    lane%d.in_a <= opnd", l)
+		g.f("    lane%d.in_b <= mux(bits(lfsr, %d, %d), rdata, in_data_r)", l, l%16, l%16)
+		g.f("    lane%d.in_op <= bits(lfsr, %d, %d)", l, (3*l+2)%14+2, (3*l+2)%14)
+		g.f("    lane%d.in_valid <= in_valid_r", l)
+	}
+
+	// Merge lane results.
+	g.f("    node merge0 = lane0.out")
+	for l := 1; l < c.Lanes; l++ {
+		g.f("    node merge%d = xor(merge%d, lane%d.out)", l, l-1, l)
+	}
+	g.f("    node anyv0 = lane0.out_valid")
+	for l := 1; l < c.Lanes; l++ {
+		g.f("    node anyv%d = or(anyv%d, lane%d.out_valid)", l, l-1, l)
+	}
+	merged := fmt.Sprintf("merge%d", c.Lanes-1)
+	anyv := fmt.Sprintf("anyv%d", c.Lanes-1)
+
+	// ROB-like result ring: head/tail pointers, one register per entry.
+	rbits := log2ceil(c.RobEntries)
+	if rbits == 0 {
+		rbits = 1
+	}
+	g.f("    reg head : UInt<%d>, reset 0", rbits)
+	g.f("    reg tail : UInt<%d>, reset 0", rbits)
+	g.f("    node headwrap = mux(eq(head, UInt<%d>(%d)), UInt<%d>(0), add(head, UInt<%d>(1)))",
+		rbits, c.RobEntries-1, rbits, rbits)
+	g.f("    head <= mux(%s, headwrap, head)", anyv)
+	g.f("    node drain = and(grant, neq(head, tail))")
+	g.f("    node tailwrap = mux(eq(tail, UInt<%d>(%d)), UInt<%d>(0), add(tail, UInt<%d>(1)))",
+		rbits, c.RobEntries-1, rbits, rbits)
+	g.f("    tail <= mux(drain, tailwrap, tail)")
+	for e := 0; e < c.RobEntries; e++ {
+		g.f("    reg rob%d : UInt<%d>, reset 0", e, w)
+		g.f("    node robhit%d = and(%s, eq(head, UInt<%d>(%d)))", e, anyv, rbits, e)
+		g.f("    rob%d <= mux(robhit%d, %s, rob%d)", e, e, merged, e)
+	}
+	// Commit mux tree reading the tail entry.
+	g.f("    node commit0 = rob0")
+	for e := 1; e < c.RobEntries; e++ {
+		g.f("    node commit%d = mux(eq(tail, UInt<%d>(%d)), rob%d, commit%d)", e, rbits, e, e, e-1)
+	}
+	commit := fmt.Sprintf("commit%d", c.RobEntries-1)
+
+	// Write-back to the register file.
+	g.f("    node waddr = bits(lfsr, %d, 1)", abits)
+	g.f("    write rf[waddr] <= %s when %s", merged, anyv)
+
+	// Vector padding blocks: independent rotate-accumulate registers.
+	// They run off registered, divider-gated copies of the LFSR and the
+	// merged lane result, so the wide vector unit only toggles on a
+	// fraction of issue cycles (like a clock-gated SIMD block).
+	g.f("    node vslow = and(in_valid_r, eq(bits(lfsr, 2, 0), UInt<3>(0)))")
+	g.f("    reg lfsrg : UInt<16>, reset 7")
+	g.f("    lfsrg <= mux(vslow, lfsr, lfsrg)")
+	g.f("    reg mergeg : UInt<%d>, reset 0", w)
+	g.f("    mergeg <= mux(vslow, %s, mergeg)", merged)
+	for b := 0; b < c.VecBlocks; b++ {
+		g.f("    reg vec%d : UInt<%d>, reset %d", b, w, (b*2654435761)%255+1)
+		g.f("    node vrot%d = xor(shl(vec%d, UInt<2>(%d)), add(vec%d, mergeg))", b, b, b%3+1, b)
+		g.f("    node vsel%d = bits(lfsrg, %d, %d)", b, b%16, b%16)
+		g.f("    vec%d <= mux(and(vslow, vsel%d), bits(vrot%d, %d, 0), vec%d)", b, b, b, w-1, b)
+	}
+	// Fold a few vector values into the output so nothing is dead.
+	g.f("    node vfold0 = vec0")
+	folds := c.VecBlocks
+	if folds > 4 {
+		folds = 4
+	}
+	for b := 1; b < folds; b++ {
+		g.f("    node vfold%d = xor(vfold%d, vec%d)", b, b-1, b)
+	}
+	g.f("    node bfold0 = biu0")
+	bfolds := c.BiuBlocks
+	if bfolds > 4 {
+		bfolds = 4
+	}
+	for b := 1; b < bfolds; b++ {
+		g.f("    node bfold%d = xor(bfold%d, biu%d)", b, b-1, b)
+	}
+	// Handshake hub: one internal node feeds BOTH the request output and
+	// a grant-consuming data path. A partition that absorbs the hub and
+	// its neighbors produces out_req while consuming grant — and since
+	// the uncore computes grant from out_req combinationally, stamping
+	// such a partition onto an instance without boundary dissolution
+	// closes a cycle through the context (the paper's Figure 4 hazard).
+	// The node-level graph stays acyclic: in_valid -> out_req -> grant ->
+	// gmix -> out_data is a straight chain through the uncore.
+	g.f("    node hub = xor(%s, rob0)", commit)
+	g.f("    out_req <= or(neq(head, tail), and(in_valid, eq(bits(hub, 1, 0), UInt<2>(1))))")
+	g.f("    node gmix = and(grant, bits(hub, 2, 2))")
+	g.f("    out_data <= xor(xor(%s, vfold%d), xor(bfold%d, pad(gmix, %d)))", commit, folds-1, bfolds-1, w)
+}
+
+// emitPeripheral produces a small timer/counter block replicated in the
+// uncore.
+func (g *emitter) emitPeripheral(p SoCParams) {
+	g.f("  module %s_Periph :", p.Name)
+	g.f("    input tick : UInt<1>")
+	g.f("    input cfg : UInt<8>")
+	g.f("    output irq : UInt<1>")
+	g.f("    reg count : UInt<16>, reset 0")
+	g.f("    reg limit : UInt<16>, reset 1000")
+	g.f("    limit <= mux(eq(cfg, UInt<8>(255)), pad(cfg, 16), limit)")
+	g.f("    node hit = geq(count, limit)")
+	g.f("    count <= mux(hit, UInt<16>(0), mux(tick, add(count, UInt<16>(1)), count))")
+	g.f("    reg irqreg : UInt<1>, reset 0")
+	g.f("    irqreg <= hit")
+	g.f("    irq <= irqreg")
+}
+
+// emitUncore produces the shared, non-replicated part: a round-robin
+// arbiter over the cores, a shared scratch memory, the peripherals, and
+// padding blocks. Grants are combinational functions of the cores'
+// requests, closing the out->in loop through the SoC.
+func (g *emitter) emitUncore(p SoCParams) {
+	w := p.Core.Width
+	n := p.Cores
+	g.f("  module %s_Uncore :", p.Name)
+	for i := 0; i < n; i++ {
+		g.f("    input req%d : UInt<1>", i)
+		g.f("    input data%d : UInt<%d>", i, w)
+		g.f("    output grant%d : UInt<1>", i)
+		g.f("    output resp%d : UInt<%d>", i, w)
+	}
+	g.f("    output activity : UInt<%d>", w)
+
+	// Round-robin pointer.
+	gbits := log2ceil(n)
+	if gbits == 0 {
+		gbits = 1
+	}
+	g.f("    node reqany0 = req0")
+	for i := 1; i < n; i++ {
+		g.f("    node reqany%d = or(reqany%d, req%d)", i, i-1, i)
+	}
+	reqany := fmt.Sprintf("reqany%d", n-1)
+	g.f("    reg rr : UInt<%d>, reset 0", gbits)
+	g.f("    node rrnext = add(rr, UInt<%d>(1))", gbits)
+	if n > 1 {
+		g.f("    node rrwrap = mux(geq(rrnext, UInt<%d>(%d)), UInt<%d>(0), rrnext)", gbits, n, gbits)
+		g.f("    rr <= mux(%s, rrwrap, rr)", reqany)
+	} else {
+		g.f("    rr <= UInt<%d>(0)", gbits)
+	}
+	// Grant: priority from rr pointer (combinational in the requests).
+	for i := 0; i < n; i++ {
+		g.f("    node sel%d = eq(rr, UInt<%d>(%d))", i, gbits, i)
+		g.f("    grant%d <= and(req%d, sel%d)", i, i, i)
+	}
+	// Winner data mux.
+	g.f("    node wdata0 = data0")
+	for i := 1; i < n; i++ {
+		g.f("    node wdata%d = mux(sel%d, data%d, wdata%d)", i, i, i, i-1)
+	}
+	win := fmt.Sprintf("wdata%d", n-1)
+
+	// Shared scratch memory stands in for an L2 slice.
+	g.f("    mem l2 : UInt<%d>[256]", w)
+	// A divide-by-8 walker: background uncore machinery (the shared
+	// memory walker and the DMA-ish padding blocks) only moves on a
+	// fraction of request cycles, keeping idle-design activity low like
+	// a clock-gated interconnect.
+	g.f("    reg div : UInt<3>, reset 0")
+	g.f("    div <= mux(%s, add(div, UInt<3>(1)), div)", reqany)
+	g.f("    node slow = and(%s, eq(div, UInt<3>(0)))", reqany)
+	g.f("    reg laddr : UInt<8>, reset 0")
+	g.f("    laddr <= mux(slow, add(laddr, UInt<8>(1)), laddr)")
+	g.f("    read l2q = l2[laddr]")
+	g.f("    write l2[laddr] <= %s when or(req0, UInt<1>(0))", win)
+
+	// Responses: shared memory data with a per-core salt; they only
+	// toggle when the (slow) L2 walker moves.
+	for i := 0; i < n; i++ {
+		g.f("    resp%d <= xor(l2q, UInt<%d>(%d))", i, w, i+1)
+	}
+
+	// Peripherals.
+	for i := 0; i < p.Peripherals; i++ {
+		g.f("    inst periph%d of %s_Periph", i, p.Name)
+		g.f("    periph%d.tick <= req%d", i, i%n)
+		g.f("    periph%d.cfg <= bits(%s, 7, 0)", i, win)
+	}
+	g.f("    node irqs0 = periph0.irq")
+	for i := 1; i < p.Peripherals; i++ {
+		g.f("    node irqs%d = or(irqs%d, periph%d.irq)", i, i-1, i)
+	}
+
+	// Uncore padding blocks (DMA-ish address generators) run in the slow
+	// domain off a registered copy of the winner data.
+	g.f("    reg wing : UInt<%d>, reset 0", w)
+	g.f("    wing <= mux(slow, %s, wing)", win)
+	for b := 0; b < p.UncoreBlocks; b++ {
+		g.f("    reg unc%d : UInt<%d>, reset %d", b, w, (b*40503)%251+1)
+		g.f("    node urot%d = add(shl(unc%d, UInt<2>(%d)), wing)", b, b, b%3+1)
+		g.f("    unc%d <= mux(and(slow, not(irqs%d)), bits(urot%d, %d, 0), unc%d)", b, p.Peripherals-1, b, w-1, b)
+	}
+	g.f("    node ufold0 = unc0")
+	folds := p.UncoreBlocks
+	if folds > 4 {
+		folds = 4
+	}
+	for b := 1; b < folds; b++ {
+		g.f("    node ufold%d = xor(ufold%d, unc%d)", b, b-1, b)
+	}
+	g.f("    activity <= xor(ufold%d, l2q)", folds-1)
+}
+
+// emitTop wires the cores to the uncore and exposes testbench I/O.
+func (g *emitter) emitTop(p SoCParams) {
+	w := p.Core.Width
+	g.f("  module %s :", p.Name)
+	g.f("    input stim : UInt<%d>", w)
+	g.f("    input stim_valid : UInt<1>")
+	g.f("    output result : UInt<%d>", w)
+	g.f("    output done : UInt<1>")
+	g.f("    inst uncore of %s_Uncore", p.Name)
+	for i := 0; i < p.Cores; i++ {
+		g.f("    inst core%d of %s", i, p.Core.ModuleName)
+		// Cores see the shared stimulus xored with their response channel.
+		g.f("    core%d.in_data <= xor(stim, uncore.resp%d)", i, i)
+		g.f("    core%d.in_valid <= stim_valid", i)
+		g.f("    core%d.grant <= uncore.grant%d", i, i)
+		g.f("    uncore.req%d <= core%d.out_req", i, i)
+		g.f("    uncore.data%d <= core%d.out_data", i, i)
+	}
+	g.f("    node res0 = core0.out_data")
+	for i := 1; i < p.Cores; i++ {
+		g.f("    node res%d = xor(res%d, core%d.out_data)", i, i-1, i)
+	}
+	g.f("    result <= xor(res%d, uncore.activity)", p.Cores-1)
+	g.f("    node dn0 = core0.out_req")
+	for i := 1; i < p.Cores; i++ {
+		g.f("    node dn%d = and(dn%d, core%d.out_req)", i, i-1, i)
+	}
+	g.f("    done <= dn%d", p.Cores-1)
+}
+
+// log2 returns the exact base-2 log of a power of two, panicking otherwise
+// (memory depths and ROB sizes are generated as powers of two).
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	if 1<<l != n {
+		panic(fmt.Sprintf("gen: %d is not a power of two", n))
+	}
+	return l
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}

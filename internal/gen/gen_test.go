@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"dedupsim/internal/circuit"
+)
+
+// testScale keeps unit-test designs small.
+const testScale = 0.1
+
+func TestAllFamiliesBuild(t *testing.T) {
+	for _, f := range Families {
+		for _, cores := range []int{1, 2, 4} {
+			p := Config(f, cores, testScale)
+			c, err := Build(p)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s: invalid circuit: %v", p.Name, err)
+			}
+		}
+	}
+}
+
+func TestCoreInstancesAreReplicas(t *testing.T) {
+	p := Config(Rocket, 4, testScale)
+	c := MustBuild(p)
+	byInst := c.NodesByDeepInstance()
+	subs := c.InstanceSubtrees()
+	var sizes []int
+	for i, in := range c.Instances {
+		if in.Module == p.Core.ModuleName {
+			n := 0
+			for _, s := range subs[i] {
+				n += len(byInst[s])
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	if len(sizes) != 4 {
+		t.Fatalf("core instances = %d, want 4", len(sizes))
+	}
+	for _, s := range sizes[1:] {
+		if s != sizes[0] {
+			t.Fatalf("replica sizes differ: %v", sizes)
+		}
+	}
+	if sizes[0] < 100 {
+		t.Fatalf("core suspiciously small: %d nodes", sizes[0])
+	}
+}
+
+func TestFamilySizeOrdering(t *testing.T) {
+	var prev int
+	for _, f := range Families {
+		c := MustBuild(Config(f, 1, testScale))
+		n := c.NumNodes()
+		if n <= prev {
+			t.Fatalf("%s (%d nodes) not larger than previous family (%d)", f, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestMoreCoresMoreNodes(t *testing.T) {
+	n2 := MustBuild(Config(SmallBoom, 2, testScale)).NumNodes()
+	n4 := MustBuild(Config(SmallBoom, 4, testScale)).NumNodes()
+	n8 := MustBuild(Config(SmallBoom, 8, testScale)).NumNodes()
+	if !(n2 < n4 && n4 < n8) {
+		t.Fatalf("node counts not increasing: %d %d %d", n2, n4, n8)
+	}
+	// Per-core increment should be roughly constant (uncore grows only
+	// slightly with the arbiter).
+	d1, d2 := n4-n2, (n8-n4)/2
+	ratio := float64(d1) / float64(d2)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("per-core increments inconsistent: %d vs %d", d1, d2)
+	}
+}
+
+func TestTopIO(t *testing.T) {
+	c := MustBuild(Config(Rocket, 2, testScale))
+	if _, ok := c.InputByName("stim"); !ok {
+		t.Fatal("missing stim input")
+	}
+	if _, ok := c.InputByName("stim_valid"); !ok {
+		t.Fatal("missing stim_valid input")
+	}
+	if _, ok := c.OutputByName("result"); !ok {
+		t.Fatal("missing result output")
+	}
+	if _, ok := c.OutputByName("done"); !ok {
+		t.Fatal("missing done output")
+	}
+}
+
+func TestGeneratedTextMentionsAllModules(t *testing.T) {
+	p := Config(MegaBoom, 2, testScale)
+	src := GenerateFIRRTL(p)
+	for _, want := range []string{
+		"module MegaBoomCore_ALU :",
+		"module MegaBoomCore_Lane :",
+		"module MegaBoomCore :",
+		"module MegaBoom_2C_Periph :",
+		"module MegaBoom_2C_Uncore :",
+		"module MegaBoom_2C :",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestHasMemories(t *testing.T) {
+	c := MustBuild(Config(Rocket, 2, testScale))
+	// One regfile per core plus the shared L2: 3 memories.
+	if len(c.Mems) != 3 {
+		t.Fatalf("memories = %d, want 3", len(c.Mems))
+	}
+}
+
+func TestSchedGraphAcyclic(t *testing.T) {
+	for _, f := range Families {
+		c := MustBuild(Config(f, 2, testScale))
+		if !c.SchedGraph().IsAcyclic() {
+			t.Fatalf("%s: scheduling graph cyclic", f)
+		}
+	}
+}
+
+func TestCombPathsAcrossBoundary(t *testing.T) {
+	// The design must have a combinational path from each core's input
+	// side to its output side (out_req <- in_valid) so that the context
+	// can close partition cycles — the Figure 4 hazard.
+	c := MustBuild(Config(Rocket, 2, testScale))
+	g := c.SchedGraph()
+	sv, ok := c.InputByName("stim_valid")
+	if !ok {
+		t.Fatal("no stim_valid")
+	}
+	done, _ := c.OutputByName("done")
+	// BFS from stim_valid must reach done without passing a register.
+	seen := map[circuit.NodeID]bool{sv: true}
+	queue := []circuit.NodeID{sv}
+	found := false
+	for len(queue) > 0 && !found {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Succs(u) {
+			if c.Ops[v].IsState() || seen[v] {
+				continue
+			}
+			if v == done {
+				found = true
+				break
+			}
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	if !found {
+		t.Fatal("no combinational stim_valid -> done path; dedup cycle hazard missing")
+	}
+}
+
+func TestConfigScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on scale 0")
+		}
+	}()
+	Config(Rocket, 1, 0)
+}
+
+func TestFullScaleSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale designs are slow in -short mode")
+	}
+	// Full-scale Rocket-1C should land near the calibrated target
+	// (paper-scale divided by ~20): thousands of nodes.
+	c := MustBuild(Config(Rocket, 1, 1.0))
+	if c.NumNodes() < 1500 {
+		t.Fatalf("Rocket-1C too small at full scale: %d nodes", c.NumNodes())
+	}
+	t.Logf("Rocket-1C: %d nodes, %d edges", c.NumNodes(), c.NumEdges())
+}

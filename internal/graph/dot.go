@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. label(v) names each
+// node (return "" to use the ID); group(v) assigns an optional cluster
+// (return -1 for none) — the partition visualizations in the docs color
+// one cluster per partition. Either function may be nil.
+func (g *Graph) WriteDOT(w io.Writer, name string, label func(NodeID) string, group func(NodeID) int32) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+	p("digraph %q {", name)
+	p("  rankdir=LR;")
+	p("  node [shape=box, fontsize=10];")
+
+	if group != nil {
+		byGroup := map[int32][]NodeID{}
+		var loose []NodeID
+		for v := 0; v < g.NumNodes(); v++ {
+			if gr := group(NodeID(v)); gr >= 0 {
+				byGroup[gr] = append(byGroup[gr], NodeID(v))
+			} else {
+				loose = append(loose, NodeID(v))
+			}
+		}
+		for gr, members := range byGroup {
+			p("  subgraph cluster_%d {", gr)
+			p("    label=\"P%d\"; style=filled; fillcolor=\"/pastel19/%d\";", gr, int(gr)%9+1)
+			for _, v := range members {
+				p("    n%d [label=%q];", v, nodeLabel(label, v))
+			}
+			p("  }")
+		}
+		for _, v := range loose {
+			p("  n%d [label=%q];", v, nodeLabel(label, v))
+		}
+	} else {
+		for v := 0; v < g.NumNodes(); v++ {
+			p("  n%d [label=%q];", v, nodeLabel(label, NodeID(v)))
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Succs(NodeID(u)) {
+			p("  n%d -> n%d;", u, v)
+		}
+	}
+	p("}")
+	return err
+}
+
+func nodeLabel(label func(NodeID) string, v NodeID) string {
+	if label != nil {
+		if s := label(v); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}

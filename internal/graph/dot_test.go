@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	var sb strings.Builder
+	err := g.WriteDOT(&sb, "test",
+		func(v NodeID) string {
+			if v == 0 {
+				return "start"
+			}
+			return ""
+		},
+		func(v NodeID) int32 {
+			if v < 2 {
+				return 0
+			}
+			return -1
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "test"`, "subgraph cluster_0", `label="start"`,
+		"n0 -> n1;", "n2 -> n3;", `label="3"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTNilFuncs(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "plain", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n0 -> n1;") {
+		t.Fatal("edge missing")
+	}
+}

@@ -1,0 +1,457 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildGraph(n int, edges [][2]int32) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	order, err := g.TopoSort()
+	if err != nil || len(order) != 0 {
+		t.Fatalf("empty graph topo: %v %v", order, err)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("empty graph should be acyclic")
+	}
+}
+
+func TestAddNodesAndEdges(t *testing.T) {
+	g := New(0)
+	a := g.AddNode()
+	b := g.AddNode()
+	first := g.AddNodes(3)
+	if a != 0 || b != 1 || first != 2 || g.NumNodes() != 5 {
+		t.Fatalf("unexpected ids a=%d b=%d first=%d n=%d", a, b, first, g.NumNodes())
+	}
+	g.AddEdge(a, b)
+	g.AddEdge(b, first)
+	if !g.HasEdge(a, b) || g.HasEdge(b, a) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.OutDegree(a) != 1 || g.InDegree(b) != 1 || g.InDegree(first) != 1 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestDedupRemovesDuplicates(t *testing.T) {
+	g := buildGraph(3, [][2]int32{{0, 1}, {0, 1}, {0, 2}, {1, 2}, {1, 2}, {1, 2}})
+	if g.NumEdges() != 6 {
+		t.Fatalf("pre-dedup edges = %d", g.NumEdges())
+	}
+	g.Dedup()
+	if g.NumEdges() != 3 {
+		t.Fatalf("post-dedup edges = %d", g.NumEdges())
+	}
+	if len(g.Succs(1)) != 1 || len(g.Preds(2)) != 2 {
+		t.Fatalf("adjacency not deduped: succs(1)=%v preds(2)=%v", g.Succs(1), g.Preds(2))
+	}
+}
+
+func TestTopoSortLine(t *testing.T) {
+	g := buildGraph(4, [][2]int32{{2, 1}, {1, 0}, {0, 3}})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{2, 1, 0, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3. 1 and 2 are both ready after 0; the smaller
+	// ID must come first.
+	g := buildGraph(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortCyclicFails(t *testing.T) {
+	g := buildGraph(3, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+	if _, err := g.TopoSort(); err != ErrCyclic {
+		t.Fatalf("want ErrCyclic, got %v", err)
+	}
+	if g.IsAcyclic() {
+		t.Fatal("cyclic graph reported acyclic")
+	}
+}
+
+func TestTopoLevels(t *testing.T) {
+	// 0 -> 1 -> 3, 2 -> 3, 4 isolated.
+	g := buildGraph(5, [][2]int32{{0, 1}, {1, 3}, {2, 3}})
+	levels, err := g.TopoLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 0, 2, 0}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+}
+
+func TestFindCycleNilOnDAG(t *testing.T) {
+	g := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if c := g.FindCycle(); c != nil {
+		t.Fatalf("DAG returned cycle %v", c)
+	}
+}
+
+func TestFindCycleReturnsRealCycle(t *testing.T) {
+	g := buildGraph(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 5}})
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("no cycle found")
+	}
+	// Verify cycle edges exist and it closes.
+	for i := range cyc {
+		u, v := cyc[i], cyc[(i+1)%len(cyc)]
+		if !g.HasEdge(u, v) {
+			t.Fatalf("cycle %v has missing edge %d->%d", cyc, u, v)
+		}
+	}
+	if len(cyc) != 3 {
+		t.Fatalf("cycle %v, want length 3 (1->2->3->1)", cyc)
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := buildGraph(2, [][2]int32{{0, 0}, {0, 1}})
+	if g.IsAcyclic() {
+		t.Fatal("self-loop should be cyclic")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 1 || cyc[0] != 0 {
+		t.Fatalf("self-loop cycle = %v", cyc)
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// Components: {0,1,2} (cycle), {3}, {4,5} (cycle).
+	g := buildGraph(6, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 4}})
+	comp, n := g.SCC()
+	if n != 3 {
+		t.Fatalf("numComp = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("0,1,2 split: %v", comp)
+	}
+	if comp[4] != comp[5] {
+		t.Fatalf("4,5 split: %v", comp)
+	}
+	if comp[3] == comp[0] || comp[3] == comp[4] {
+		t.Fatalf("3 merged: %v", comp)
+	}
+}
+
+func TestSCCOnDAGIsIdentityPartition(t *testing.T) {
+	g := buildGraph(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	comp, n := g.SCC()
+	if n != 5 {
+		t.Fatalf("numComp = %d, want 5", n)
+	}
+	seen := map[int32]bool{}
+	for _, c := range comp {
+		if seen[c] {
+			t.Fatalf("component reused on DAG: %v", comp)
+		}
+		seen[c] = true
+	}
+}
+
+func TestCondenseProducesDAG(t *testing.T) {
+	g := buildGraph(6, [][2]int32{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}, {3, 4}, {4, 5}, {5, 4}})
+	cond, comp := g.Condense()
+	if !cond.IsAcyclic() {
+		t.Fatal("condensation not acyclic")
+	}
+	if cond.NumNodes() != 3 {
+		t.Fatalf("condensation nodes = %d, want 3", cond.NumNodes())
+	}
+	if len(comp) != 6 {
+		t.Fatalf("mapping length %d", len(comp))
+	}
+}
+
+func TestQuotientDropsInternalEdgesAndDedups(t *testing.T) {
+	// 0,1 in group 0; 2,3 in group 1. Internal edge 0->1 dropped; two cross
+	// edges 1->2, 1->3 collapse onto a single quotient edge 0->1? No: they
+	// are both group0->group1 so dedup to one edge.
+	g := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {1, 3}})
+	q := Quotient(g, []int32{0, 0, 1, 1}, 2)
+	if q.NumNodes() != 2 || q.NumEdges() != 1 {
+		t.Fatalf("quotient %v", q)
+	}
+	if !q.HasEdge(0, 1) {
+		t.Fatal("missing quotient edge")
+	}
+}
+
+func TestQuotientDetectsPartitionCycle(t *testing.T) {
+	// Figure-4-style: an acyclic node graph whose partitioning is cyclic.
+	// 0 -> 1 -> 2 -> 3, with groups {0,3} and {1,2}: group A -> group B -> group A.
+	g := buildGraph(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if !g.IsAcyclic() {
+		t.Fatal("node graph should be acyclic")
+	}
+	q := Quotient(g, []int32{0, 1, 1, 0}, 2)
+	if q.IsAcyclic() {
+		t.Fatal("quotient should be cyclic (A->B and B->A)")
+	}
+}
+
+func TestQuotientPanicsOnBadAssignment(t *testing.T) {
+	g := buildGraph(2, [][2]int32{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range assignment")
+		}
+	}()
+	Quotient(g, []int32{0, 5}, 2)
+}
+
+func TestGroupMembers(t *testing.T) {
+	members := GroupMembers([]int32{1, 0, 1, 2, 0}, 3)
+	if len(members) != 3 {
+		t.Fatalf("groups = %d", len(members))
+	}
+	if len(members[0]) != 2 || members[0][0] != 1 || members[0][1] != 4 {
+		t.Fatalf("group 0 = %v", members[0])
+	}
+	if len(members[1]) != 2 || members[1][0] != 0 || members[1][1] != 2 {
+		t.Fatalf("group 1 = %v", members[1])
+	}
+	if len(members[2]) != 1 || members[2][0] != 3 {
+		t.Fatalf("group 2 = %v", members[2])
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildGraph(3, [][2]int32{{0, 1}, {1, 2}})
+	c := g.Clone()
+	c.AddEdge(2, 0)
+	if g.HasEdge(2, 0) {
+		t.Fatal("clone aliases original")
+	}
+	if g.NumEdges() != 2 || c.NumEdges() != 3 {
+		t.Fatalf("edge counts %d %d", g.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestReacherBasic(t *testing.T) {
+	g := buildGraph(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	levels, _ := g.TopoLevels()
+	r := NewReacher(g, levels)
+	if !r.Reaches(0, 3) {
+		t.Fatal("0 should reach 3")
+	}
+	if r.Reaches(3, 0) {
+		t.Fatal("3 should not reach 0")
+	}
+	if !r.Reaches(2, 2) {
+		t.Fatal("node reaches itself")
+	}
+	if r.Reaches(0, 4) {
+		t.Fatal("0 should not reach isolated 4")
+	}
+}
+
+func TestHasIndirectPath(t *testing.T) {
+	// 0 -> 1 (direct) and 0 -> 2 -> 1 (indirect).
+	g := buildGraph(3, [][2]int32{{0, 1}, {0, 2}, {2, 1}})
+	levels, _ := g.TopoLevels()
+	r := NewReacher(g, levels)
+	if !r.HasIndirectPath(0, 1) {
+		t.Fatal("indirect path 0->2->1 missed")
+	}
+	if r.HasIndirectPath(2, 1) {
+		t.Fatal("2->1 is only direct")
+	}
+	if r.HasIndirectPath(1, 0) {
+		t.Fatal("no path 1->0 at all")
+	}
+}
+
+func TestSafeToMerge(t *testing.T) {
+	// Chain 0 -> 1 -> 2: merging (0,1) is safe; merging (0,2) is unsafe
+	// because of the external path through 1.
+	g := buildGraph(3, [][2]int32{{0, 1}, {1, 2}})
+	levels, _ := g.TopoLevels()
+	r := NewReacher(g, levels)
+	if !r.SafeToMerge(0, 1) {
+		t.Fatal("adjacent chain nodes should merge safely")
+	}
+	if r.SafeToMerge(0, 2) {
+		t.Fatal("merging endpoints of a chain must be unsafe")
+	}
+	// Independent siblings can always merge.
+	g2 := buildGraph(3, [][2]int32{{0, 1}, {0, 2}})
+	lv2, _ := g2.TopoLevels()
+	r2 := NewReacher(g2, lv2)
+	if !r2.SafeToMerge(1, 2) {
+		t.Fatal("independent siblings should merge safely")
+	}
+}
+
+// randomDAG builds a random DAG where edges only go from lower to higher IDs.
+func randomDAG(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		g.AddEdge(int32(u), int32(v))
+	}
+	g.Dedup()
+	return g
+}
+
+func TestPropertyTopoOrderRespectsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		g := randomDAG(rng, n, rng.Intn(3*n))
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatalf("random DAG reported cyclic: %v", err)
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Succs(int32(u)) {
+				if pos[u] >= pos[int(v)] {
+					t.Fatalf("edge %d->%d violates topo order", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertySCCCondensationAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g.Dedup()
+		cond, comp := g.Condense()
+		if !cond.IsAcyclic() {
+			t.Fatal("condensation must be acyclic")
+		}
+		// Nodes in the same component must be mutually reachable.
+		r := NewReacher(g, nil)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				same := comp[u] == comp[v]
+				mutual := r.Reaches(int32(u), int32(v)) && r.Reaches(int32(v), int32(u))
+				if same != mutual {
+					t.Fatalf("SCC disagreement for %d,%d: same=%v mutual=%v", u, v, same, mutual)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyReacherMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomDAG(rng, n, rng.Intn(3*n))
+		levels, err := g.TopoLevels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned := NewReacher(g, levels)
+		naive := NewReacher(g, nil)
+		for q := 0; q < 40; q++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if pruned.Reaches(a, b) != naive.Reaches(a, b) {
+				t.Fatalf("level pruning changed Reaches(%d,%d)", a, b)
+			}
+			if pruned.HasIndirectPath(a, b) != naive.HasIndirectPath(a, b) {
+				t.Fatalf("level pruning changed HasIndirectPath(%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestPropertySafeMergePreservesAcyclicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(30)
+		g := randomDAG(rng, n, rng.Intn(3*n))
+		levels, _ := g.TopoLevels()
+		r := NewReacher(g, levels)
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		// Merge a and b into one group, everything else alone.
+		assign := make([]int32, n)
+		next := int32(1)
+		for v := 0; v < n; v++ {
+			switch {
+			case int32(v) == a || int32(v) == b:
+				assign[v] = 0
+			default:
+				assign[v] = next
+				next++
+			}
+		}
+		q := Quotient(g, assign, int(next))
+		if r.SafeToMerge(a, b) && !q.IsAcyclic() {
+			t.Fatalf("SafeToMerge(%d,%d)=true but merged quotient is cyclic", a, b)
+		}
+		if !r.SafeToMerge(a, b) && q.IsAcyclic() {
+			t.Fatalf("SafeToMerge(%d,%d)=false but merged quotient is acyclic", a, b)
+		}
+	}
+}
+
+func TestQuickDedupIdempotent(t *testing.T) {
+	f := func(edges []uint16) bool {
+		n := 32
+		g := New(n)
+		for _, e := range edges {
+			u := int32(e>>8) % int32(n)
+			v := int32(e&0xff) % int32(n)
+			g.AddEdge(u, v)
+		}
+		g.Dedup()
+		m1 := g.NumEdges()
+		g.Dedup()
+		return g.NumEdges() == m1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+// Quotient builds the partition (quotient) graph induced by assigning each
+// node of g to one of numParts groups. assign[v] must be in [0, numParts);
+// an assignment of -1 is rejected by panicking, since every circuit node
+// must belong to exactly one partition for scheduling to be meaningful.
+//
+// Edges between nodes in the same group become self-loops in the quotient
+// and are dropped; edges across groups are deduplicated. Whether the result
+// is acyclic is exactly the "legal acyclic partitioning" question at the
+// heart of the paper (Sections 2.5 and 3.2): a cyclic quotient would
+// deadlock a schedule that evaluates each partition at most once per cycle.
+func Quotient(g *Graph, assign []int32, numParts int) *Graph {
+	if len(assign) != g.NumNodes() {
+		panic("graph: assignment length does not match node count")
+	}
+	q := New(numParts)
+	// Collect all cross-group edges and deduplicate afterwards; quotient
+	// graphs are small (thousands of partitions) so Dedup is cheap.
+	for u := 0; u < g.NumNodes(); u++ {
+		gu := assign[u]
+		if gu < 0 || int(gu) >= numParts {
+			panic("graph: node assigned outside [0, numParts)")
+		}
+		for _, v := range g.out[u] {
+			gv := assign[v]
+			if gv < 0 || int(gv) >= numParts {
+				panic("graph: node assigned outside [0, numParts)")
+			}
+			if gu != gv {
+				q.AddEdge(gu, gv)
+			}
+		}
+	}
+	q.Dedup()
+	return q
+}
+
+// GroupMembers inverts a dense assignment: result[p] lists the nodes
+// assigned to group p, in ascending node order.
+func GroupMembers(assign []int32, numParts int) [][]NodeID {
+	members := make([][]NodeID, numParts)
+	counts := make([]int32, numParts)
+	for _, p := range assign {
+		counts[p]++
+	}
+	for p := range members {
+		members[p] = make([]NodeID, 0, counts[p])
+	}
+	for v, p := range assign {
+		members[p] = append(members[p], NodeID(v))
+	}
+	return members
+}

@@ -1,0 +1,96 @@
+package graph
+
+// SCC computes the strongly connected components of the graph with an
+// iterative Tarjan algorithm. It returns a component ID per node (dense,
+// in reverse topological order of the condensation: the component of a node
+// has a higher ID than the components it can reach... specifically Tarjan
+// emits components in reverse topological order, so comp IDs ascend along
+// reverse edges) and the number of components.
+//
+// Most hardware designs are acyclic or nearly acyclic; the elaborator uses
+// SCC to group any residual combinational cycles into supernodes so that
+// downstream scheduling sees a DAG (Section 2.5 of the paper).
+func (g *Graph) SCC() (comp []int32, numComp int) {
+	n := g.NumNodes()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+
+	var stack []NodeID  // Tarjan's component stack
+	var nextIndex int32 // DFS preorder counter
+	type frame struct {
+		node NodeID
+		next int
+	}
+	var dfs []frame // explicit DFS stack to avoid recursion on deep circuits
+
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{NodeID(s), 0})
+		index[s] = nextIndex
+		low[s] = nextIndex
+		nextIndex++
+		stack = append(stack, NodeID(s))
+		onStack[s] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			u := f.node
+			if f.next < len(g.out[u]) {
+				v := g.out[u][f.next]
+				f.next++
+				if index[v] == -1 {
+					index[v] = nextIndex
+					low[v] = nextIndex
+					nextIndex++
+					stack = append(stack, v)
+					onStack[v] = true
+					dfs = append(dfs, frame{v, 0})
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// u is finished: propagate lowlink and maybe emit a component.
+			if low[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(numComp)
+					if w == u {
+						break
+					}
+				}
+				numComp++
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].node
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+		}
+	}
+	return comp, numComp
+}
+
+// Condense builds the condensation of the graph: one node per strongly
+// connected component, with deduplicated edges and no self-loops. The
+// returned mapping assigns each original node to its condensation node.
+// The condensation of any directed graph is acyclic.
+func (g *Graph) Condense() (*Graph, []int32) {
+	comp, numComp := g.SCC()
+	q := Quotient(g, comp, numComp)
+	return q, comp
+}

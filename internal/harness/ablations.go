@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+
+	"dedupsim/internal/codegen"
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/graph"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/perfmodel"
+	"dedupsim/internal/sched"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+// AblationBoundaryDissolve quantifies why Fig. 7b exists: stamping the
+// template onto every instance WITHOUT dissolving boundary partitions
+// creates cycles in the partition quotient graph (the Fig. 4 hazard),
+// while the paper's dissolve-first approach never needs a cycle repair on
+// these designs.
+func (cfg Config) AblationBoundaryDissolve() (*Report, error) {
+	rows := [][]string{}
+	for _, f := range cfg.Families {
+		for _, n := range cfg.CoreCounts {
+			if n < 2 {
+				continue
+			}
+			c := cfg.build(f, n)
+			g := c.SchedGraph()
+			ch := dedup.SelectModule(c)
+			if ch == nil {
+				continue
+			}
+			ok := dedup.VerifyIsomorphism(c, ch)
+			if len(ok) < 2 {
+				continue
+			}
+			sets := make([][]graph.NodeID, len(ok))
+			for i, vi := range ok {
+				sets[i] = ch.NodeSets[vi]
+			}
+			sub, _ := graph.Induced(g, sets[0])
+			tRes, err := partition.Partition(sub, partition.Options{})
+			if err != nil {
+				return nil, err
+			}
+			// Naive stamping: every template partition, no dissolution.
+			naiveCyclic := stampAndCheck(g, c.NumNodes(), sets, tRes.Assign, nil)
+			// The real flow, for its dissolve counters.
+			r, err := dedup.Deduplicate(c, g, dedup.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, []string{
+				c.Name,
+				fmt.Sprintf("%d", tRes.NumParts),
+				yesNo(naiveCyclic),
+				fmt.Sprintf("%d", r.Stats.DissolvedBoundary),
+				fmt.Sprintf("%d", r.Stats.DissolvedForCycles),
+			})
+		}
+	}
+	return &Report{
+		Title: "Ablation: naive stamping vs boundary dissolution (paper Fig. 4/7b)",
+		Body: table([]string{"Design", "Template parts", "Naive stamp cyclic?",
+			"Dissolved (boundary)", "Dissolved (cycle repair)"}, rows),
+	}, nil
+}
+
+// stampAndCheck applies tAssign to all instances with optional kept
+// filter and reports whether the resulting quotient is cyclic.
+func stampAndCheck(g *graph.Graph, numNodes int, sets [][]graph.NodeID, tAssign []int32, kept []bool) bool {
+	numT := 0
+	for _, t := range tAssign {
+		if int(t)+1 > numT {
+			numT = int(t) + 1
+		}
+	}
+	assign := make([]int32, numNodes)
+	for i := range assign {
+		assign[i] = -1
+	}
+	groups := int32(0)
+	for i, set := range sets {
+		base := int32(i) * int32(numT)
+		for p, v := range set {
+			t := tAssign[p]
+			if kept != nil && !kept[t] {
+				continue
+			}
+			assign[v] = base + t
+			if base+t+1 > groups {
+				groups = base + t + 1
+			}
+		}
+	}
+	next := groups
+	for v, a := range assign {
+		if a < 0 {
+			assign[v] = next
+			next++
+		}
+	}
+	return !graph.Quotient(g, assign, int(next)).IsAcyclic()
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "YES"
+	}
+	return "no"
+}
+
+// AblationMaxSize sweeps the partitioner's size cap: smaller partitions
+// mean more dispatch overhead but finer activity skipping; the paper
+// notes partition size is "only mildly important" (Section 4.4).
+func (cfg Config) AblationMaxSize() (*Report, error) {
+	m := cfg.ServerMachine()
+	c := cfg.build(largestFamily(cfg), clampCores(cfg, 4))
+	rows := [][]string{}
+	for _, maxSize := range []int{8, 16, 32, 48, 96} {
+		g := c.SchedGraph()
+		dr, err := dedup.Deduplicate(c, g, dedup.Options{Partition: partition.Options{MaxSize: maxSize}})
+		if err != nil {
+			return nil, err
+		}
+		q := dr.Part.Quotient(g)
+		s, err := sched.LocalityAware(q, dr.Class)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := codegen.Compile(c, dr, s, codegen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		drive := stimulus.VVAddA().NewDrive()
+		tr := perfmodel.Record(prog, true, cfg.Cycles, func(e *sim.Engine, cyc int) { drive(e, cyc) })
+		ctr := perfmodel.RunSingle(tr, m, 0)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", maxSize),
+			fmt.Sprintf("%d", dr.Part.NumParts),
+			fmt.Sprintf("%d", prog.UniqueCodeBytes),
+			fmt.Sprintf("%.2f%%", 100*dr.Stats.RealReduction),
+			fmt.Sprintf("%.0f", ctr.SimHz),
+		})
+	}
+	return &Report{
+		Title: fmt.Sprintf("Ablation: partition size cap on %s (paper: size is only mildly important)", c.Name),
+		Body: table([]string{"MaxSize", "Partitions", "Code bytes", "Real reduction", "Modeled sim Hz"},
+			rows),
+	}, nil
+}
+
+// AblationLocality isolates the scheduling contribution: identical
+// programs, baseline vs locality-aware order, reuse distances and modeled
+// frontend counters side by side (Section 5.2 / Table 4's NL column).
+func (cfg Config) AblationLocality() (*Report, error) {
+	m := cfg.ServerMachine()
+	rows := [][]string{}
+	for _, n := range cfg.CoreCounts {
+		if n < 2 {
+			continue
+		}
+		c := cfg.build(largestFamily(cfg), n)
+		g := c.SchedGraph()
+		dr, err := dedup.Deduplicate(c, g, dedup.Options{})
+		if err != nil {
+			return nil, err
+		}
+		q := dr.Part.Quotient(g)
+		base, err := sched.Baseline(q)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := sched.LocalityAware(q, dr.Class)
+		if err != nil {
+			return nil, err
+		}
+		bs, ls := sched.Reuse(base, dr.Class), sched.Reuse(loc, dr.Class)
+
+		counters := func(s *sched.Schedule) perfmodel.Counters {
+			prog, err2 := codegen.Compile(c, dr, s, codegen.Options{})
+			if err2 != nil {
+				panic(err2)
+			}
+			drive := stimulus.VVAddA().NewDrive()
+			tr := perfmodel.Record(prog, true, cfg.Cycles, func(e *sim.Engine, cyc int) { drive(e, cyc) })
+			return perfmodel.RunSingle(tr, m, 0)
+		}
+		cb, cl := counters(base), counters(loc)
+		rows = append(rows, []string{
+			c.Name,
+			fmt.Sprintf("%.1f", bs.MeanDistance),
+			fmt.Sprintf("%.1f", ls.MeanDistance),
+			fmt.Sprintf("%.1f", cb.L1IMPKI),
+			fmt.Sprintf("%.1f", cl.L1IMPKI),
+			fmt.Sprintf("%.2f", cl.SimHz/cb.SimHz),
+		})
+	}
+	return &Report{
+		Title: "Ablation: locality-aware scheduling (same code, different order)",
+		Body: table([]string{"Design", "Reuse dist (base)", "Reuse dist (locality)",
+			"L1I MPKI (base)", "L1I MPKI (locality)", "Speed ratio"}, rows),
+	}, nil
+}
+
+// AblationMultiModule compares single-module (the paper) against the
+// multi-module extension (Figure 6b) on the design grid.
+func (cfg Config) AblationMultiModule() (*Report, error) {
+	rows := [][]string{}
+	for _, f := range cfg.Families {
+		for _, n := range cfg.CoreCounts {
+			c := cfg.build(f, n)
+			g := c.SchedGraph()
+			single, err := dedup.Deduplicate(c, g, dedup.Options{})
+			if err != nil {
+				return nil, err
+			}
+			multi, err := dedup.Deduplicate(c, g, dedup.Options{MultiModule: true})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, []string{
+				c.Name,
+				fmt.Sprintf("%.2f%%", 100*single.Stats.RealReduction),
+				fmt.Sprintf("%.2f%%", 100*multi.Stats.RealReduction),
+				fmt.Sprintf("%d", len(multi.Stats.Modules)),
+			})
+		}
+	}
+	return &Report{
+		Title: "Ablation: single-module (paper) vs multi-module dedup (Fig. 6b extension)",
+		Body: table([]string{"Design", "Real reduction (single)", "Real reduction (multi)",
+			"Modules deduped"}, rows),
+	}, nil
+}
+
+// Ablations runs every ablation study.
+func (cfg Config) Ablations() ([]*Report, error) {
+	var out []*Report
+	for _, f := range []func() (*Report, error){
+		cfg.AblationBoundaryDissolve,
+		cfg.AblationMaxSize,
+		cfg.AblationLocality,
+		cfg.AblationMultiModule,
+	} {
+		r, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/perfmodel"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+// Measurement is one (design, variant, workload) data point: modeled
+// hardware counters plus, optionally, the LLC-capacity response curve the
+// batch model consumes and per-way counters for RDT-style experiments.
+type Measurement struct {
+	Variant  Variant
+	Counters perfmodel.Counters
+	// Curve is the capacity-response curve (set when Options.Sweep).
+	Curve perfmodel.Curve
+	// WayCounters holds one Counters per entry of Options.SweepWays.
+	WayCounters []perfmodel.Counters
+	// Compiled is non-nil for compiled variants (code size inspection).
+	Compiled *Compiled
+}
+
+// MeasureOptions control a measurement run.
+type MeasureOptions struct {
+	// Machine is the modeled host (already cache-scaled).
+	Machine perfmodel.Machine
+	// Workload drives the testbench.
+	Workload stimulus.Workload
+	// Cycles overrides the workload's run length when > 0.
+	Cycles int
+	// LLCWays allocates a way subset for the headline counters
+	// (0 = all ways).
+	LLCWays int
+	// Sweep measures the LLC capacity-response curve (for batch models).
+	Sweep bool
+	// SweepWays, when non-empty, measures counters at those way
+	// allocations (RDT-style experiments like Fig. 2).
+	SweepWays []int
+}
+
+func (o MeasureOptions) cycles() int {
+	if o.Cycles > 0 {
+		return o.Cycles
+	}
+	return o.Workload.Cycles
+}
+
+// Measure runs one variant on one design under the host model. For
+// Commercial it uses the event-driven model on the reference simulator's
+// activity trace; for everything else it compiles, records the activation
+// trace, and replays it through the cache hierarchy.
+func Measure(c *circuit.Circuit, v Variant, opt MeasureOptions) (*Measurement, error) {
+	m := opt.Machine
+	cycles := opt.cycles()
+
+	if v == Commercial {
+		drive := opt.Workload.NewDrive()
+		etr, err := perfmodel.RecordEvents(c, cycles, func(r *sim.Ref, cyc int) { drive(r, cyc) })
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", v, err)
+		}
+		meas := &Measurement{
+			Variant:  v,
+			Counters: perfmodel.RunEventDriven(etr, m, opt.LLCWays),
+		}
+		if opt.Sweep {
+			meas.Curve = perfmodel.MeasureCurve(m, func(capBytes int) perfmodel.Counters {
+				return perfmodel.RunEventDrivenCap(etr, m, capBytes)
+			})
+		}
+		for _, w := range opt.SweepWays {
+			meas.WayCounters = append(meas.WayCounters, perfmodel.RunEventDriven(etr, m, w))
+		}
+		return meas, nil
+	}
+
+	cv, err := CompileVariant(c, v, partition.Options{})
+	if err != nil {
+		return nil, err
+	}
+	drive := opt.Workload.NewDrive()
+	tr := perfmodel.Record(cv.Program, cv.Activity, cycles, func(e *sim.Engine, cyc int) { drive(e, cyc) })
+	meas := &Measurement{
+		Variant:  v,
+		Counters: perfmodel.RunSingle(tr, m, opt.LLCWays),
+		Compiled: cv,
+	}
+	if opt.Sweep {
+		meas.Curve = perfmodel.MeasureCurve(m, func(capBytes int) perfmodel.Counters {
+			return perfmodel.RunSingleCap(tr, m, capBytes)
+		})
+	}
+	for _, w := range opt.SweepWays {
+		meas.WayCounters = append(meas.WayCounters, perfmodel.RunSingle(tr, m, w))
+	}
+	return meas, nil
+}
+
+// DefaultSweep lists the way counts used for capacity curves: enough
+// points to interpolate, few enough to keep replay fast.
+func DefaultSweep(m perfmodel.Machine) []int {
+	ws := []int{1, 2, 3, 4, 6, 8, m.LLCWays}
+	var out []int
+	seen := map[int]bool{}
+	for _, w := range ws {
+		if w >= 1 && w <= m.LLCWays && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

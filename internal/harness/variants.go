@@ -1,0 +1,113 @@
+// Package harness assembles the paper's simulator variants from the
+// library's building blocks and drives the experiments of the evaluation
+// section. The variants (paper Section 6.1):
+//
+//	Commercial        — event-driven interpreter (modeled on the Ref
+//	                    simulator's activity statistics)
+//	Verilator         — full-cycle, no activity skipping, fine-grained
+//	                    statement dedup only
+//	Verilator-NoDedup — Verilator with statement dedup disabled
+//	ESSENT            — full-cycle, activity-aware, baseline partitioning
+//	PO                — ESSENT with the dedup flow's partitioning but no
+//	                    code reuse
+//	NL                — code reuse without locality-aware scheduling
+//	Dedup             — the full system: code reuse + locality scheduling
+package harness
+
+import (
+	"fmt"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/codegen"
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sched"
+)
+
+// Variant names one simulator configuration.
+type Variant string
+
+// The simulator variants of the paper's evaluation.
+const (
+	Commercial       Variant = "Commercial"
+	Verilator        Variant = "Verilator"
+	VerilatorNoDedup Variant = "Verilator-NoDedup"
+	ESSENT           Variant = "ESSENT"
+	PO               Variant = "PO"
+	NL               Variant = "NL"
+	Dedup            Variant = "Dedup"
+)
+
+// CompiledVariants lists every variant that lowers to a compiled Program
+// (all but Commercial, which is event-driven).
+var CompiledVariants = []Variant{Verilator, VerilatorNoDedup, ESSENT, PO, NL, Dedup}
+
+// AllVariants lists every variant in the paper's presentation order.
+var AllVariants = append([]Variant{Commercial}, CompiledVariants...)
+
+// Compiled bundles everything needed to run one variant on one design.
+type Compiled struct {
+	Variant Variant
+	Program *codegen.Program
+	// Activity reports whether the engine should skip clean partitions
+	// (true for the ESSENT family, false for the Verilator family).
+	Activity bool
+	// Dedup carries the dedup statistics/partitioning used (nil for the
+	// Verilator family, which uses the baseline partitioner directly).
+	Dedup *dedup.Result
+	// Schedule is the partition evaluation order.
+	Schedule *sched.Schedule
+}
+
+// CompileVariant lowers the circuit for the given variant. popt tunes the
+// underlying acyclic partitioner identically across variants so
+// comparisons isolate the dedup mechanisms.
+func CompileVariant(c *circuit.Circuit, v Variant, popt partition.Options) (*Compiled, error) {
+	g := c.SchedGraph()
+	switch v {
+	case ESSENT, Verilator, VerilatorNoDedup:
+		res, err := partition.Partition(g, popt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v, err)
+		}
+		dr := dedup.BaselineResult(res)
+		s, err := sched.Baseline(dr.Part.Quotient(g))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v, err)
+		}
+		prog, err := codegen.Compile(c, dr, s, codegen.Options{
+			FineGrainDedup: v == Verilator,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v, err)
+		}
+		return &Compiled{Variant: v, Program: prog, Activity: v == ESSENT, Dedup: dr, Schedule: s}, nil
+
+	case PO, NL, Dedup:
+		dr, err := dedup.Deduplicate(c, g, dedup.Options{Partition: popt})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v, err)
+		}
+		if v == PO {
+			dr = dr.WithoutSharing()
+		}
+		q := dr.Part.Quotient(g)
+		var s *sched.Schedule
+		if v == Dedup {
+			s, err = sched.LocalityAware(q, dr.Class)
+		} else {
+			s, err = sched.Baseline(q)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v, err)
+		}
+		prog, err := codegen.Compile(c, dr, s, codegen.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v, err)
+		}
+		return &Compiled{Variant: v, Program: prog, Activity: true, Dedup: dr, Schedule: s}, nil
+
+	default:
+		return nil, fmt.Errorf("harness: variant %q does not compile to a program", v)
+	}
+}

@@ -1,0 +1,183 @@
+package partition
+
+import "dedupsim/internal/graph"
+
+// Merger maintains a dynamic quotient graph under partition merges and
+// answers incremental safe-merge queries (Theorem 5.1). It is used by the
+// partitioner's general-merge phase and by the locality-aware scheduler's
+// consolidation step, both of which must guarantee that no sequence of
+// individually-safe merges conspires to create a cycle — hence every check
+// runs against the *evolving* quotient, not a snapshot.
+type Merger struct {
+	d      *dsu
+	out    []map[int32]struct{} // adjacency, valid at representatives
+	in     []map[int32]struct{}
+	weight []int64 // node weight per representative
+	frozen []bool
+	// budget bounds the DFS of each indirect-path query; when exhausted
+	// the query conservatively reports "path exists" (merge refused),
+	// preserving correctness at the cost of a possibly missed merge.
+	budget int
+
+	visited []int32
+	stamp   int32
+	stack   []int32
+}
+
+// NewMerger wraps a quotient graph whose parts carry the given node
+// weights. frozen parts refuse all merges; frozen may be nil. budget <= 0
+// selects a default.
+//
+// Note on pruning: unlike graph.Reacher, the merger's path queries cannot
+// use topological-level pruning. A path in the EVOLVING quotient may pass
+// through a merged group entering at a high-level member and leaving from
+// a low-level one, so original-graph levels do not bound quotient paths.
+// The DFS budget is the (conservative) cost control instead.
+func NewMerger(q *graph.Graph, weights []int64, frozen []bool, budget int) *Merger {
+	n := q.NumNodes()
+	if budget <= 0 {
+		budget = 512
+	}
+	m := &Merger{
+		d:       newDSU(n),
+		out:     make([]map[int32]struct{}, n),
+		in:      make([]map[int32]struct{}, n),
+		weight:  make([]int64, n),
+		frozen:  make([]bool, n),
+		budget:  budget,
+		visited: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		m.out[v] = make(map[int32]struct{}, q.OutDegree(int32(v)))
+		m.in[v] = make(map[int32]struct{}, q.InDegree(int32(v)))
+		for _, w := range q.Succs(int32(v)) {
+			m.out[v][w] = struct{}{}
+		}
+		for _, w := range q.Preds(int32(v)) {
+			m.in[v][w] = struct{}{}
+		}
+		if weights != nil {
+			m.weight[v] = weights[v]
+		} else {
+			m.weight[v] = 1
+		}
+		if frozen != nil {
+			m.frozen[v] = frozen[v]
+		}
+	}
+	return m
+}
+
+// Rep returns the current representative of part p.
+func (m *Merger) Rep(p int32) int32 { return m.d.find(p) }
+
+// Weight returns the accumulated node weight of p's group.
+func (m *Merger) Weight(p int32) int64 { return m.weight[m.d.find(p)] }
+
+// Frozen reports whether p's group refuses merges.
+func (m *Merger) Frozen(p int32) bool { return m.frozen[m.d.find(p)] }
+
+// hasIndirectPath reports whether the evolving quotient has a path from
+// rep a to rep b through at least one intermediate group. An exhausted
+// DFS budget reports true (conservative).
+func (m *Merger) hasIndirectPath(a, b int32) bool {
+	m.stamp++
+	m.stack = m.stack[:0]
+	m.visited[a] = m.stamp
+	visits := 0
+	for s := range m.out[a] {
+		rs := m.d.find(s)
+		if rs == b || rs == a || m.visited[rs] == m.stamp {
+			continue
+		}
+		m.visited[rs] = m.stamp
+		m.stack = append(m.stack, rs)
+	}
+	for len(m.stack) > 0 {
+		u := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		for s := range m.out[u] {
+			// The budget counts edge scans, not nodes, so hub groups with
+			// huge fan-out (e.g. frozen stamped supernodes in the dedup
+			// remainder) cannot blow up a single query.
+			if visits++; visits > m.budget {
+				return true
+			}
+			rs := m.d.find(s)
+			if rs == b {
+				return true
+			}
+			if rs == u || m.visited[rs] == m.stamp {
+				continue
+			}
+			m.visited[rs] = m.stamp
+			m.stack = append(m.stack, rs)
+		}
+	}
+	return false
+}
+
+// CanMerge reports whether merging the groups of a and b is currently
+// safe under Theorem 5.1 and both are unfrozen.
+func (m *Merger) CanMerge(a, b int32) bool {
+	ra, rb := m.d.find(a), m.d.find(b)
+	if ra == rb {
+		return false
+	}
+	if m.frozen[ra] || m.frozen[rb] {
+		return false
+	}
+	return !m.hasIndirectPath(ra, rb) && !m.hasIndirectPath(rb, ra)
+}
+
+// Merge unconditionally merges the groups of a and b, canonicalizing the
+// merged adjacency. Callers must have established safety via CanMerge.
+func (m *Merger) Merge(a, b int32) int32 {
+	ra, rb := m.d.find(a), m.d.find(b)
+	if ra == rb {
+		return ra
+	}
+	// Keep the set-union cheap: fold the smaller adjacency into the larger.
+	if len(m.out[ra])+len(m.in[ra]) < len(m.out[rb])+len(m.in[rb]) {
+		ra, rb = rb, ra
+	}
+	r := m.d.union(ra, rb)
+	if r != ra {
+		// union-by-size may pick the other representative; move data.
+		ra, rb = rb, ra
+	}
+	for s := range m.out[rb] {
+		rs := m.d.find(s)
+		if rs != r {
+			m.out[r][rs] = struct{}{}
+		}
+	}
+	for s := range m.in[rb] {
+		rs := m.d.find(s)
+		if rs != r {
+			m.in[r][rs] = struct{}{}
+		}
+	}
+	m.out[rb], m.in[rb] = nil, nil
+	m.weight[r] = m.weight[ra] + m.weight[rb]
+	m.frozen[r] = m.frozen[ra] || m.frozen[rb]
+	// Drop any self-reference created by the contraction.
+	delete(m.out[r], ra)
+	delete(m.out[r], rb)
+	delete(m.in[r], ra)
+	delete(m.in[r], rb)
+	return r
+}
+
+// TryMerge merges a and b if safe; it reports whether it merged.
+func (m *Merger) TryMerge(a, b int32) bool {
+	if !m.CanMerge(a, b) {
+		return false
+	}
+	m.Merge(a, b)
+	return true
+}
+
+// Assignment compresses the merge state into a dense assignment over the
+// original part IDs.
+func (m *Merger) Assignment() ([]int32, int) { return m.d.compress() }

@@ -1,0 +1,242 @@
+package partition
+
+import (
+	"fmt"
+
+	"dedupsim/internal/graph"
+)
+
+// Options tunes the partitioner.
+type Options struct {
+	// MaxSize caps the node count of a partition. Full-cycle simulators
+	// tolerate imbalance (paper Section 4.4), so this is a soft knob for
+	// code-size-per-kernel rather than a balance constraint. Default 48.
+	MaxSize int
+	// MergePasses bounds the general-merge phase. Default 3.
+	MergePasses int
+	// DFSBudget bounds each incremental safety query; exceeding it
+	// conservatively refuses the merge. Default 512.
+	DFSBudget int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSize <= 0 {
+		o.MaxSize = 48
+	}
+	if o.MergePasses <= 0 {
+		o.MergePasses = 3
+	}
+	if o.DFSBudget <= 0 {
+		o.DFSBudget = 512
+	}
+	return o
+}
+
+// Result is an acyclic partitioning of a scheduling graph.
+type Result struct {
+	// Assign maps each node to its partition in [0, NumParts).
+	Assign []int32
+	// NumParts is the partition count.
+	NumParts int
+	// Weights is the node count of each partition.
+	Weights []int64
+}
+
+// Quotient builds the partition graph of the result over g.
+func (r *Result) Quotient(g *graph.Graph) *graph.Graph {
+	return graph.Quotient(g, r.Assign, r.NumParts)
+}
+
+// Members returns the node lists per partition.
+func (r *Result) Members() [][]graph.NodeID {
+	return graph.GroupMembers(r.Assign, r.NumParts)
+}
+
+// Partition produces an acyclic partitioning of g (which must be a DAG).
+func Partition(g *graph.Graph, opt Options) (*Result, error) {
+	return PartitionSeeded(g, nil, nil, opt)
+}
+
+// PartitionSeeded partitions g around pre-formed groups: seed[v] >= 0
+// places node v into the given group up front (seed may be nil), and
+// groups whose ID is in frozenGroups refuse any further growth — the
+// deduplication flow freezes the stamped template partitions this way so
+// the remainder is partitioned around them (paper Fig. 7d). The seeded
+// quotient must itself be acyclic.
+func PartitionSeeded(g *graph.Graph, seed []int32, frozenGroups map[int32]bool, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	d := newDSU(n)
+	weight := make([]int64, n)
+	for i := range weight {
+		weight[i] = 1
+	}
+	frozenNode := make([]bool, n)
+
+	if seed != nil {
+		if len(seed) != n {
+			return nil, fmt.Errorf("partition: seed length %d != %d nodes", len(seed), n)
+		}
+		// Union each seeded group; first member becomes the anchor.
+		anchor := map[int32]int32{}
+		for v := 0; v < n; v++ {
+			s := seed[v]
+			if s < 0 {
+				continue
+			}
+			if a, ok := anchor[s]; ok {
+				d.union(a, int32(v))
+			} else {
+				anchor[s] = int32(v)
+			}
+			if frozenGroups[s] {
+				frozenNode[v] = true
+			}
+		}
+		// Recompute weights and frozen at representatives.
+		for i := range weight {
+			weight[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			r := d.find(int32(v))
+			weight[r]++
+			if frozenNode[v] {
+				frozenNode[r] = true
+			}
+		}
+	}
+
+	if seed != nil {
+		// The contraction proofs assume an acyclic quotient, so reject a
+		// cyclic seeding up front rather than silently merging the cycle.
+		a0, p0 := d.compress()
+		if !graph.Quotient(g, a0, p0).IsAcyclic() {
+			return nil, fmt.Errorf("partition: seeded quotient is cyclic: %w", graph.ErrCyclic)
+		}
+	}
+
+	maxW := int64(opt.MaxSize)
+
+	// Phases 1+2: alternating sole-successor / sole-predecessor
+	// contractions until fixpoint. Both are safe en masse (see package
+	// comment), so each pass works off a quotient snapshot.
+	for {
+		merged := contractPass(g, d, weight, frozenNode, maxW, true)
+		merged += contractPass(g, d, weight, frozenNode, maxW, false)
+		if merged == 0 {
+			break
+		}
+	}
+
+	// Phase 3: general incremental merging with Theorem 5.1 checks.
+	assign, parts := d.compress()
+	q := graph.Quotient(g, assign, parts)
+	w := make([]int64, parts)
+	frozenPart := make([]bool, parts)
+	for v := 0; v < n; v++ {
+		r := d.find(int32(v))
+		w[assign[v]] = weight[r]
+		if frozenNode[r] {
+			frozenPart[assign[v]] = true
+		}
+	}
+	m := NewMerger(q, w, frozenPart, opt.DFSBudget)
+	order, err := q.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("partition: seeded quotient is cyclic: %w", err)
+	}
+	// Refused pairs are cached: a failed safety check can only flip to
+	// safe if an intermediate group later merges into one endpoint, so
+	// skipping repeats is conservative (never unsafe) and removes most of
+	// the repeated DFS work in later passes.
+	failed := map[uint64]bool{}
+	pairKey := func(a, b int32) uint64 {
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(uint32(a))<<32 | uint64(uint32(b))
+	}
+	for pass := 0; pass < opt.MergePasses; pass++ {
+		merges := 0
+		for _, p := range order {
+			rp := m.Rep(p)
+			for _, s := range q.Succs(p) {
+				rs := m.Rep(s)
+				if rs == rp {
+					continue
+				}
+				if m.Weight(rp)+m.Weight(rs) > maxW {
+					continue
+				}
+				key := pairKey(rp, rs)
+				if failed[key] {
+					continue
+				}
+				if m.TryMerge(rp, rs) {
+					merges++
+					rp = m.Rep(rp)
+				} else {
+					failed[key] = true
+				}
+			}
+		}
+		if merges == 0 {
+			break
+		}
+	}
+
+	// Compose: node -> phase-1/2 partition -> phase-3 group.
+	pAssign, pParts := m.Assignment()
+	final := make([]int32, n)
+	for v := 0; v < n; v++ {
+		final[v] = pAssign[assign[v]]
+	}
+	weights := make([]int64, pParts)
+	for v := 0; v < n; v++ {
+		weights[final[v]]++
+	}
+	return &Result{Assign: final, NumParts: pParts, Weights: weights}, nil
+}
+
+// contractPass performs one en-masse sole-successor (fwd) or
+// sole-predecessor (!fwd) contraction pass over the current quotient and
+// returns the number of merges applied.
+func contractPass(g *graph.Graph, d *dsu, weight []int64, frozen []bool, maxW int64, fwd bool) int {
+	n := g.NumNodes()
+	assign, parts := d.compress()
+	q := graph.Quotient(g, assign, parts)
+	// Representative node of each part (any member works for union).
+	repNode := make([]int32, parts)
+	for i := range repNode {
+		repNode[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if repNode[assign[v]] == -1 {
+			repNode[assign[v]] = int32(v)
+		}
+	}
+	merges := 0
+	for p := 0; p < parts; p++ {
+		var neigh []int32
+		if fwd {
+			neigh = q.Succs(int32(p))
+		} else {
+			neigh = q.Preds(int32(p))
+		}
+		if len(neigh) != 1 {
+			continue
+		}
+		a, b := repNode[p], repNode[neigh[0]]
+		ra, rb := d.find(a), d.find(b)
+		if ra == rb || frozen[ra] || frozen[rb] {
+			continue
+		}
+		if weight[ra]+weight[rb] > maxW {
+			continue
+		}
+		r := d.union(ra, rb)
+		weight[r] = weight[ra] + weight[rb]
+		merges++
+	}
+	return merges
+}

@@ -1,0 +1,95 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dedupsim/internal/graph"
+)
+
+// Property: for any random DAG and options, the partitioning is a total,
+// acyclic, size-respecting assignment.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16, maxRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%120)
+		m := int(mRaw) % (3 * n)
+		maxSize := 2 + int(maxRaw%60)
+		g := graph.New(n)
+		for i := 0; i < m; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(int32(u), int32(v))
+		}
+		g.Dedup()
+		r, err := Partition(g, Options{MaxSize: maxSize})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for v, p := range r.Assign {
+			if p < 0 || int(p) >= r.NumParts {
+				return false
+			}
+			seen[v] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		for _, w := range r.Weights {
+			if w <= 0 || w > int64(maxSize) {
+				return false
+			}
+		}
+		return r.Quotient(g).IsAcyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DSU compress yields a dense, consistent assignment.
+func TestQuickDSUCompress(t *testing.T) {
+	f := func(seed int64, nRaw uint8, unions []uint16) bool {
+		n := 2 + int(nRaw%60)
+		d := newDSU(n)
+		for _, u := range unions {
+			a := int32(u>>8) % int32(n)
+			b := int32(u&0xff) % int32(n)
+			d.union(a, b)
+		}
+		assign, parts := d.compress()
+		if parts < 1 || parts > n {
+			return false
+		}
+		// Same set <=> same group.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				same := d.find(int32(a)) == d.find(int32(b))
+				if same != (assign[a] == assign[b]) {
+					return false
+				}
+			}
+		}
+		// Dense IDs.
+		used := make([]bool, parts)
+		for _, p := range assign {
+			if p < 0 || int(p) >= parts {
+				return false
+			}
+			used[p] = true
+		}
+		for _, u := range used {
+			if !u {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package perfmodel
+
+// Curve captures how one simulator's speed and off-chip traffic respond
+// to LLC capacity — measured once per design x variant by sweeping the
+// way allocation, then reused by the analytic batch model. This mirrors
+// the paper's methodology: single-simulation cache sensitivity (Fig. 2)
+// explains multi-simulation throughput (Fig. 9).
+type Curve struct {
+	CapBytes []float64
+	SimHz    []float64
+	MissBW   []float64
+}
+
+// CapacitySweep returns the LLC byte capacities measured for contention
+// curves: sub-way points (one way split 8/4/2 ways further) so K sharers
+// squeezing a simulation below one way's worth interpolate measured data,
+// then every way multiple up to the full cache.
+func CapacitySweep(m Machine) []int {
+	way := m.LLCSize / m.LLCWays
+	caps := []int{way / 8, way / 4, way / 2}
+	for _, w := range []int{1, 2, 3, 4, 6, 8, m.LLCWays} {
+		if w >= 1 && w <= m.LLCWays {
+			caps = append(caps, way*w)
+		}
+	}
+	// Deduplicate while preserving order (small machines can collide).
+	out := caps[:0]
+	seen := map[int]bool{}
+	for _, c := range caps {
+		if c > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MeasureCurve measures speed and miss bandwidth at each capacity point.
+func MeasureCurve(m Machine, run func(llcCapBytes int) Counters) Curve {
+	var c Curve
+	for _, capBytes := range CapacitySweep(m) {
+		ctr := run(capBytes)
+		c.CapBytes = append(c.CapBytes, float64(capBytes))
+		c.SimHz = append(c.SimHz, ctr.SimHz)
+		c.MissBW = append(c.MissBW, ctr.LLCMissBW)
+	}
+	return c
+}
+
+// At linearly interpolates the curve at the given capacity, clamping to
+// the measured range.
+func (c Curve) At(capBytes float64) (simHz, missBW float64) {
+	n := len(c.CapBytes)
+	if n == 0 {
+		return 0, 0
+	}
+	if capBytes <= c.CapBytes[0] {
+		return c.SimHz[0], c.MissBW[0]
+	}
+	if capBytes >= c.CapBytes[n-1] {
+		return c.SimHz[n-1], c.MissBW[n-1]
+	}
+	for i := 1; i < n; i++ {
+		if capBytes <= c.CapBytes[i] {
+			f := (capBytes - c.CapBytes[i-1]) / (c.CapBytes[i] - c.CapBytes[i-1])
+			return c.SimHz[i-1] + f*(c.SimHz[i]-c.SimHz[i-1]),
+				c.MissBW[i-1] + f*(c.MissBW[i]-c.MissBW[i-1])
+		}
+	}
+	return c.SimHz[n-1], c.MissBW[n-1]
+}
+
+// BatchPoint is one K-parallel-simulations measurement.
+type BatchPoint struct {
+	// K is the number of simultaneous simulations.
+	K int
+	// PerSimHz is each simulation's speed under contention.
+	PerSimHz float64
+	// Throughput is the aggregate simulated cycles per second.
+	Throughput float64
+}
+
+// Batch models K identical simulations sharing one machine: each
+// concurrent simulation receives an equal share of the LLC (identical
+// processes have identical demand) and the aggregate off-chip traffic is
+// capped by memory bandwidth — the two effects behind the paper's
+// sub-linear scaling (Fig. 1, Table 3).
+func Batch(c Curve, m Machine, k int) BatchPoint {
+	if k < 1 {
+		k = 1
+	}
+	conc := k
+	if conc > m.Cores {
+		conc = m.Cores
+	}
+	capPer := float64(m.LLCSize) / float64(conc)
+	simHz, missBW := c.At(capPer)
+	demand := float64(conc) * missBW
+	if demand > m.MemBW && demand > 0 {
+		simHz *= m.MemBW / demand
+	}
+	agg := float64(conc) * simHz
+	// More simulations than cores time-share without adding throughput.
+	perSim := agg / float64(k)
+	return BatchPoint{K: k, PerSimHz: perSim, Throughput: agg}
+}
+
+// DualSocketBatch models the paper's two-socket server: simulations are
+// split evenly across sockets, each an independent Machine (private LLC
+// and memory channels).
+func DualSocketBatch(c Curve, socket Machine, k int) BatchPoint {
+	ka := (k + 1) / 2
+	kb := k - ka
+	pa := Batch(c, socket, ka)
+	total := pa.Throughput
+	if kb > 0 {
+		total += Batch(c, socket, kb).Throughput
+	}
+	return BatchPoint{K: k, PerSimHz: total / float64(k), Throughput: total}
+}

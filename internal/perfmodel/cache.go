@@ -1,0 +1,154 @@
+// Package perfmodel is the trace-driven host-performance model that
+// substitutes for the paper's hardware measurements (perf counters, Intel
+// RDT way-masking, LLC contention between parallel simulators). It
+// contains:
+//
+//   - set-associative LRU caches with way masking (Fig. 2 / Table 4's
+//     RDT experiments);
+//   - a BTB-style branch-prediction table whose hit rate depends on code
+//     reuse distance (Table 4's branch MPKI);
+//   - a stall-based CPU timing model turning misses into cycles;
+//   - machine presets for the paper's Server (Xeon 8260) and Desktop
+//     (Ryzen 5800X3D, 3D V-Cache) platforms;
+//   - a batch-throughput model for K simulators sharing the LLC and
+//     memory bandwidth (Figs. 1/9/10/12, Table 3).
+//
+// The model is driven by the activation trace of the real engine, so the
+// effects the paper measures — smaller code footprints, shorter reuse
+// distance, the instruction-count dedup tax — flow from the actual
+// compiled programs, not from assumed constants.
+package perfmodel
+
+// Cache is a set-associative cache with true-LRU replacement, operating
+// on 64-byte line addresses.
+type Cache struct {
+	sets   int
+	ways   int
+	shift  uint     // log2(lineSize)
+	tags   []uint64 // sets*ways, 0 = invalid (tag stores addr|1)
+	stamps []int64
+	clock  int64
+
+	// Accesses and Misses count since construction or ResetStats.
+	Accesses int64
+	Misses   int64
+}
+
+// LineSize is the modeled cache line size in bytes.
+const LineSize = 64
+
+// NewCache builds a cache of the given total size and associativity.
+// Allocating fewer ways than the physical associativity models Intel RDT
+// way-masking: capacity shrinks proportionally (sets stay fixed), which —
+// like the real mechanism — raises conflict pressure at low way counts.
+// allocWays < 0 disables the cache entirely (every access misses), the
+// zero-capacity anchor of contention curves.
+func NewCache(sizeBytes, physWays, allocWays int) *Cache {
+	if allocWays < 0 {
+		return &Cache{sets: 1, ways: 0, shift: 6}
+	}
+	if allocWays == 0 || allocWays > physWays {
+		allocWays = physWays
+	}
+	sets := sizeBytes / (LineSize * physWays)
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		sets:   sets,
+		ways:   allocWays,
+		shift:  6,
+		tags:   make([]uint64, sets*allocWays),
+		stamps: make([]int64, sets*allocWays),
+	}
+}
+
+// Access looks up the byte address and installs it on a miss. It reports
+// whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	if c.ways == 0 {
+		c.Accesses++
+		c.Misses++
+		return false
+	}
+	line := addr >> c.shift
+	set := int(line) & (c.sets - 1)
+	if c.sets&(c.sets-1) != 0 {
+		set = int(line % uint64(c.sets))
+	}
+	tag := line | 1<<63 // bit 63 marks valid (addresses never use it)
+	base := set * c.ways
+	c.clock++
+	c.Accesses++
+	lruIdx, lruStamp := base, c.stamps[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			return true
+		}
+		if c.stamps[i] < lruStamp {
+			lruIdx, lruStamp = i, c.stamps[i]
+		}
+	}
+	c.Misses++
+	c.tags[lruIdx] = tag
+	c.stamps[lruIdx] = c.clock
+	return false
+}
+
+// SizeBytes returns the allocated capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * LineSize }
+
+// ResetStats zeroes the counters without flushing contents.
+func (c *Cache) ResetStats() { c.Accesses, c.Misses = 0, 0 }
+
+// Flush invalidates all lines.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+}
+
+// BranchTable models the host's branch prediction resources as a
+// direct-mapped table of branch-site identities (a BTB with embedded
+// direction history). A site predicts correctly when it still owns its
+// slot; sites evicted by capacity or conflict mispredict on return. Code
+// with short reuse distance therefore keeps its sites resident — exactly
+// the benefit of locality-aware scheduling (paper Section 6.4).
+type BranchTable struct {
+	entries []uint64
+	shift   uint
+
+	Lookups    int64
+	Mispredict int64
+}
+
+// NewBranchTable builds a table with the given entry count (power of two).
+func NewBranchTable(entries int) *BranchTable {
+	n := 1
+	logN := uint(0)
+	for n < entries {
+		n <<= 1
+		logN++
+	}
+	return &BranchTable{entries: make([]uint64, n), shift: 64 - logN}
+}
+
+// Lookup simulates one dynamic branch at the given site identity.
+func (b *BranchTable) Lookup(site uint64) bool {
+	key := site | 1<<63
+	// Multiply-shift hashing uses the product's high bits, so aligned
+	// site identities (code addresses are 16-byte aligned) still spread.
+	idx := (site * 0x9e3779b97f4a7c15) >> b.shift
+	b.Lookups++
+	if b.entries[idx] == key {
+		return true
+	}
+	b.entries[idx] = key
+	b.Mispredict++
+	return false
+}
+
+// ResetStats zeroes the counters without flushing the table.
+func (b *BranchTable) ResetStats() { b.Lookups, b.Mispredict = 0, 0 }

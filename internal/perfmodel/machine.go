@@ -1,0 +1,92 @@
+package perfmodel
+
+// Machine describes a host platform (paper Table 1).
+type Machine struct {
+	Name string
+	// Cores is the number of physical cores available to simulations
+	// (one simulation per core, as in the paper's batch experiments).
+	Cores int
+	// FreqHz is the nominal core frequency.
+	FreqHz float64
+
+	// Private cache sizes per core and the shared last-level cache.
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	L2Size, L2Ways   int
+	LLCSize, LLCWays int
+
+	// Latencies in core cycles: the extra cost paid when a level misses
+	// and the next level hits.
+	L2Lat, LLCLat, MemLat int
+	// BranchPenalty is the mispredict flush cost in cycles.
+	BranchPenalty int
+	// BranchEntries sizes the branch-site table.
+	BranchEntries int
+	// MemBW is the total off-chip bandwidth in bytes/second shared by all
+	// cores.
+	MemBW float64
+	// BaseCPI is the no-stall cycles-per-instruction floor of the core.
+	BaseCPI float64
+}
+
+// Server models one socket of the paper's dual Xeon Platinum 8260 host:
+// 24 cores, 35.75 MB shared L3 (11 ways), 6-channel DDR4-2666. The
+// paper's batch experiments use both sockets; Fig. 9 style runs treat the
+// two sockets as 2x this machine.
+func Server() Machine {
+	return Machine{
+		Name:    "Server",
+		Cores:   24,
+		FreqHz:  2.4e9,
+		L1ISize: 32 << 10, L1IWays: 8,
+		L1DSize: 32 << 10, L1DWays: 8,
+		L2Size: 1 << 20, L2Ways: 16,
+		LLCSize: 35750 << 10, LLCWays: 11,
+		L2Lat: 12, LLCLat: 38, MemLat: 170,
+		BranchPenalty: 15,
+		BranchEntries: 4096,
+		MemBW:         125e9, // per-socket share of 250 GB/s
+		BaseCPI:       0.3,
+	}
+}
+
+// Desktop models the paper's AMD Ryzen 7 5800X3D: 8 cores and a 96 MB
+// hybrid-bonded 3D V-Cache L3.
+func Desktop() Machine {
+	return Machine{
+		Name:    "Desktop",
+		Cores:   8,
+		FreqHz:  3.4e9,
+		L1ISize: 32 << 10, L1IWays: 8,
+		L1DSize: 32 << 10, L1DWays: 8,
+		L2Size: 512 << 10, L2Ways: 8,
+		LLCSize: 96 << 20, LLCWays: 16,
+		L2Lat: 10, LLCLat: 46, MemLat: 190,
+		BranchPenalty: 14,
+		BranchEntries: 4096,
+		MemBW:         50e9, // 2-channel DDR4-3200
+		BaseCPI:       0.28,
+	}
+}
+
+// scaleCaches returns a copy of m with all cache capacities divided by
+// the given factor. The modeled designs are ~1/20 of the paper's node
+// counts, so experiments shrink the host caches by the same factor to
+// keep the design-size:cache-size ratio — and therefore the contention
+// behavior — aligned with the paper.
+func (m Machine) ScaleCaches(factor int) Machine {
+	if factor <= 1 {
+		return m
+	}
+	s := m
+	s.L1ISize /= factor
+	s.L1DSize /= factor
+	s.L2Size /= factor
+	s.LLCSize /= factor
+	s.BranchEntries /= factor
+	s.MemBW /= float64(factor)
+	if s.BranchEntries < 64 {
+		s.BranchEntries = 64
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+package perfmodel
+
+// Counters are the modeled hardware measurements for one simulation run
+// (the rows of paper Table 4).
+type Counters struct {
+	// Instrs is the dynamic instruction count.
+	Instrs int64
+	// HostCycles is the modeled core-cycle total.
+	HostCycles float64
+	// ExecSeconds = HostCycles / frequency.
+	ExecSeconds float64
+	// IPC = Instrs / HostCycles.
+	IPC float64
+	// Misses per kilo-instruction per level, and branch mispredicts.
+	L1IMPKI, L1DMPKI, L2MPKI, L3MPKI, BranchMPKI float64
+	// StallPct is the fraction of cycles lost to stalls (x100).
+	StallPct float64
+	// SimHz is the simulation speed: simulated cycles per host second.
+	SimHz float64
+	// LLCMissBW is the off-chip traffic this simulation generates,
+	// bytes per second of host time.
+	LLCMissBW float64
+}
+
+// hier bundles one core's private caches plus an LLC view.
+type hier struct {
+	l1i, l1d, l2, llc              *Cache
+	bt                             *BranchTable
+	iStallL2, iStallLLC, iStallMem float64
+	dStallL2, dStallLLC, dStallMem float64
+}
+
+func newHier(m Machine, llcWays int) *hier {
+	return &hier{
+		l1i: NewCache(m.L1ISize, m.L1IWays, m.L1IWays),
+		l1d: NewCache(m.L1DSize, m.L1DWays, m.L1DWays),
+		l2:  NewCache(m.L2Size, m.L2Ways, m.L2Ways),
+		llc: NewCache(m.LLCSize, m.LLCWays, llcWays),
+		bt:  NewBranchTable(m.BranchEntries),
+	}
+}
+
+// newHierCap builds a hierarchy whose LLC has an arbitrary byte capacity
+// at full associativity — finer than way masking, for contention curves
+// where K sharers can squeeze a simulation below one way's worth.
+func newHierCap(m Machine, llcCapBytes int) *hier {
+	if llcCapBytes < LineSize*m.LLCWays {
+		llcCapBytes = LineSize * m.LLCWays // at least one set
+	}
+	return &hier{
+		l1i: NewCache(m.L1ISize, m.L1IWays, m.L1IWays),
+		l1d: NewCache(m.L1DSize, m.L1DWays, m.L1DWays),
+		l2:  NewCache(m.L2Size, m.L2Ways, m.L2Ways),
+		llc: NewCache(llcCapBytes, m.LLCWays, m.LLCWays),
+		bt:  NewBranchTable(m.BranchEntries),
+	}
+}
+
+// accessI pushes one instruction-side line through the hierarchy.
+func (h *hier) accessI(m Machine, line uint64) {
+	if h.l1i.Access(line) {
+		return
+	}
+	if h.l2.Access(line) {
+		h.iStallL2 += float64(m.L2Lat)
+		return
+	}
+	if h.llc.Access(line) {
+		h.iStallLLC += float64(m.LLCLat)
+		return
+	}
+	h.iStallMem += float64(m.MemLat)
+}
+
+// accessD pushes one data-side line through the hierarchy.
+func (h *hier) accessD(m Machine, line uint64) {
+	if h.l1d.Access(line) {
+		return
+	}
+	if h.l2.Access(line) {
+		h.dStallL2 += float64(m.L2Lat)
+		return
+	}
+	if h.llc.Access(line) {
+		h.dStallLLC += float64(m.LLCLat)
+		return
+	}
+	h.dStallMem += float64(m.MemLat)
+}
+
+// dOverlap is the fraction of data-miss latency an out-of-order core
+// cannot hide; instruction misses stall the frontend almost fully (the
+// paper's Section 6.4 observation).
+const dOverlap = 0.45
+
+// counters folds the hierarchy's observations into Counters.
+func (h *hier) counters(m Machine, instrs int64, simCycles int) Counters {
+	iStall := h.iStallL2 + h.iStallLLC + h.iStallMem
+	dStall := (h.dStallL2 + h.dStallLLC + h.dStallMem) * dOverlap
+	bStall := float64(h.bt.Mispredict) * float64(m.BranchPenalty)
+	base := float64(instrs) * m.BaseCPI
+	total := base + iStall + dStall + bStall
+	kilo := float64(instrs) / 1000
+	if kilo == 0 {
+		kilo = 1
+	}
+	sec := total / m.FreqHz
+	c := Counters{
+		Instrs:      instrs,
+		HostCycles:  total,
+		ExecSeconds: sec,
+		IPC:         float64(instrs) / total,
+		L1IMPKI:     float64(h.l1i.Misses) / kilo,
+		L1DMPKI:     float64(h.l1d.Misses) / kilo,
+		L2MPKI:      float64(h.l2.Misses) / kilo,
+		L3MPKI:      float64(h.llc.Misses) / kilo,
+		BranchMPKI:  float64(h.bt.Mispredict) / kilo,
+		StallPct:    100 * (iStall + dStall + bStall) / total,
+		SimHz:       float64(simCycles) / sec,
+		LLCMissBW:   float64(h.llc.Misses) * LineSize / sec,
+	}
+	return c
+}
+
+// RunSingle replays a recorded trace through the host model with the
+// given LLC way allocation (0 = all ways, -1 = LLC disabled), reproducing
+// a single simulation on an otherwise idle machine (Fig. 2, Fig. 8,
+// Table 4).
+func RunSingle(tr *Trace, m Machine, llcWays int) Counters {
+	return runTrace(tr, m, newHier(m, llcWays))
+}
+
+// RunSingleCap is RunSingle with an exact LLC byte capacity instead of a
+// way allocation (contention-curve measurement).
+func RunSingleCap(tr *Trace, m Machine, llcCapBytes int) Counters {
+	return runTrace(tr, m, newHierCap(m, llcCapBytes))
+}
+
+func runTrace(tr *Trace, m Machine, h *hier) Counters {
+	for cyc := 0; cyc < tr.SimCycles; cyc++ {
+		for _, actIdx := range tr.Cycles[cyc] {
+			pr := &tr.Profiles[actIdx]
+			for _, line := range pr.CodeLines {
+				h.accessI(m, line)
+			}
+			for _, line := range pr.DataLines {
+				h.accessD(m, line)
+			}
+			for _, site := range pr.Sites {
+				h.bt.Lookup(site)
+			}
+		}
+		for _, line := range tr.MemLines[cyc] {
+			h.accessD(m, line)
+		}
+	}
+	return h.counters(m, tr.TotalInstrs, tr.SimCycles)
+}
+
+// Event-driven (commercial-style) cost constants: instructions per event
+// (queue management, node dispatch, fan-out insertion) and data lines per
+// event (node record + queue entry).
+const (
+	evInstrs     = 11
+	evDataLines  = 2
+	evNodeStride = 48 // bytes per node record in the interpreter's heap
+)
+
+// RunEventDriven models an event-driven interpreter processing the
+// recorded activity. Event addresses spread over the design's node
+// records via a deterministic hash, so the working set scales with
+// design size — which is why the commercial simulator is the most
+// cache-hungry in the paper's experiments.
+func RunEventDriven(tr *EventTrace, m Machine, llcWays int) Counters {
+	return runEvents(tr, m, newHier(m, llcWays))
+}
+
+// RunEventDrivenCap is RunEventDriven with an exact LLC byte capacity.
+func RunEventDrivenCap(tr *EventTrace, m Machine, llcCapBytes int) Counters {
+	return runEvents(tr, m, newHierCap(m, llcCapBytes))
+}
+
+func runEvents(tr *EventTrace, m Machine, h *hier) Counters {
+	// The interpreter's own hot loop: a small, hot code footprint.
+	const interpLines = 24 << 10 / LineSize
+	footprint := uint64(tr.Nodes) * evNodeStride
+	rng := uint64(0x243f6a8885a308d3)
+	var instrs int64
+	for cyc := 0; cyc < tr.SimCycles; cyc++ {
+		events := tr.Events[cyc]
+		instrs += events * evInstrs
+		// Interpreter code stays hot; touch a rotating subset.
+		for i := 0; i < 8; i++ {
+			h.accessI(m, codeBase+uint64((cyc*8+i)%interpLines)*LineSize)
+		}
+		for e := int64(0); e < events; e++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			node := rng % footprint
+			for l := 0; l < evDataLines; l++ {
+				h.accessD(m, slotBase+(node&^(LineSize-1))+uint64(l)*LineSize)
+			}
+			// Event dispatch branches on node kind: site identity spreads
+			// over the node space, defeating the predictor at scale.
+			h.bt.Lookup(node >> 6)
+		}
+	}
+	return h.counters(m, instrs, tr.SimCycles)
+}

@@ -1,0 +1,271 @@
+package perfmodel_test
+
+import (
+	"testing"
+
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/perfmodel"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+// testMachine shrinks the server to match unit-test design scale.
+func testMachine() perfmodel.Machine { return perfmodel.Server().ScaleCaches(64) }
+
+func record(t *testing.T, f gen.Family, cores int, scale float64, v harness.Variant, cycles int) *perfmodel.Trace {
+	t.Helper()
+	c := gen.MustBuild(gen.Config(f, cores, scale))
+	cv, err := harness.CompileVariant(c, v, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := stimulus.VVAddA().NewDrive()
+	return perfmodel.Record(cv.Program, cv.Activity, cycles,
+		func(e *sim.Engine, cyc int) { drive(e, cyc) })
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := perfmodel.NewCache(4096, 4, 4) // 16 sets x 4 ways
+	if c.SizeBytes() != 4096 {
+		t.Fatalf("size = %d", c.SizeBytes())
+	}
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same line missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next line hit cold")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Fatalf("counters: %d accesses %d misses", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set x 2 ways: A, B, C evicts A; A misses again, and evicts B (LRU).
+	c := perfmodel.NewCache(128, 2, 2)
+	addrs := []uint64{0, 1 << 12, 2 << 12}
+	for _, a := range addrs {
+		c.Access(a)
+	}
+	if c.Access(addrs[0]) {
+		t.Fatal("evicted line still hit")
+	}
+	// The A miss evicted LRU B, leaving {C, A}; both must now hit.
+	if !c.Access(addrs[2]) || !c.Access(addrs[0]) {
+		t.Fatal("resident lines missed after LRU replacement")
+	}
+}
+
+func TestCacheWayMaskingShrinksCapacity(t *testing.T) {
+	full := perfmodel.NewCache(1<<20, 16, 16)
+	masked := perfmodel.NewCache(1<<20, 16, 4)
+	if masked.SizeBytes() != full.SizeBytes()/4 {
+		t.Fatalf("masked capacity = %d, want quarter of %d", masked.SizeBytes(), full.SizeBytes())
+	}
+	// A working set that fits in full but not in masked.
+	n := (1 << 20) / 64 / 2
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i++ {
+			full.Access(uint64(i * 64))
+			masked.Access(uint64(i * 64))
+		}
+	}
+	if full.Misses >= masked.Misses {
+		t.Fatalf("masking did not increase misses: %d vs %d", full.Misses, masked.Misses)
+	}
+}
+
+func TestBranchTableReuseDistance(t *testing.T) {
+	bt := perfmodel.NewBranchTable(64)
+	// Back-to-back reuse of few sites: near-perfect after warmup.
+	for i := 0; i < 100; i++ {
+		bt.Lookup(uint64(i % 4 * 1024))
+	}
+	if bt.Mispredict > 8 {
+		t.Fatalf("small working set mispredicted %d times", bt.Mispredict)
+	}
+	bt.ResetStats()
+	// Sweeping far more sites than entries: constant misses.
+	for i := 0; i < 1000; i++ {
+		bt.Lookup(uint64(i * 977))
+	}
+	if float64(bt.Mispredict) < 0.5*float64(bt.Lookups) {
+		t.Fatalf("capacity-exceeding sweep predicted too well: %d/%d", bt.Mispredict, bt.Lookups)
+	}
+}
+
+func TestFig2ShapeLessCacheSlower(t *testing.T) {
+	tr := record(t, gen.LargeBoom, 2, 0.15, harness.ESSENT, 120)
+	m := testMachine()
+	prev := -1.0
+	for _, ways := range []int{2, 6, 11} {
+		ctr := perfmodel.RunSingle(tr, m, ways)
+		if prev > 0 && ctr.SimHz < prev*0.98 {
+			t.Fatalf("more cache made simulation slower: %f -> %f at %d ways", prev, ctr.SimHz, ways)
+		}
+		prev = ctr.SimHz
+	}
+	few := perfmodel.RunSingle(tr, m, 1)
+	many := perfmodel.RunSingle(tr, m, 11)
+	if many.SimHz <= few.SimHz*1.05 {
+		t.Fatalf("cache sensitivity missing: %d ways %.0f Hz vs 1 way %.0f Hz", 11, many.SimHz, few.SimHz)
+	}
+}
+
+func TestTable4ShapeDedupCounters(t *testing.T) {
+	cycles := 120
+	trE := record(t, gen.LargeBoom, 4, 0.15, harness.ESSENT, cycles)
+	trD := record(t, gen.LargeBoom, 4, 0.15, harness.Dedup, cycles)
+	m := testMachine()
+	e := perfmodel.RunSingle(trE, m, 4)
+	d := perfmodel.RunSingle(trD, m, 4)
+
+	if d.Instrs <= e.Instrs {
+		t.Fatalf("dedup tax missing: instrs %d <= %d", d.Instrs, e.Instrs)
+	}
+	if d.L1IMPKI >= e.L1IMPKI {
+		t.Fatalf("L1I MPKI did not improve: %.1f vs %.1f", d.L1IMPKI, e.L1IMPKI)
+	}
+	if d.BranchMPKI >= e.BranchMPKI {
+		t.Fatalf("branch MPKI did not improve: %.2f vs %.2f", d.BranchMPKI, e.BranchMPKI)
+	}
+	if d.IPC <= e.IPC {
+		t.Fatalf("IPC did not improve: %.2f vs %.2f", d.IPC, e.IPC)
+	}
+	t.Logf("ESSENT: instrs=%d IPC=%.2f L1I=%.1f br=%.2f | Dedup: instrs=%d IPC=%.2f L1I=%.1f br=%.2f",
+		e.Instrs, e.IPC, e.L1IMPKI, e.BranchMPKI, d.Instrs, d.IPC, d.L1IMPKI, d.BranchMPKI)
+}
+
+func TestFig8ShapeDedupFasterOnManyCores(t *testing.T) {
+	m := testMachine()
+	speed := func(cores int, v harness.Variant) float64 {
+		tr := record(t, gen.SmallBoom, cores, 0.15, v, 120)
+		return perfmodel.RunSingle(tr, m, m.LLCWays).SimHz
+	}
+	e4, d4 := speed(4, harness.ESSENT), speed(4, harness.Dedup)
+	if d4 <= e4 {
+		t.Fatalf("4-core dedup not faster: %.0f vs %.0f", d4, e4)
+	}
+	t.Logf("SmallBoom-4C single-sim: Dedup/ESSENT = %.2fx", d4/e4)
+}
+
+func TestBatchModelSubLinear(t *testing.T) {
+	tr := record(t, gen.LargeBoom, 2, 0.15, harness.ESSENT, 120)
+	m := testMachine()
+	curve := perfmodel.MeasureCurve(m, func(w int) perfmodel.Counters {
+		return perfmodel.RunSingle(tr, m, w)
+	})
+	p1 := perfmodel.Batch(curve, m, 1)
+	p8 := perfmodel.Batch(curve, m, 8)
+	p24 := perfmodel.Batch(curve, m, 24)
+	if p8.Throughput <= p1.Throughput {
+		t.Fatal("8 parallel sims slower than 1")
+	}
+	// Past the contention knee, throughput may plateau or sag slightly
+	// (paper Table 3: 11.45 at 40 sims -> 11.33 at 48) but must not
+	// collapse.
+	if p24.Throughput < 0.7*p8.Throughput {
+		t.Fatalf("throughput collapsed: %.0f at 24 vs %.0f at 8", p24.Throughput, p8.Throughput)
+	}
+	scale24 := p24.Throughput / p1.Throughput
+	if scale24 >= 24 {
+		t.Fatalf("scaling is super-linear?! %.1fx at 24", scale24)
+	}
+	if p24.PerSimHz >= p1.PerSimHz {
+		t.Fatal("per-sim speed should degrade under contention")
+	}
+	t.Logf("batch scaling: 1 -> %.2f (8) -> %.2f (24 cores)", p8.Throughput/p1.Throughput, scale24)
+}
+
+func TestDualSocketBatch(t *testing.T) {
+	tr := record(t, gen.Rocket, 2, 0.15, harness.ESSENT, 80)
+	m := testMachine()
+	curve := perfmodel.MeasureCurve(m, func(w int) perfmodel.Counters {
+		return perfmodel.RunSingle(tr, m, w)
+	})
+	single := perfmodel.Batch(curve, m, 24)
+	dual := perfmodel.DualSocketBatch(curve, m, 48)
+	if dual.Throughput <= single.Throughput {
+		t.Fatal("two sockets not faster than one")
+	}
+	if dual.Throughput > 2.01*single.Throughput {
+		t.Fatal("two sockets more than double throughput")
+	}
+}
+
+func TestEventDrivenModel(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, 0.15))
+	drive := stimulus.VVAddA().NewDrive()
+	etr, err := perfmodel.RecordEvents(c, 120, func(r *sim.Ref, cyc int) { drive(r, cyc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	ctr := perfmodel.RunEventDriven(etr, m, m.LLCWays)
+	if ctr.SimHz <= 0 || ctr.Instrs <= 0 {
+		t.Fatalf("degenerate counters: %+v", ctr)
+	}
+	// The commercial-style interpreter should be slower than compiled
+	// ESSENT on the same design and workload.
+	cv, err := harness.CompileVariant(c, harness.ESSENT, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive2 := stimulus.VVAddA().NewDrive()
+	tr := perfmodel.Record(cv.Program, true, 120, func(e *sim.Engine, cyc int) { drive2(e, cyc) })
+	essent := perfmodel.RunSingle(tr, m, m.LLCWays)
+	if ctr.SimHz >= essent.SimHz {
+		t.Fatalf("event-driven (%.0f Hz) not slower than ESSENT (%.0f Hz)", ctr.SimHz, essent.SimHz)
+	}
+	t.Logf("Commercial %.0f Hz vs ESSENT %.0f Hz (%.1fx)", ctr.SimHz, essent.SimHz, essent.SimHz/ctr.SimHz)
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := perfmodel.Curve{
+		CapBytes: []float64{100, 200, 300},
+		SimHz:    []float64{10, 30, 40},
+		MissBW:   []float64{9, 5, 1},
+	}
+	if hz, _ := c.At(50); hz != 10 {
+		t.Fatalf("below range: %f", hz)
+	}
+	if hz, _ := c.At(150); hz != 20 {
+		t.Fatalf("midpoint: %f", hz)
+	}
+	if hz, bw := c.At(999); hz != 40 || bw != 1 {
+		t.Fatalf("above range: %f %f", hz, bw)
+	}
+}
+
+func TestWorkloadActivityRates(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 2, 0.15))
+	rate := func(w stimulus.Workload, cycles int) float64 {
+		r, err := sim.NewRef(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive := w.NewDrive()
+		for cyc := 0; cyc < cycles; cyc++ {
+			drive(r, cyc)
+			r.Step()
+		}
+		return r.ActivityRate()
+	}
+	a := rate(stimulus.VVAddA(), 300)
+	b := rate(stimulus.VVAddB(), 300)
+	if b <= a {
+		t.Fatalf("workload B (%.3f) not more active than A (%.3f)", b, a)
+	}
+	if a < 0.01 || a > 0.30 {
+		t.Fatalf("workload A activity implausible: %.3f", a)
+	}
+	t.Logf("activity: A=%.2f%% B=%.2f%% (paper: 6.52%% / 14.87%%)", 100*a, 100*b)
+}

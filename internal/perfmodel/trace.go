@@ -1,0 +1,148 @@
+package perfmodel
+
+import (
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/codegen"
+	"dedupsim/internal/sim"
+)
+
+// Address-space bases for the modeled simulator process. Regions are far
+// apart so they never alias.
+const (
+	codeBase  = uint64(0)
+	slotBase  = uint64(1) << 32
+	tableBase = uint64(1) << 33
+	memBase   = uint64(1) << 34
+	memStride = uint64(1) << 24 // per-memory region
+)
+
+// ActProfile precomputes the cache-line and branch-site footprint of one
+// activation so trace replay is a tight loop.
+type ActProfile struct {
+	CodeLines []uint64
+	DataLines []uint64 // activation table + touched slots
+	Sites     []uint64 // branch-site identities
+	Instrs    int
+}
+
+// Trace is a recorded execution: which activations ran on each simulated
+// cycle, plus concrete memory-port traffic.
+type Trace struct {
+	Profiles []ActProfile
+	// Cycles[i] lists executed activation indices of simulated cycle i.
+	Cycles [][]int32
+	// MemLines[i] lists memory-port line addresses touched in cycle i.
+	MemLines [][]uint64
+	// TotalInstrs is the modeled dynamic instruction count.
+	TotalInstrs int64
+	// SimCycles is the recorded simulated-cycle count.
+	SimCycles int
+	// CodeBytes is the unique code footprint; TableAndSlotBytes the
+	// resident data footprint.
+	CodeBytes int
+}
+
+// BuildProfiles lays out the program in the modeled address space and
+// computes per-activation footprints.
+func BuildProfiles(p *codegen.Program) []ActProfile {
+	// Kernel code placement, 64-byte aligned.
+	kbase := make([]uint64, len(p.Kernels))
+	off := codeBase
+	for i, k := range p.Kernels {
+		kbase[i] = off
+		off += uint64((k.CodeBytes + LineSize - 1) / LineSize * LineSize)
+	}
+	profiles := make([]ActProfile, len(p.Activations))
+	toff := tableBase
+	for i := range p.Activations {
+		act := &p.Activations[i]
+		k := p.Kernels[act.Kernel]
+		pr := &profiles[i]
+		for b := uint64(0); b < uint64(k.CodeBytes); b += LineSize {
+			pr.CodeLines = append(pr.CodeLines, kbase[act.Kernel]+b)
+		}
+		// The activation's indirection tables are contiguous data.
+		tbytes := 4*len(act.Ext) + 4*len(act.Mems)
+		if tbytes > 0 {
+			for b := uint64(0); b < uint64(tbytes); b += LineSize {
+				pr.DataLines = append(pr.DataLines, toff+b)
+			}
+			toff += uint64((tbytes + LineSize - 1) / LineSize * LineSize)
+		}
+		// Touched state slots (8 bytes each).
+		seen := map[uint64]bool{}
+		for _, s := range act.TouchedSlots {
+			line := (slotBase + uint64(s)*8) &^ (LineSize - 1)
+			if !seen[line] {
+				seen[line] = true
+				pr.DataLines = append(pr.DataLines, line)
+			}
+		}
+		// Branch sites live in the kernel's code: shared kernels SHARE
+		// their sites across activations (that is the locality win).
+		for s := 0; s < k.BranchSites; s++ {
+			pr.Sites = append(pr.Sites, kbase[act.Kernel]+uint64(s)*16)
+		}
+		pr.Instrs = k.DynInstrs
+	}
+	return profiles
+}
+
+// Record runs the engine for the given number of cycles, calling drive
+// before each Step to set inputs, and captures the activation and memory
+// trace.
+func Record(p *codegen.Program, activity bool, cycles int, drive func(e *sim.Engine, cycle int)) *Trace {
+	e := sim.New(p, activity)
+	tr := &Trace{
+		Profiles:  BuildProfiles(p),
+		Cycles:    make([][]int32, cycles),
+		MemLines:  make([][]uint64, cycles),
+		SimCycles: cycles,
+		CodeBytes: p.UniqueCodeBytes,
+	}
+	cur := 0
+	e.OnActivation = func(actIdx int32) {
+		tr.Cycles[cur] = append(tr.Cycles[cur], actIdx)
+		tr.TotalInstrs += int64(tr.Profiles[actIdx].Instrs)
+	}
+	e.OnMemAccess = func(mem int32, addr uint64, write bool) {
+		line := (memBase + uint64(mem)*memStride + addr*8) &^ (LineSize - 1)
+		tr.MemLines[cur] = append(tr.MemLines[cur], line)
+	}
+	for cyc := 0; cyc < cycles; cyc++ {
+		cur = cyc
+		drive(e, cyc)
+		e.Step()
+	}
+	return tr
+}
+
+// EventTrace captures the activity profile an event-driven (commercial-
+// style) simulator would process: one work item per changed signal per
+// cycle.
+type EventTrace struct {
+	// Events[i] is the changed-signal count of simulated cycle i.
+	Events []int64
+	// Nodes is the design size (the interpreter's data-structure
+	// footprint scales with it).
+	Nodes     int
+	SimCycles int
+}
+
+// RecordEvents runs the reference simulator and captures per-cycle
+// activity for the event-driven cost model.
+func RecordEvents(c *circuit.Circuit, cycles int, drive func(r *sim.Ref, cycle int)) (*EventTrace, error) {
+	r, err := sim.NewRef(c)
+	if err != nil {
+		return nil, err
+	}
+	tr := &EventTrace{Nodes: c.NumNodes(), SimCycles: cycles}
+	prev := int64(0)
+	for cyc := 0; cyc < cycles; cyc++ {
+		drive(r, cyc)
+		r.Step()
+		tr.Events = append(tr.Events, r.EventOps-prev)
+		prev = r.EventOps
+	}
+	return tr, nil
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedupsim/internal/dedup"
+	"dedupsim/internal/gen"
+	"dedupsim/internal/graph"
+)
+
+func TestBaselineIsValid(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 4)
+	s, err := Baseline(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineCyclicFails(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := Baseline(g); err == nil {
+		t.Fatal("cyclic quotient scheduled")
+	}
+}
+
+func TestLocalityAwareClustersIndependentClasses(t *testing.T) {
+	// Two instances, each a chain a->b; classes: a0,a1 share class 0,
+	// b0,b1 share class 1. No cross edges, so perfect clustering is
+	// possible: a0 a1 b0 b1 (or per-class back-to-back).
+	g := graph.New(4) // 0=a0 1=b0 2=a1 3=b1
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	class := []int32{0, 1, 0, 1}
+	s, err := LocalityAware(g, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	st := Reuse(s, class)
+	if st.BackToBack != st.Pairs || st.Pairs != 2 {
+		t.Fatalf("expected all pairs back-to-back: %+v (order %v)", st, s.Order)
+	}
+}
+
+func TestLocalityAwareRespectsCrossDependency(t *testing.T) {
+	// a0 -> b0, a1 -> b1, and b0 -> a1 (a cross dependency that forbids
+	// consolidating a0 with a1). Schedule must still be valid.
+	g := graph.New(4) // 0=a0 1=b0 2=a1 3=b1
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 2)
+	class := []int32{0, 1, 0, 1}
+	s, err := LocalityAware(g, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalityAwareIsPermutationOfBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := graph.New(40)
+	for i := 0; i < 90; i++ {
+		u := rng.Intn(39)
+		v := u + 1 + rng.Intn(39-u)
+		g.AddEdge(int32(u), int32(v))
+	}
+	g.Dedup()
+	class := make([]int32, 40)
+	for i := range class {
+		if rng.Intn(2) == 0 {
+			class[i] = int32(rng.Intn(5))
+		} else {
+			class[i] = -1
+		}
+	}
+	s, err := LocalityAware(g, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalityAwareImprovesReuseOnRealDesign(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.12))
+	g := c.SchedGraph()
+	r, err := dedup.Deduplicate(c, g, dedup.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := r.Part.Quotient(g)
+	base, err := Baseline(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := LocalityAware(q, r.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(q, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(q, loc); err != nil {
+		t.Fatal(err)
+	}
+	bs, ls := Reuse(base, r.Class), Reuse(loc, r.Class)
+	if bs.Pairs != ls.Pairs {
+		t.Fatalf("pair counts differ: %d vs %d", bs.Pairs, ls.Pairs)
+	}
+	if ls.MeanDistance >= bs.MeanDistance {
+		t.Fatalf("locality scheduling did not reduce reuse distance: %.1f -> %.1f",
+			bs.MeanDistance, ls.MeanDistance)
+	}
+	if float64(ls.BackToBack) < 0.5*float64(ls.Pairs) {
+		t.Fatalf("too few back-to-back activations: %d/%d", ls.BackToBack, ls.Pairs)
+	}
+	t.Logf("reuse distance: baseline %.1f -> locality %.1f (back-to-back %d/%d)",
+		bs.MeanDistance, ls.MeanDistance, ls.BackToBack, ls.Pairs)
+}
+
+func TestReuseStatsEmpty(t *testing.T) {
+	s := &Schedule{Order: []int32{0, 1, 2}}
+	st := Reuse(s, []int32{-1, -1, -1})
+	if st.Pairs != 0 || st.MeanDistance != 0 {
+		t.Fatalf("stats on classless schedule: %+v", st)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	if err := Validate(g, &Schedule{Order: []int32{1, 0}}); err == nil {
+		t.Fatal("violated edge accepted")
+	}
+	if err := Validate(g, &Schedule{Order: []int32{0, 0}}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := Validate(g, &Schedule{Order: []int32{0}}); err == nil {
+		t.Fatal("short order accepted")
+	}
+}
+
+func TestLocalityAwareClassLengthMismatch(t *testing.T) {
+	g := graph.New(3)
+	if _, err := LocalityAware(g, []int32{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPropertyLocalityAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(80)
+		g := graph.New(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(int32(u), int32(v))
+		}
+		g.Dedup()
+		class := make([]int32, n)
+		for i := range class {
+			class[i] = int32(rng.Intn(6)) - 1 // -1..4
+		}
+		s, err := LocalityAware(g, class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g, s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

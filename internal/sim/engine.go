@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/codegen"
+)
+
+// Engine executes a compiled Program one full cycle at a time. With
+// activity skipping enabled it reproduces ESSENT's behavior: a partition
+// is only re-evaluated when one of its inputs changed (a slot it reads was
+// overwritten with a new value, a register it reads committed a change, a
+// memory it reads was written, or a testbench input moved). With activity
+// skipping disabled it models Verilator-style unconditional full-cycle
+// evaluation.
+type Engine struct {
+	p        *codegen.Program
+	activity bool
+
+	state []uint64
+	mems  [][]uint64
+	temps []uint64
+	dirty []bool
+
+	inputs  map[string]codegen.PortSpec
+	outputs map[string]codegen.PortSpec
+
+	// Cycles counts executed steps since reset.
+	Cycles int64
+	// ActsExecuted / ActsSkipped count activations run vs elided.
+	ActsExecuted int64
+	ActsSkipped  int64
+	// DynInstrs accumulates the modeled native instruction count of all
+	// executed activations (Table 4's "Instructions").
+	DynInstrs int64
+
+	// OnActivation, when set, observes every *executed* activation in
+	// schedule order; the host performance model hooks in here.
+	OnActivation func(actIdx int32)
+	// OnMemAccess, when set, observes memory-port traffic (reads during
+	// evaluation, committed writes) with concrete addresses for the data-
+	// cache model.
+	OnMemAccess func(mem int32, addr uint64, write bool)
+}
+
+// New builds an engine. activity enables ESSENT-style partition skipping.
+func New(p *codegen.Program, activity bool) *Engine {
+	maxTemps := 0
+	for _, k := range p.Kernels {
+		if k.NumTemps > maxTemps {
+			maxTemps = k.NumTemps
+		}
+	}
+	e := &Engine{
+		p:        p,
+		activity: activity,
+		state:    make([]uint64, p.NumSlots),
+		temps:    make([]uint64, maxTemps),
+		dirty:    make([]bool, p.NumParts),
+		inputs:   map[string]codegen.PortSpec{},
+		outputs:  map[string]codegen.PortSpec{},
+	}
+	e.mems = make([][]uint64, len(p.Mems))
+	for i, m := range p.Mems {
+		e.mems[i] = make([]uint64, m.Depth)
+	}
+	for _, in := range p.Inputs {
+		e.inputs[in.Name] = in
+	}
+	for _, out := range p.Outputs {
+		e.outputs[out.Name] = out
+	}
+	e.Reset()
+	return e
+}
+
+// Program returns the program being executed.
+func (e *Engine) Program() *codegen.Program { return e.p }
+
+// Reset zeroes all state, restores register reset values, and marks every
+// partition dirty so the first cycle evaluates everything.
+func (e *Engine) Reset() {
+	for i := range e.state {
+		e.state[i] = 0
+	}
+	for _, r := range e.p.Regs {
+		e.state[r.Cur] = r.Reset
+		e.state[r.Next] = r.Reset
+	}
+	for _, m := range e.mems {
+		for i := range m {
+			m[i] = 0
+		}
+	}
+	for i := range e.dirty {
+		e.dirty[i] = true
+	}
+	e.Cycles, e.ActsExecuted, e.ActsSkipped, e.DynInstrs = 0, 0, 0, 0
+}
+
+// SetInput drives a named input, dirtying its consumers if it changed.
+func (e *Engine) SetInput(name string, v uint64) error {
+	in, ok := e.inputs[name]
+	if !ok {
+		return fmt.Errorf("sim: no input %q", name)
+	}
+	v &= circuit.Mask(in.Width)
+	if e.state[in.Slot] != v {
+		e.state[in.Slot] = v
+		e.markConsumers(in.Slot)
+	}
+	return nil
+}
+
+// Output reads a named output as of the last Step.
+func (e *Engine) Output(name string) (uint64, error) {
+	out, ok := e.outputs[name]
+	if !ok {
+		return 0, fmt.Errorf("sim: no output %q", name)
+	}
+	return e.state[out.Slot], nil
+}
+
+// Slot reads a raw state slot (tests and probes).
+func (e *Engine) Slot(s int32) uint64 { return e.state[s] }
+
+func (e *Engine) markConsumers(slot int32) {
+	for _, p := range e.p.ConsumersOfSlot[slot] {
+		e.dirty[p] = true
+	}
+}
+
+// Step evaluates one full cycle: the scheduled activations (skipping
+// clean partitions when activity mode is on), then register and memory
+// commits.
+func (e *Engine) Step() {
+	p := e.p
+	for i := range p.Activations {
+		act := &p.Activations[i]
+		if e.activity && !e.dirty[act.Part] {
+			e.ActsSkipped++
+			continue
+		}
+		e.dirty[act.Part] = false
+		e.exec(act)
+		e.ActsExecuted++
+		if e.OnActivation != nil {
+			e.OnActivation(int32(i))
+		}
+	}
+	// Register commits: gather-then-write is unnecessary because next
+	// slots are distinct from cur slots and were finalized during eval.
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		if r.En >= 0 && e.state[r.En] == 0 {
+			continue
+		}
+		next := e.state[r.Next]
+		if e.state[r.Cur] != next {
+			e.state[r.Cur] = next
+			e.markConsumers(r.Cur)
+		}
+	}
+	// Memory commits in port order.
+	for i := range p.WritePorts {
+		wp := &p.WritePorts[i]
+		if e.state[wp.En] == 0 {
+			continue
+		}
+		m := e.mems[wp.Mem]
+		addr := e.state[wp.Addr] % uint64(len(m))
+		data := e.state[wp.Data] & circuit.Mask(p.Mems[wp.Mem].Width)
+		if e.OnMemAccess != nil {
+			e.OnMemAccess(wp.Mem, addr, true)
+		}
+		if m[addr] != data {
+			m[addr] = data
+			for _, pt := range p.ConsumersOfMem[wp.Mem] {
+				e.dirty[pt] = true
+			}
+		}
+	}
+	e.Cycles++
+}
+
+// exec interprets one kernel activation.
+func (e *Engine) exec(act *codegen.Activation) {
+	k := e.p.Kernels[act.Kernel]
+	t := e.temps
+	st := e.state
+	for i := range k.Code {
+		in := &k.Code[i]
+		switch in.Op {
+		case codegen.KConst:
+			t[in.Dst] = in.Val
+		case codegen.KLoad:
+			t[in.Dst] = st[in.A]
+		case codegen.KLoadExt:
+			t[in.Dst] = st[act.Ext[in.A]]
+		case codegen.KStore:
+			v := t[in.A] & circuit.Mask(in.Width)
+			if st[in.Dst] != v {
+				st[in.Dst] = v
+				e.markConsumers(in.Dst)
+			}
+		case codegen.KStoreExt:
+			slot := act.Ext[in.Dst]
+			v := t[in.A] & circuit.Mask(in.Width)
+			if st[slot] != v {
+				st[slot] = v
+				e.markConsumers(slot)
+			}
+		case codegen.KBin:
+			t[in.Dst] = EvalBin(in.BinOp, in.Width, t[in.A], t[in.B], uint8(in.Val))
+		case codegen.KNot:
+			t[in.Dst] = ^t[in.A] & circuit.Mask(in.Width)
+		case codegen.KMux:
+			if t[in.A] != 0 {
+				t[in.Dst] = t[in.B]
+			} else {
+				t[in.Dst] = t[in.C]
+			}
+		case codegen.KBits:
+			t[in.Dst] = (t[in.A] >> in.Val) & circuit.Mask(in.Width)
+		case codegen.KMemRead:
+			mi := in.B
+			if k.Shared {
+				mi = act.Mems[in.B]
+			}
+			m := e.mems[mi]
+			addr := t[in.A] % uint64(len(m))
+			if e.OnMemAccess != nil {
+				e.OnMemAccess(mi, addr, false)
+			}
+			t[in.Dst] = m[addr]
+		}
+	}
+	e.DynInstrs += int64(k.DynInstrs)
+}

@@ -1,0 +1,60 @@
+// Package sim executes compiled Programs (the full-cycle engine, with
+// optional ESSENT-style activity skipping) and provides a node-level
+// reference interpreter used as the golden model for equivalence testing.
+package sim
+
+import "dedupsim/internal/circuit"
+
+// EvalBin computes a binary primitive masked to width w. bw is the width
+// of operand b (needed by OpCat). Operands are assumed already masked to
+// their own widths.
+func EvalBin(op circuit.Op, w uint8, a, b uint64, bw uint8) uint64 {
+	m := circuit.Mask(w)
+	switch op {
+	case circuit.OpAnd:
+		return (a & b) & m
+	case circuit.OpOr:
+		return (a | b) & m
+	case circuit.OpXor:
+		return (a ^ b) & m
+	case circuit.OpAdd:
+		return (a + b) & m
+	case circuit.OpSub:
+		return (a - b) & m
+	case circuit.OpMul:
+		return (a * b) & m
+	case circuit.OpEq:
+		if a == b {
+			return 1
+		}
+		return 0
+	case circuit.OpNeq:
+		if a != b {
+			return 1
+		}
+		return 0
+	case circuit.OpLt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case circuit.OpGeq:
+		if a >= b {
+			return 1
+		}
+		return 0
+	case circuit.OpShl:
+		if b >= 64 {
+			return 0
+		}
+		return (a << b) & m
+	case circuit.OpShr:
+		if b >= 64 {
+			return 0
+		}
+		return (a >> b) & m
+	case circuit.OpCat:
+		return ((a << bw) | b) & m
+	}
+	panic("sim: EvalBin called with non-binary op " + op.String())
+}

@@ -1,0 +1,153 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/gen"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+// driveEventAndRef runs the event-driven simulator and the reference in
+// lockstep, comparing all outputs every cycle.
+func driveEventAndRef(t *testing.T, c *circuit.Circuit, cycles int, seed int64) *sim.EventDriven {
+	t.Helper()
+	ed, err := sim.NewEventDriven(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.NewRef(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for cyc := 0; cyc < cycles; cyc++ {
+		for _, in := range c.Inputs() {
+			v := rng.Uint64() & circuit.Mask(c.Width[in])
+			if rng.Intn(3) == 0 {
+				v = 0
+			}
+			name := c.Names[in]
+			ed.SetInput(name, v)
+			ref.SetInput(name, v)
+		}
+		ed.Step()
+		ref.Step()
+		for _, out := range c.Outputs() {
+			name := c.Names[out]
+			got, _ := ed.Output(name)
+			want, _ := ref.Output(name)
+			if got != want {
+				t.Fatalf("cycle %d output %q: event-driven %#x, reference %#x", cyc, name, got, want)
+			}
+		}
+	}
+	return ed
+}
+
+func TestEventDrivenMatchesReference(t *testing.T) {
+	for _, f := range gen.Families[:2] {
+		c := gen.MustBuild(gen.Config(f, 2, 0.1))
+		driveEventAndRef(t, c, 80, 7)
+	}
+}
+
+func TestEventDrivenRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 60+rng.Intn(120))
+		driveEventAndRef(t, c, 40, int64(trial))
+	}
+}
+
+func TestEventDrivenDoesLessWorkWhenIdle(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, 0.1))
+	ed, err := sim.NewEventDriven(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn the time-zero wavefront, then measure a busy and an idle phase.
+	ed.SetInput("stim_valid", 1)
+	ed.SetInput("stim", 123)
+	for i := 0; i < 20; i++ {
+		ed.Step()
+	}
+	busyStart := ed.Events
+	drive := stimulus.VVAddB().NewDrive()
+	for i := 0; i < 50; i++ {
+		drive(ed, i)
+		ed.Step()
+	}
+	busy := ed.Events - busyStart
+
+	ed.SetInput("stim_valid", 0)
+	ed.SetInput("stim", 0)
+	for i := 0; i < 50; i++ {
+		ed.Step() // let activity drain
+	}
+	idleStart := ed.Events
+	for i := 0; i < 50; i++ {
+		ed.Step()
+	}
+	idle := ed.Events - idleStart
+	if idle >= busy/2 {
+		t.Fatalf("idle design still processes events: idle=%d busy=%d", idle, busy)
+	}
+}
+
+func TestEventDrivenEventsScaleWithActivity(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 2, 0.1))
+	run := func(wl stimulus.Workload) int64 {
+		ed, err := sim.NewEventDriven(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive := wl.NewDrive()
+		for i := 0; i < 150; i++ {
+			drive(ed, i)
+			ed.Step()
+		}
+		return ed.Events
+	}
+	a, b := run(stimulus.VVAddA()), run(stimulus.VVAddB())
+	if b <= a {
+		t.Fatalf("workload B (%d events) not busier than A (%d)", b, a)
+	}
+}
+
+func TestEventDrivenReset(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 1, 0.1))
+	ed, err := sim.NewEventDriven(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() uint64 {
+		ed.Reset()
+		ed.SetInput("stim", 7)
+		ed.SetInput("stim_valid", 1)
+		for i := 0; i < 12; i++ {
+			ed.Step()
+		}
+		v, _ := ed.Output("result")
+		return v
+	}
+	if run() != run() {
+		t.Fatal("event-driven simulator not deterministic across Reset")
+	}
+}
+
+func TestEventDrivenInputErrors(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 1, 0.1))
+	ed, err := sim.NewEventDriven(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ed.SetInput("bogus", 1); err == nil {
+		t.Fatal("bogus input accepted")
+	}
+	if _, err := ed.Output("bogus"); err == nil {
+		t.Fatal("bogus output accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+func buildParallel(t *testing.T, c *circuit.Circuit, v harness.Variant, threads int) *sim.ParallelEngine {
+	t.Helper()
+	cv, err := harness.CompileVariant(c, v, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cv.Dedup.Part.Quotient(c.SchedGraph())
+	pe, err := sim.NewParallel(cv.Program, q, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pe
+}
+
+func TestParallelMatchesReference(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.1))
+		pe := buildParallel(t, c, harness.Dedup, threads)
+		ref, err := sim.NewRef(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1 := stimulus.VVAddB().NewDrive()
+		d2 := stimulus.VVAddB().NewDrive()
+		for cyc := 0; cyc < 60; cyc++ {
+			d1(pe, cyc)
+			d2(ref, cyc)
+			pe.Step()
+			ref.Step()
+			for _, out := range []string{"result", "done"} {
+				got, _ := pe.Output(out)
+				want, _ := ref.Output(out)
+				if got != want {
+					t.Fatalf("threads=%d cycle %d %q: parallel %#x ref %#x",
+						threads, cyc, out, got, want)
+				}
+			}
+		}
+		if pe.ActsSkipped == 0 {
+			t.Fatal("parallel engine never skipped (activity mode broken)")
+		}
+	}
+}
+
+func TestParallelDeterministicAcrossThreadCounts(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.LargeBoom, 2, 0.08))
+	run := func(threads int) uint64 {
+		pe := buildParallel(t, c, harness.Dedup, threads)
+		drive := stimulus.VVAddA().NewDrive()
+		for cyc := 0; cyc < 50; cyc++ {
+			drive(pe, cyc)
+			pe.Step()
+		}
+		v, _ := pe.Output("result")
+		return v
+	}
+	r1, r2, r8 := run(1), run(2), run(8)
+	if r1 != r2 || r2 != r8 {
+		t.Fatalf("results differ across thread counts: %#x %#x %#x", r1, r2, r8)
+	}
+}
+
+func TestParallelReset(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, 0.1))
+	pe := buildParallel(t, c, harness.ESSENT, 4)
+	run := func() uint64 {
+		pe.Reset()
+		drive := stimulus.VVAddA().NewDrive()
+		for cyc := 0; cyc < 20; cyc++ {
+			drive(pe, cyc)
+			pe.Step()
+		}
+		v, _ := pe.Output("result")
+		return v
+	}
+	if run() != run() {
+		t.Fatal("parallel engine not deterministic across Reset")
+	}
+	if pe.Cycles != 20 {
+		t.Fatalf("cycles = %d", pe.Cycles)
+	}
+}
+
+func TestParallelInputErrors(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 1, 0.1))
+	pe := buildParallel(t, c, harness.ESSENT, 2)
+	if err := pe.SetInput("bogus", 1); err == nil {
+		t.Fatal("bogus input accepted")
+	}
+	if _, err := pe.Output("bogus"); err == nil {
+		t.Fatal("bogus output accepted")
+	}
+}

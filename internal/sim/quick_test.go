@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/sim"
+)
+
+// Property: every EvalBin result fits in the declared width.
+func TestQuickEvalBinMasked(t *testing.T) {
+	ops := []circuit.Op{
+		circuit.OpAnd, circuit.OpOr, circuit.OpXor, circuit.OpAdd, circuit.OpSub,
+		circuit.OpMul, circuit.OpEq, circuit.OpNeq, circuit.OpLt, circuit.OpGeq,
+		circuit.OpShl, circuit.OpShr, circuit.OpCat,
+	}
+	f := func(opIdx uint8, w uint8, a, b uint64, bw uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		width := w%64 + 1
+		bwidth := bw%64 + 1
+		if op == circuit.OpCat && int(width) < int(bwidth) {
+			bwidth = width // cat requires the b-field to fit
+		}
+		got := sim.EvalBin(op, width, a&circuit.Mask(width), b&circuit.Mask(bwidth), bwidth)
+		return got&^circuit.Mask(width) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: commutative ops commute; comparisons are consistent.
+func TestQuickEvalBinAlgebra(t *testing.T) {
+	f := func(w uint8, a, b uint64) bool {
+		width := w%64 + 1
+		a &= circuit.Mask(width)
+		b &= circuit.Mask(width)
+		for _, op := range []circuit.Op{circuit.OpAnd, circuit.OpOr, circuit.OpXor, circuit.OpAdd, circuit.OpMul} {
+			if sim.EvalBin(op, width, a, b, width) != sim.EvalBin(op, width, b, a, width) {
+				return false
+			}
+		}
+		lt := sim.EvalBin(circuit.OpLt, 1, a, b, width)
+		geq := sim.EvalBin(circuit.OpGeq, 1, a, b, width)
+		if lt == geq {
+			return false // exactly one must hold
+		}
+		eq := sim.EvalBin(circuit.OpEq, 1, a, b, width)
+		neq := sim.EvalBin(circuit.OpNeq, 1, a, b, width)
+		return eq != neq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cat splits back into its halves via shifts.
+func TestQuickCatRoundTrip(t *testing.T) {
+	f := func(aw, bw uint8, a, b uint64) bool {
+		wa := aw%32 + 1
+		wb := bw%32 + 1
+		a &= circuit.Mask(wa)
+		b &= circuit.Mask(wb)
+		cat := sim.EvalBin(circuit.OpCat, wa+wb, a, b, wb)
+		return cat>>wb == a && cat&circuit.Mask(wb) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

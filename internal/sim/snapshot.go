@@ -1,0 +1,55 @@
+package sim
+
+import "fmt"
+
+// Snapshot is a saved simulation state: every state slot, every memory,
+// and the cycle counter. Industrial RTL simulations run for days (paper
+// Section 6.6); checkpointing makes long runs resumable and enables
+// bisection debugging (restore, re-run with waves on).
+type Snapshot struct {
+	State  []uint64
+	Mems   [][]uint64
+	Cycles int64
+}
+
+// Save captures the engine's architectural state. Activity (dirty) flags
+// are deliberately not saved: Restore marks everything dirty, which is
+// always sound.
+func (e *Engine) Save() *Snapshot {
+	s := &Snapshot{
+		State:  append([]uint64(nil), e.state...),
+		Mems:   make([][]uint64, len(e.mems)),
+		Cycles: e.Cycles,
+	}
+	for i, m := range e.mems {
+		s.Mems[i] = append([]uint64(nil), m...)
+	}
+	return s
+}
+
+// Restore loads a snapshot previously taken from an engine running the
+// same program. All partitions are marked dirty, so the next Step fully
+// re-evaluates — conservative and always correct.
+func (e *Engine) Restore(s *Snapshot) error {
+	if len(s.State) != len(e.state) {
+		return fmt.Errorf("sim: snapshot has %d slots, engine has %d", len(s.State), len(e.state))
+	}
+	if len(s.Mems) != len(e.mems) {
+		return fmt.Errorf("sim: snapshot has %d memories, engine has %d", len(s.Mems), len(e.mems))
+	}
+	for i := range s.Mems {
+		if len(s.Mems[i]) != len(e.mems[i]) {
+			return fmt.Errorf("sim: snapshot memory %d has depth %d, engine has %d",
+				i, len(s.Mems[i]), len(e.mems[i]))
+		}
+	}
+	copy(e.state, s.State)
+	for i := range s.Mems {
+		copy(e.mems[i], s.Mems[i])
+	}
+	e.Cycles = s.Cycles
+	for i := range e.dirty {
+		e.dirty[i] = true
+	}
+	return nil
+}

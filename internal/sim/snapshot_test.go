@@ -1,0 +1,129 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 2, 0.1))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(cv.Program, true)
+	drive := stimulus.VVAddA().NewDrive()
+	for cyc := 0; cyc < 37; cyc++ {
+		drive(e, cyc)
+		e.Step()
+	}
+	snap := e.Save()
+
+	record := func(from int) []uint64 {
+		var vals []uint64
+		d := stimulus.VVAddB().NewDrive()
+		for cyc := 0; cyc < 25; cyc++ {
+			d(e, from+cyc)
+			e.Step()
+			v, _ := e.Output("result")
+			vals = append(vals, v)
+		}
+		return vals
+	}
+	first := record(37)
+	if e.Cycles != 37+25 {
+		t.Fatalf("cycles = %d", e.Cycles)
+	}
+	if err := e.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cycles != 37 {
+		t.Fatalf("restored cycles = %d, want 37", e.Cycles)
+	}
+	second := record(37)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at step %d: %#x vs %#x", i, first[i], second[i])
+		}
+	}
+}
+
+func TestSnapshotStillMatchesReferenceAfterRestore(t *testing.T) {
+	// Restore marks everything dirty; activity skipping must remain sound.
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, 0.1))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(cv.Program, true)
+	ref, _ := sim.NewRef(c)
+	drive1 := stimulus.VVAddA().NewDrive()
+	drive2 := stimulus.VVAddA().NewDrive()
+	for cyc := 0; cyc < 20; cyc++ {
+		drive1(e, cyc)
+		drive2(ref, cyc)
+		e.Step()
+		ref.Step()
+	}
+	snap := e.Save()
+	if err := e.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for cyc := 20; cyc < 60; cyc++ {
+		drive1(e, cyc)
+		drive2(ref, cyc)
+		e.Step()
+		ref.Step()
+		got, _ := e.Output("result")
+		want, _ := ref.Output("result")
+		if got != want {
+			t.Fatalf("cycle %d after restore: %#x vs %#x", cyc, got, want)
+		}
+	}
+}
+
+func TestSnapshotShapeMismatchRejected(t *testing.T) {
+	c1 := gen.MustBuild(gen.Config(gen.Rocket, 1, 0.1))
+	c2 := gen.MustBuild(gen.Config(gen.Rocket, 2, 0.1))
+	cv1, err := harness.CompileVariant(c1, harness.ESSENT, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv2, err := harness.CompileVariant(c2, harness.ESSENT, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := sim.New(cv1.Program, true)
+	e2 := sim.New(cv2.Program, true)
+	if err := e2.Restore(e1.Save()); err == nil {
+		t.Fatal("cross-design restore accepted")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 1, 0.1))
+	cv, err := harness.CompileVariant(c, harness.ESSENT, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(cv.Program, true)
+	e.SetInput("stim", 1)
+	e.SetInput("stim_valid", 1)
+	e.Step()
+	snap := e.Save()
+	before := append([]uint64(nil), snap.State...)
+	for i := 0; i < 10; i++ {
+		e.SetInput("stim", uint64(i*13))
+		e.Step()
+	}
+	for i := range before {
+		if snap.State[i] != before[i] {
+			t.Fatal("snapshot aliases live engine state")
+		}
+	}
+}

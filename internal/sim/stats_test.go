@@ -1,0 +1,77 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+func TestPartitionStats(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 2, 0.1))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(cv.Program, true)
+	st := sim.NewPartitionStats(e)
+	drive := stimulus.VVAddA().NewDrive()
+	for cyc := 0; cyc < 100; cyc++ {
+		drive(e, cyc)
+		e.Step()
+		st.Observe()
+	}
+	rate := st.ActivityRate()
+	if rate <= 0 || rate >= 1 {
+		t.Fatalf("activity rate out of range: %f", rate)
+	}
+	h := st.Histogram()
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != cv.Program.NumParts {
+		t.Fatalf("histogram covers %d of %d partitions", total, cv.Program.NumParts)
+	}
+	// Low-activity workload: the distribution must be skewed, not uniform.
+	if h["<10%"]+h["never"] == 0 {
+		t.Fatalf("no cold partitions on a low-activity workload: %v", h)
+	}
+
+	var sb strings.Builder
+	if err := st.WriteReport(&sb, cv.Program, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"partition activity over 100 cycles", "executions", "modeled instrs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPartitionStatsChainedHook(t *testing.T) {
+	// NewPartitionStats must preserve a pre-existing OnActivation hook.
+	c := gen.MustBuild(gen.Config(gen.Rocket, 1, 0.1))
+	cv, err := harness.CompileVariant(c, harness.ESSENT, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(cv.Program, false)
+	calls := 0
+	e.OnActivation = func(int32) { calls++ }
+	st := sim.NewPartitionStats(e)
+	e.SetInput("stim_valid", 1)
+	e.Step()
+	st.Observe()
+	if calls == 0 {
+		t.Fatal("original hook lost")
+	}
+	if st.ActivityRate() == 0 {
+		t.Fatal("stats hook not invoked")
+	}
+}

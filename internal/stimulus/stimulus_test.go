@@ -1,0 +1,105 @@
+package stimulus
+
+import "testing"
+
+// recorder captures SetInput calls.
+type recorder struct {
+	stim  []uint64
+	valid []uint64
+}
+
+func (r *recorder) SetInput(name string, v uint64) error {
+	switch name {
+	case "stim":
+		r.stim = append(r.stim, v)
+	case "stim_valid":
+		r.valid = append(r.valid, v)
+	}
+	return nil
+}
+
+func TestDrivesAreDeterministic(t *testing.T) {
+	for _, w := range []Workload{VVAddA(), VVAddB()} {
+		a, b := &recorder{}, &recorder{}
+		da, db := w.NewDrive(), w.NewDrive()
+		for cyc := 0; cyc < 200; cyc++ {
+			da(a, cyc)
+			db(b, cyc)
+		}
+		for i := range a.stim {
+			if a.stim[i] != b.stim[i] || a.valid[i] != b.valid[i] {
+				t.Fatalf("workload %s: drives diverge at cycle %d", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestWorkloadsDiffer(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	da, db := VVAddA().NewDrive(), VVAddB().NewDrive()
+	same := 0
+	for cyc := 0; cyc < 100; cyc++ {
+		da(a, cyc)
+		db(b, cyc)
+		if a.stim[cyc] == b.stim[cyc] {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("workloads A and B suspiciously similar: %d/100 equal", same)
+	}
+}
+
+func TestDutyCycles(t *testing.T) {
+	count := func(w Workload) int {
+		r := &recorder{}
+		d := w.NewDrive()
+		for cyc := 0; cyc < 1000; cyc++ {
+			d(r, cyc)
+		}
+		n := 0
+		for _, v := range r.valid {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(VVAddA()), count(VVAddB())
+	if a < 80 || a > 220 {
+		t.Fatalf("workload A duty %d/1000, want ~140", a)
+	}
+	if b < 350 || b > 550 {
+		t.Fatalf("workload B duty %d/1000, want ~450", b)
+	}
+	if b <= a {
+		t.Fatal("B must be busier than A")
+	}
+}
+
+func TestBLongerThanA(t *testing.T) {
+	a, b := VVAddA(), VVAddB()
+	ratio := float64(b.Cycles) / float64(a.Cycles)
+	if ratio < 10 || ratio > 13 {
+		t.Fatalf("B/A length ratio = %.1f, paper says ~11.2x", ratio)
+	}
+}
+
+func TestStimHoldsBetweenToggles(t *testing.T) {
+	r := &recorder{}
+	d := VVAddA().NewDrive()
+	for cyc := 0; cyc < 500; cyc++ {
+		d(r, cyc)
+	}
+	holds := 0
+	for i := 1; i < len(r.stim); i++ {
+		if r.stim[i] == r.stim[i-1] {
+			holds++
+		}
+	}
+	// Workload A toggles ~8% of cycles, so the operand should hold most
+	// of the time.
+	if holds < 350 {
+		t.Fatalf("stim held only %d/499 cycles on low-activity workload", holds)
+	}
+}

@@ -1,0 +1,69 @@
+// Command dedupfarmd serves the simulation farm over HTTP: submit
+// simulation jobs, poll their status, fetch stats and waveforms, and
+// inspect the content-addressed compile cache that lets identical designs
+// share one compiled Program across the whole farm.
+//
+// Usage:
+//
+//	dedupfarmd -addr :8080 -workers 8
+//
+//	curl -X POST localhost:8080/jobs -d '{"design":"Rocket-2C","scale":0.25,"cycles":2000}'
+//	curl localhost:8080/jobs/job-1
+//	curl localhost:8080/stats
+//	curl localhost:8080/statusz
+//	curl localhost:8080/cache
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dedupsim/internal/farm"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued-job limit (0 = default 1024)")
+	maxCycles := flag.Int("max-cycles", 0, "per-job cycle budget cap (0 = default 1e6)")
+	timeout := flag.Duration("timeout", 0, "default per-job wall-clock timeout (0 = 2m)")
+	flag.Parse()
+
+	f := farm.New(farm.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxCycles:      *maxCycles,
+		DefaultTimeout: *timeout,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: farm.Handler(f),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+
+	fmt.Printf("dedupfarmd listening on %s\n", *addr)
+	err := srv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Println("dedupfarmd: final stats")
+	f.WriteStats(os.Stdout)
+}

@@ -7,18 +7,25 @@
 //	dedupsim -firrtl mydesign.fir -variant ESSENT -workload B
 //	dedupsim -design Rocket-2C -variant Dedup -verify   # against reference
 //	dedupsim -design MegaBoom-8C -variant Dedup -model  # modeled counters
+//	dedupsim -design Rocket-2C -json                    # machine-readable
+//
+// With -json the human-readable report moves to stderr and stdout carries
+// a single JSON document in the same encoding the farm API (dedupfarmd)
+// serves, so scripts can consume either interchangeably.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"dedupsim/internal/circuit"
 	"dedupsim/internal/codegen"
+	"dedupsim/internal/farm"
 	"dedupsim/internal/firrtl"
 	"dedupsim/internal/gen"
 	"dedupsim/internal/harness"
@@ -40,13 +47,20 @@ func main() {
 	vcdPath := flag.String("vcd", "", "dump a waveform of all registers and I/O to this VCD file")
 	stats := flag.Bool("stats", false, "report per-partition activity and the hottest partitions")
 	cppPath := flag.String("emit-cpp", "", "write the compiled simulator as C++ source to this file")
+	jsonOut := flag.Bool("json", false, "emit simulation stats as JSON on stdout (human report moves to stderr)")
 	flag.Parse()
+
+	// With -json, stdout is reserved for the JSON document.
+	var out io.Writer = os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
 
 	c, err := loadDesign(*design, *firrtlPath, *scale)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("design: %s\n", c)
+	fmt.Fprintf(out, "design: %s\n", c)
 
 	v := harness.Variant(*variantName)
 	if v == harness.Commercial {
@@ -57,13 +71,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	compileTime := time.Since(start)
 	prog := cv.Program
-	fmt.Printf("compiled %s in %s: %d partitions, %d kernels (%d shared classes), code %d B, tables %d B\n",
-		v, time.Since(start).Round(time.Millisecond),
+	fmt.Fprintf(out, "compiled %s in %s: %d partitions, %d kernels (%d shared classes), code %d B, tables %d B\n",
+		v, compileTime.Round(time.Millisecond),
 		prog.NumParts, len(prog.Kernels), sharedClasses(cv), prog.UniqueCodeBytes, prog.TableBytes)
 	if cv.Dedup != nil && cv.Dedup.Stats.Module != "" {
 		s := cv.Dedup.Stats
-		fmt.Printf("dedup: module %s x%d (%d nodes each), ideal %.2f%%, real %.2f%%\n",
+		fmt.Fprintf(out, "dedup: module %s x%d (%d nodes each), ideal %.2f%%, real %.2f%%\n",
 			s.Module, s.Instances, s.InstanceSize, 100*s.IdealReduction, 100*s.RealReduction)
 	}
 
@@ -78,7 +93,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("emitted C++ simulator to %s\n", *cppPath)
+		fmt.Fprintf(out, "emitted C++ simulator to %s\n", *cppPath)
 	}
 
 	var wl stimulus.Workload
@@ -125,7 +140,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("dumping %d signals to %s\n", len(probes), *vcdPath)
+		fmt.Fprintf(out, "dumping %d signals to %s\n", len(probes), *vcdPath)
 	}
 	start = time.Now()
 	for cyc := 0; cyc < *cycles; cyc++ {
@@ -142,8 +157,8 @@ func main() {
 		if ref != nil {
 			refDrive(ref, cyc)
 			ref.Step()
-			for _, out := range c.Outputs() {
-				name := c.Names[out]
+			for _, o := range c.Outputs() {
+				name := c.Names[o]
 				got, _ := e.Output(name)
 				want, _ := ref.Output(name)
 				if got != want {
@@ -159,21 +174,21 @@ func main() {
 		}
 	}
 	wall := time.Since(start)
-	fmt.Printf("ran %d cycles in %s (%.0f simulated Hz in-process)\n",
+	fmt.Fprintf(out, "ran %d cycles in %s (%.0f simulated Hz in-process)\n",
 		*cycles, wall.Round(time.Millisecond), float64(*cycles)/wall.Seconds())
 	total := e.ActsExecuted + e.ActsSkipped
-	fmt.Printf("activations: %d executed, %d skipped (%.1f%% activity)\n",
+	fmt.Fprintf(out, "activations: %d executed, %d skipped (%.1f%% activity)\n",
 		e.ActsExecuted, e.ActsSkipped, 100*float64(e.ActsExecuted)/float64(total))
-	for _, out := range c.Outputs() {
-		val, _ := e.Output(c.Names[out])
-		fmt.Printf("output %-12s = %#x\n", c.Names[out], val)
+	for _, o := range c.Outputs() {
+		val, _ := e.Output(c.Names[o])
+		fmt.Fprintf(out, "output %-12s = %#x\n", c.Names[o], val)
 	}
 	if ref != nil {
-		fmt.Println("verification PASSED: all outputs matched the reference every cycle")
+		fmt.Fprintln(out, "verification PASSED: all outputs matched the reference every cycle")
 	}
 	if pstats != nil {
-		fmt.Println()
-		if err := pstats.WriteReport(os.Stdout, prog, 10); err != nil {
+		fmt.Fprintln(out)
+		if err := pstats.WriteReport(out, prog, 10); err != nil {
 			fail(err)
 		}
 	}
@@ -184,8 +199,18 @@ func main() {
 		tr := perfmodel.Record(prog, cv.Activity, min(*cycles, 500),
 			func(e *sim.Engine, cyc int) { drive2(e, cyc) })
 		ctr := perfmodel.RunSingle(tr, m, 0)
-		fmt.Printf("modeled on %s: %.0f sim Hz, IPC %.2f, L1I MPKI %.1f, branch MPKI %.1f, stall %.1f%%\n",
+		fmt.Fprintf(out, "modeled on %s: %.0f sim Hz, IPC %.2f, L1I MPKI %.1f, branch MPKI %.1f, stall %.1f%%\n",
 			m.Name, ctr.SimHz, ctr.IPC, ctr.L1IMPKI, ctr.BranchMPKI, ctr.StallPct)
+	}
+
+	if *jsonOut {
+		st := farm.CollectStats(c, cv, e, compileTime, wall)
+		st.Workload = wl.Name
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fail(err)
+		}
 	}
 }
 
@@ -200,7 +225,7 @@ func loadDesign(design, path string, scale float64) (*circuit.Circuit, error) {
 		}
 		return firrtl.Compile(string(src))
 	case design != "":
-		f, cores, err := parseDesign(design)
+		f, cores, err := gen.ParseDesign(design)
 		if err != nil {
 			return nil, err
 		}
@@ -208,24 +233,6 @@ func loadDesign(design, path string, scale float64) (*circuit.Circuit, error) {
 	default:
 		return nil, fmt.Errorf("specify -design (e.g. Rocket-2C) or -firrtl FILE")
 	}
-}
-
-// parseDesign splits "LargeBoom-6C" into family and core count.
-func parseDesign(s string) (gen.Family, int, error) {
-	i := strings.LastIndexByte(s, '-')
-	if i < 0 || !strings.HasSuffix(s, "C") {
-		return "", 0, fmt.Errorf("design %q: want FAMILY-nC, e.g. SmallBoom-4C", s)
-	}
-	cores, err := strconv.Atoi(s[i+1 : len(s)-1])
-	if err != nil || cores < 1 {
-		return "", 0, fmt.Errorf("design %q: bad core count", s)
-	}
-	for _, f := range gen.Families {
-		if string(f) == s[:i] {
-			return f, cores, nil
-		}
-	}
-	return "", 0, fmt.Errorf("design %q: unknown family (have %v)", s, gen.Families)
 }
 
 func sharedClasses(cv *harness.Compiled) int {

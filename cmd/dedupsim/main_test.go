@@ -3,28 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
-
-	"dedupsim/internal/gen"
 )
-
-func TestParseDesign(t *testing.T) {
-	f, cores, err := parseDesign("LargeBoom-6C")
-	if err != nil || f != gen.LargeBoom || cores != 6 {
-		t.Fatalf("parseDesign: %v %d %v", f, cores, err)
-	}
-	if _, _, err := parseDesign("Nope-2C"); err == nil {
-		t.Fatal("unknown family accepted")
-	}
-	if _, _, err := parseDesign("Rocket-0C"); err == nil {
-		t.Fatal("zero cores accepted")
-	}
-	if _, _, err := parseDesign("Rocket2C"); err == nil {
-		t.Fatal("missing dash accepted")
-	}
-	if _, _, err := parseDesign("Rocket-2X"); err == nil {
-		t.Fatal("missing C suffix accepted")
-	}
-}
 
 func TestLoadDesignModes(t *testing.T) {
 	if _, err := loadDesign("", "", 1.0); err == nil {

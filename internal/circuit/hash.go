@@ -1,0 +1,67 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+)
+
+// Hash is a stable content address for an elaborated circuit. Two circuits
+// with identical structure (ops, widths, arguments, literals, names,
+// instance tree, and memory shapes) hash identically regardless of how
+// they were produced — the same generator configuration or the same FIRRTL
+// source always yields the same Hash. The simulation farm keys its compile
+// cache on it.
+type Hash [sha256.Size]byte
+
+// String returns the full lowercase-hex form.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns an abbreviated hex prefix for logs and reports.
+func (h Hash) Short() string { return hex.EncodeToString(h[:6]) }
+
+// StructuralHash computes the circuit's content address. Every structural
+// field participates: the design name, all node attributes (including
+// argument lists and flattened signal names), the instance tree, and the
+// memory shapes. Slices are hashed in index order, so the digest is
+// deterministic for a given Circuit value and total — any change that
+// Validate or the compiler could observe changes the hash.
+func (c *Circuit) StructuralHash() Hash {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	str(c.Name)
+	n := c.NumNodes()
+	u64(uint64(n))
+	for v := 0; v < n; v++ {
+		u64(uint64(c.Ops[v])<<32 | uint64(c.Width[v])<<16 | uint64(uint16(len(c.Args[v]))))
+		u64(c.Vals[v])
+		u64(uint64(uint32(c.Inst[v]))<<32 | uint64(uint32(c.MemOf[v])))
+		for _, a := range c.Args[v] {
+			u64(uint64(uint32(a)))
+		}
+		str(c.Names[v])
+	}
+	u64(uint64(len(c.Instances)))
+	for _, in := range c.Instances {
+		str(in.Name)
+		str(in.Module)
+		u64(uint64(uint32(in.Parent)))
+	}
+	u64(uint64(len(c.Mems)))
+	for _, m := range c.Mems {
+		str(m.Name)
+		u64(uint64(m.Depth)<<8 | uint64(m.Width))
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}

@@ -136,6 +136,16 @@ type PortSpec struct {
 }
 
 // Program is a fully lowered design ready for the engine.
+//
+// Sharing invariant: a Program is immutable after Compile returns, and
+// every engine treats it as strictly read-only — all mutable run state
+// (the state vector, memories, temps, and dirty flags) lives in the
+// engine, never here. Any number of sim.Engine / sim.ParallelEngine
+// instances may therefore execute one Program concurrently without
+// synchronization. The simulation farm's compile cache depends on this:
+// it hands the same *Program to every job whose circuit hashes alike.
+// Code that extends Program or the engines must preserve the split —
+// per-run data belongs on the engine.
 type Program struct {
 	Kernels []*Kernel
 	// Activations holds one activation per partition, in schedule order.

@@ -1,0 +1,153 @@
+package farm
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/harness"
+)
+
+// CacheKey addresses one compiled Program: the same elaborated circuit
+// compiled under the same variant is the same Program, no matter which
+// job, generator config, or FIRRTL file produced it.
+type CacheKey struct {
+	Hash    circuit.Hash
+	Variant harness.Variant
+}
+
+// cacheEntry is one compile, possibly still in flight. The first caller
+// compiles; everyone else blocks on ready. Entries are never evicted —
+// Programs are the farm's whole value and a farm serves a bounded design
+// zoo — but Snapshot exposes enough to add eviction later.
+type cacheEntry struct {
+	ready chan struct{}
+
+	cv          *harness.Compiled
+	err         error
+	compileTime time.Duration
+	hits        int64 // guarded by the cache mutex
+}
+
+// CompileCache is the content-addressed compile cache: at most one
+// compile ever runs per CacheKey, concurrent requesters for the same key
+// coalesce onto the in-flight compile, and completed Programs are shared
+// read-only by every subsequent job (see codegen.Program's sharing
+// invariant).
+type CompileCache struct {
+	mu      sync.Mutex
+	entries map[CacheKey]*cacheEntry
+
+	hits      int64
+	misses    int64
+	savedTime time.Duration // compile time avoided by hits
+}
+
+// NewCompileCache returns an empty cache.
+func NewCompileCache() *CompileCache {
+	return &CompileCache{entries: map[CacheKey]*cacheEntry{}}
+}
+
+// Get returns the compiled Program for key, running compile exactly once
+// per key (errors are cached too: a design that failed to compile fails
+// fast on resubmit). hit reports whether this call avoided a compile.
+func (cc *CompileCache) Get(key CacheKey, compile func() (*harness.Compiled, error)) (cv *harness.Compiled, hit bool, err error) {
+	cc.mu.Lock()
+	e, ok := cc.entries[key]
+	if ok {
+		cc.hits++
+		e.hits++
+		cc.mu.Unlock()
+		<-e.ready
+		cc.mu.Lock()
+		cc.savedTime += e.compileTime
+		cc.mu.Unlock()
+		return e.cv, true, e.err
+	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	cc.entries[key] = e
+	cc.misses++
+	cc.mu.Unlock()
+
+	start := time.Now()
+	e.cv, e.err = compile()
+	e.compileTime = time.Since(start)
+	close(e.ready)
+	return e.cv, false, e.err
+}
+
+// CacheStats summarizes cache effectiveness.
+type CacheStats struct {
+	Entries int `json:"entries"`
+	// Hits counts requests served without compiling (including requests
+	// that coalesced onto an in-flight compile).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// CompileMsSaved sums the compile time hits avoided.
+	CompileMsSaved float64 `json:"compile_ms_saved"`
+}
+
+// Stats snapshots the counters.
+func (cc *CompileCache) Stats() CacheStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return CacheStats{
+		Entries:        len(cc.entries),
+		Hits:           cc.hits,
+		Misses:         cc.misses,
+		CompileMsSaved: float64(cc.savedTime) / float64(time.Millisecond),
+	}
+}
+
+// CacheEntryView describes one cached Program for introspection.
+type CacheEntryView struct {
+	CircuitHash string  `json:"circuit_hash"`
+	Variant     string  `json:"variant"`
+	Hits        int64   `json:"hits"`
+	CompileMs   float64 `json:"compile_ms"`
+	// Failed marks entries whose compile errored.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Program shape (zero for failed or in-flight entries).
+	Partitions int `json:"partitions,omitempty"`
+	Kernels    int `json:"kernels,omitempty"`
+	CodeBytes  int `json:"code_bytes,omitempty"`
+	TableBytes int `json:"table_bytes,omitempty"`
+}
+
+// Snapshot lists every completed cache entry, most-hit first. In-flight
+// compiles are skipped (Snapshot never blocks on them).
+func (cc *CompileCache) Snapshot() []CacheEntryView {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	views := make([]CacheEntryView, 0, len(cc.entries))
+	for key, e := range cc.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still compiling
+		}
+		v := CacheEntryView{
+			CircuitHash: key.Hash.String(),
+			Variant:     string(key.Variant),
+			Hits:        e.hits,
+			CompileMs:   float64(e.compileTime) / float64(time.Millisecond),
+		}
+		if e.err != nil {
+			v.Failed, v.Error = true, e.err.Error()
+		} else {
+			p := e.cv.Program
+			v.Partitions, v.Kernels = p.NumParts, len(p.Kernels)
+			v.CodeBytes, v.TableBytes = p.UniqueCodeBytes, p.TableBytes
+		}
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool {
+		if views[i].Hits != views[j].Hits {
+			return views[i].Hits > views[j].Hits
+		}
+		return views[i].CircuitHash < views[j].CircuitHash
+	})
+	return views
+}

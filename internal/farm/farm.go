@@ -1,0 +1,510 @@
+// Package farm is a long-running simulation-farm service: a job queue and
+// bounded worker pool running many sim.Engine instances concurrently, in
+// front of a content-addressed compile cache. It applies the paper's
+// "don't repeat yourself" principle one level up: within one design, the
+// dedup flow shares one kernel per partition class; across the jobs of a
+// verification farm, the compile cache shares one compiled Program per
+// structural circuit hash, so a thousand regressions of the same design
+// pay for one compile and share one read-only code/table footprint.
+package farm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+)
+
+// Config sizes the farm.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// Submit fails when full (default 1024).
+	QueueDepth int
+	// MaxCycles caps any single job's cycle budget (default 1_000_000).
+	MaxCycles int
+	// DefaultTimeout bounds a job's wall-clock run when the spec sets no
+	// timeout (default 2 minutes).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 1_000_000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Job is one queued or running simulation. All mutable fields are behind
+// mu; external readers use View.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	farm *Farm
+	mu   sync.Mutex
+
+	status   Status
+	attempts int
+	err      error
+	cacheHit bool
+	hash     circuit.Hash
+	hashed   bool
+	stats    *SimStats
+	vcd      []byte
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// View snapshots the job for the API.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:         j.ID,
+		Spec:       j.Spec,
+		Status:     j.status,
+		Attempts:   j.attempts,
+		CacheHit:   j.cacheHit,
+		Stats:      j.stats,
+		HasVCD:     len(j.vcd) > 0,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+	}
+	if j.hashed {
+		v.CircuitHash = j.hash.String()
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// VCD returns the captured waveform, or nil.
+func (j *Job) VCD() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.vcd
+}
+
+// transientError marks failures worth one retry (the farm's retry-once
+// policy): worker panics and injected faults, as opposed to deterministic
+// compile/validation errors that would fail identically again.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return "transient: " + e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as retryable.
+func Transient(err error) error { return transientError{err} }
+
+// IsTransient reports whether err is retryable.
+func IsTransient(err error) bool {
+	var t transientError
+	return errors.As(err, &t)
+}
+
+// Farm is the simulation-farm service.
+type Farm struct {
+	cfg   Config
+	cache *CompileCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int64
+
+	queue   chan *Job
+	running int
+
+	wg      sync.WaitGroup
+	ctx     context.Context
+	stop    context.CancelFunc
+	started time.Time
+
+	// counters (guarded by mu)
+	completed   int64
+	failed      int64
+	canceled    int64
+	retries     int64
+	simCycles   int64
+	simWall     time.Duration
+	compileWall time.Duration
+
+	// injectFault, when set (tests), runs before each attempt and may
+	// return an error standing in for an environment failure.
+	injectFault func(j *Job, attempt int) error
+}
+
+// New starts a farm with cfg.Workers workers.
+func New(cfg Config) *Farm {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	f := &Farm{
+		cfg:     cfg,
+		cache:   NewCompileCache(),
+		jobs:    map[string]*Job{},
+		queue:   make(chan *Job, cfg.QueueDepth),
+		ctx:     ctx,
+		stop:    stop,
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		f.wg.Add(1)
+		go f.worker()
+	}
+	return f
+}
+
+// Close stops accepting work, cancels running jobs, and waits for the
+// workers to exit. Queued jobs are marked canceled.
+func (f *Farm) Close() {
+	f.stop()
+	f.mu.Lock()
+	for _, j := range f.jobs {
+		j.mu.Lock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	// Drain whatever never reached a worker.
+	for {
+		select {
+		case j := <-f.queue:
+			f.finish(j, StatusCanceled, nil, errors.New("farm shut down"))
+		default:
+			return
+		}
+	}
+}
+
+// Cache exposes the compile cache (introspection, stats).
+func (f *Farm) Cache() *CompileCache { return f.cache }
+
+// Submit validates and enqueues a job, returning its ID.
+func (f *Farm) Submit(spec JobSpec) (*Job, error) {
+	if err := f.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("farm: closed")
+	}
+	if err := spec.normalize(f.cfg); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", f.nextID),
+		Spec:    spec,
+		farm:    f,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case f.queue <- j:
+		f.jobs[j.ID] = j
+		f.order = append(f.order, j.ID)
+		return j, nil
+	default:
+		f.nextID--
+		return nil, fmt.Errorf("farm: queue full (%d jobs)", f.cfg.QueueDepth)
+	}
+}
+
+// Job looks up a job by ID.
+func (f *Farm) Job(id string) (*Job, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (f *Farm) Jobs() []*Job {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Job, len(f.order))
+	for i, id := range f.order {
+		out[i] = f.jobs[id]
+	}
+	return out
+}
+
+// Cancel cancels a job. Queued jobs are canceled immediately; running
+// jobs have their context canceled and stop at the next cycle-chunk
+// boundary. Canceling a terminal job is a no-op.
+func (f *Farm) Cancel(id string) error {
+	j, ok := f.Job(id)
+	if !ok {
+		return fmt.Errorf("farm: no job %q", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.status.Terminal():
+		j.mu.Unlock()
+	case j.status == StatusQueued:
+		j.mu.Unlock()
+		// The worker observes the canceled status when it dequeues.
+		f.finish(j, StatusCanceled, nil, errors.New("canceled while queued"))
+	default:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// WaitJob blocks until the job is terminal or ctx expires.
+func (f *Farm) WaitJob(ctx context.Context, id string) (JobView, error) {
+	j, ok := f.Job(id)
+	if !ok {
+		return JobView{}, fmt.Errorf("farm: no job %q", id)
+	}
+	select {
+	case <-j.done:
+		return j.View(), nil
+	case <-ctx.Done():
+		return j.View(), ctx.Err()
+	}
+}
+
+func (f *Farm) worker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case j := <-f.queue:
+			f.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job through the retry-once policy.
+func (f *Farm) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(f.ctx)
+	timeout := f.cfg.DefaultTimeout
+	if j.Spec.TimeoutMs > 0 {
+		timeout = time.Duration(j.Spec.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancelT := context.WithTimeout(ctx, timeout)
+	defer cancelT()
+
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		// Canceled while queued.
+		j.mu.Unlock()
+		cancel()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	f.mu.Lock()
+	f.running++
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.running--
+		f.mu.Unlock()
+	}()
+
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			f.mu.Lock()
+			f.retries++
+			f.mu.Unlock()
+		}
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		j.mu.Unlock()
+		err = f.runAttempt(ctx, j, attempt)
+		if err == nil || !IsTransient(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	switch {
+	case err == nil:
+		f.finish(j, StatusDone, nil, nil)
+	case errors.Is(err, context.Canceled):
+		f.finish(j, StatusCanceled, nil, errors.New("canceled"))
+	case errors.Is(err, context.DeadlineExceeded):
+		f.finish(j, StatusFailed, nil, fmt.Errorf("timeout after %s", timeout))
+	default:
+		f.finish(j, StatusFailed, nil, err)
+	}
+}
+
+// runAttempt elaborates, compiles (through the cache), and simulates.
+func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic in elaboration or simulation is treated as
+			// transient: the retry isolates one-off corruption, and a
+			// deterministic panic fails the job on the second attempt.
+			err = Transient(fmt.Errorf("panic: %v", r))
+		}
+	}()
+	if f.injectFault != nil {
+		if ferr := f.injectFault(j, attempt); ferr != nil {
+			return ferr
+		}
+	}
+
+	c, err := j.Spec.Build()
+	if err != nil {
+		return err
+	}
+	hash := c.StructuralHash()
+	j.mu.Lock()
+	j.hash, j.hashed = hash, true
+	j.mu.Unlock()
+
+	variant := harness.Variant(j.Spec.Variant)
+	key := CacheKey{Hash: hash, Variant: variant}
+	compileStart := time.Now()
+	cv, hit, err := f.cache.Get(key, func() (*harness.Compiled, error) {
+		return harness.CompileVariant(c, variant, partition.Options{})
+	})
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	compileTime := time.Duration(0)
+	if !hit {
+		compileTime = time.Since(compileStart)
+		f.mu.Lock()
+		f.compileWall += compileTime
+		f.mu.Unlock()
+	}
+	j.mu.Lock()
+	j.cacheHit = hit
+	j.mu.Unlock()
+
+	wl, err := workloadByName(j.Spec.Workload)
+	if err != nil {
+		return err
+	}
+
+	// The Program is shared read-only across workers; each job gets its
+	// own Engine (private state/temps/dirty vectors).
+	e := sim.New(cv.Program, cv.Activity)
+	drive := wl.NewDrive()
+
+	var vcdBuf bytes.Buffer
+	var vcd *sim.VCDWriter
+	var prober *sim.EngineProber
+	if j.Spec.VCD {
+		prober = sim.NewEngineProber(e, c)
+		var probes []string
+		for _, n := range sim.ProbeNames(c) {
+			if _, _, ok := prober.Probe(n); ok {
+				probes = append(probes, n)
+			}
+		}
+		vcd, err = sim.NewVCDWriter(&vcdBuf, c, probes)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Simulate in chunks so cancellation and timeouts bite between
+	// chunks without a per-cycle context check on the hot path.
+	const chunk = 256
+	start := time.Now()
+	for cyc := 0; cyc < j.Spec.Cycles; cyc++ {
+		if cyc%chunk == 0 {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+		}
+		drive(e, cyc)
+		e.Step()
+		if vcd != nil {
+			if err := vcd.Sample(prober, cyc); err != nil {
+				return err
+			}
+		}
+	}
+	wall := time.Since(start)
+	if vcd != nil {
+		if err := vcd.Close(); err != nil {
+			return err
+		}
+	}
+
+	stats := CollectStats(c, cv, e, compileTime, wall)
+	stats.Workload = wl.Name
+	j.mu.Lock()
+	j.stats = &stats
+	if j.Spec.VCD {
+		j.vcd = vcdBuf.Bytes()
+	}
+	j.mu.Unlock()
+	f.mu.Lock()
+	f.simCycles += e.Cycles
+	f.simWall += wall
+	f.mu.Unlock()
+	return nil
+}
+
+// finish moves a job to a terminal status exactly once.
+func (f *Farm) finish(j *Job, status Status, stats *SimStats, err error) {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	if stats != nil {
+		j.stats = stats
+	}
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+	j.mu.Unlock()
+
+	f.mu.Lock()
+	switch status {
+	case StatusDone:
+		f.completed++
+	case StatusFailed:
+		f.failed++
+	case StatusCanceled:
+		f.canceled++
+	}
+	f.mu.Unlock()
+}

@@ -1,0 +1,153 @@
+package farm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/firrtl"
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/stimulus"
+)
+
+// DesignSpec names the design a job simulates: either a generated design
+// ("Rocket-2C", with an optional generator scale) or inline FIRRTL source.
+// Exactly one of Design and FIRRTL must be set.
+type DesignSpec struct {
+	// Design is a generated design name, e.g. "LargeBoom-4C".
+	Design string `json:"design,omitempty"`
+	// Scale is the generator scale in (0, 1]; 0 means 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// FIRRTL is inline FIRRTL-dialect source text.
+	FIRRTL string `json:"firrtl,omitempty"`
+}
+
+// Build elaborates the described design.
+func (d DesignSpec) Build() (*circuit.Circuit, error) {
+	switch {
+	case d.Design != "" && d.FIRRTL != "":
+		return nil, fmt.Errorf("farm: set either design or firrtl, not both")
+	case d.FIRRTL != "":
+		return firrtl.Compile(d.FIRRTL)
+	case d.Design != "":
+		f, cores, err := gen.ParseDesign(d.Design)
+		if err != nil {
+			return nil, err
+		}
+		scale := d.Scale
+		if scale == 0 {
+			scale = 1.0
+		}
+		if scale < 0 || scale > 1 {
+			return nil, fmt.Errorf("farm: scale %g out of (0, 1]", scale)
+		}
+		return gen.Build(gen.Config(f, cores, scale))
+	default:
+		return nil, fmt.Errorf("farm: job names no design (set design or firrtl)")
+	}
+}
+
+// JobSpec is one simulation request, as submitted over the API.
+type JobSpec struct {
+	DesignSpec
+	// Variant selects the simulator configuration (default "Dedup").
+	Variant string `json:"variant,omitempty"`
+	// Workload selects the stimulus program, "A" or "B" (default "A").
+	Workload string `json:"workload,omitempty"`
+	// Cycles is the simulated cycle budget (default the workload's
+	// nominal length, capped at the farm's MaxCycles).
+	Cycles int `json:"cycles,omitempty"`
+	// TimeoutMs bounds the job's wall-clock run time; 0 uses the farm
+	// default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// VCD captures a register/IO waveform, fetchable from the API.
+	VCD bool `json:"vcd,omitempty"`
+}
+
+// normalize applies defaults and validates the statically checkable
+// fields (the design itself is validated when the job runs).
+func (s *JobSpec) normalize(cfg Config) error {
+	if s.Variant == "" {
+		s.Variant = string(harness.Dedup)
+	}
+	ok := false
+	for _, v := range harness.CompiledVariants {
+		if string(v) == s.Variant {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("farm: variant %q does not compile to a program (have %v)",
+			s.Variant, harness.CompiledVariants)
+	}
+	if s.Workload == "" {
+		s.Workload = "A"
+	}
+	wl, err := workloadByName(s.Workload)
+	if err != nil {
+		return err
+	}
+	if s.Cycles <= 0 {
+		s.Cycles = wl.Cycles
+	}
+	if cfg.MaxCycles > 0 && s.Cycles > cfg.MaxCycles {
+		s.Cycles = cfg.MaxCycles
+	}
+	if s.Design == "" && s.FIRRTL == "" {
+		return fmt.Errorf("farm: job names no design (set design or firrtl)")
+	}
+	return nil
+}
+
+func workloadByName(name string) (stimulus.Workload, error) {
+	switch strings.ToUpper(name) {
+	case "A":
+		return stimulus.VVAddA(), nil
+	case "B":
+		return stimulus.VVAddB(), nil
+	default:
+		return stimulus.Workload{}, fmt.Errorf("farm: unknown workload %q (have A, B)", name)
+	}
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: Queued -> Running -> one of Done / Failed / Canceled.
+// A transient failure re-enters Running once (retry-once policy).
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// JobView is the externally visible snapshot of a job, as served by the
+// API.
+type JobView struct {
+	ID       string  `json:"id"`
+	Spec     JobSpec `json:"spec"`
+	Status   Status  `json:"status"`
+	Attempts int     `json:"attempts"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// CacheHit reports whether the compiled Program came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// CircuitHash is the design's content address (set once elaborated).
+	CircuitHash string `json:"circuit_hash,omitempty"`
+	// Stats carries the simulation results for done jobs.
+	Stats *SimStats `json:"stats,omitempty"`
+	// HasVCD reports that a waveform is fetchable.
+	HasVCD     bool      `json:"has_vcd,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+}

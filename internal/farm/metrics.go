@@ -1,0 +1,80 @@
+package farm
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Stats is the farm-level metrics snapshot served by the API.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsQueued    int   `json:"jobs_queued"`
+	JobsRunning   int   `json:"jobs_running"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+	JobsRetried   int64 `json:"jobs_retried"`
+
+	Cache CacheStats `json:"cache"`
+	// CompileMsSpent is the wall time spent compiling (cache misses).
+	CompileMsSpent float64 `json:"compile_ms_spent"`
+
+	// SimulatedCycles sums cycles across completed runs; AggregateSimHz
+	// divides them by the simulation wall time summed across workers —
+	// the farm-throughput number Figure 9 is about.
+	SimulatedCycles int64   `json:"simulated_cycles"`
+	SimWallMs       float64 `json:"sim_wall_ms"`
+	AggregateSimHz  float64 `json:"aggregate_sim_hz"`
+}
+
+// Stats snapshots the farm's counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	st := Stats{
+		UptimeSeconds:   time.Since(f.started).Seconds(),
+		Workers:         f.cfg.Workers,
+		JobsSubmitted:   f.nextID,
+		JobsQueued:      len(f.queue),
+		JobsRunning:     f.running,
+		JobsCompleted:   f.completed,
+		JobsFailed:      f.failed,
+		JobsCanceled:    f.canceled,
+		JobsRetried:     f.retries,
+		CompileMsSpent:  float64(f.compileWall) / float64(time.Millisecond),
+		SimulatedCycles: f.simCycles,
+		SimWallMs:       float64(f.simWall) / float64(time.Millisecond),
+	}
+	f.mu.Unlock()
+	if st.SimWallMs > 0 {
+		st.AggregateSimHz = float64(st.SimulatedCycles) / (st.SimWallMs / 1000)
+	}
+	st.Cache = f.cache.Stats()
+	return st
+}
+
+// WriteStats renders the snapshot as a human-readable text dump (the
+// /statusz page and cmd/dedupfarmd's shutdown report).
+func (f *Farm) WriteStats(w io.Writer) {
+	st := f.Stats()
+	fmt.Fprintf(w, "farm up %.0fs, %d workers\n", st.UptimeSeconds, st.Workers)
+	fmt.Fprintf(w, "jobs: %d submitted, %d queued, %d running, %d done, %d failed, %d canceled, %d retried\n",
+		st.JobsSubmitted, st.JobsQueued, st.JobsRunning,
+		st.JobsCompleted, st.JobsFailed, st.JobsCanceled, st.JobsRetried)
+	fmt.Fprintf(w, "compile cache: %d programs, %d hits / %d misses, %.0f ms compiling, %.0f ms saved\n",
+		st.Cache.Entries, st.Cache.Hits, st.Cache.Misses,
+		st.CompileMsSpent, st.Cache.CompileMsSaved)
+	fmt.Fprintf(w, "simulation: %d cycles in %.0f ms of engine time (%.0f aggregate sim Hz)\n",
+		st.SimulatedCycles, st.SimWallMs, st.AggregateSimHz)
+	for _, e := range f.cache.Snapshot() {
+		status := fmt.Sprintf("%d parts, %d kernels, %d B code", e.Partitions, e.Kernels, e.CodeBytes)
+		if e.Failed {
+			status = "FAILED: " + e.Error
+		}
+		fmt.Fprintf(w, "  program %s/%s: %d hits, compiled in %.0f ms (%s)\n",
+			e.CircuitHash[:12], e.Variant, e.Hits, e.CompileMs, status)
+	}
+}

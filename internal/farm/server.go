@@ -1,0 +1,123 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the farm's HTTP/JSON API:
+//
+//	POST /jobs              submit a JobSpec, returns the JobView
+//	GET  /jobs              list jobs (most recent last)
+//	GET  /jobs/{id}         job status + results
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /jobs/{id}/vcd     fetch the captured waveform (spec.vcd jobs)
+//	GET  /stats             farm metrics (JSON)
+//	GET  /statusz           farm metrics (text dump)
+//	GET  /cache             compile-cache introspection
+//	GET  /healthz           liveness probe
+//
+// Handlers are safe for concurrent use; all state lives in the Farm.
+func Handler(f *Farm) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+			return
+		}
+		j, err := f.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if strings.Contains(err.Error(), "queue full") {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.View())
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := f.Jobs()
+		views := make([]JobView, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.View()
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := f.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if err := f.Cancel(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		j, _ := f.Job(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, j.View())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/vcd", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := f.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		vcd := j.VCD()
+		if len(vcd) == 0 {
+			httpError(w, http.StatusNotFound, errors.New("job captured no VCD (submit with \"vcd\": true)"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(vcd)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Stats())
+	})
+
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f.WriteStats(w)
+	})
+
+	mux.HandleFunc("GET /cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Stats   CacheStats       `json:"stats"`
+			Entries []CacheEntryView `json:"entries"`
+		}{f.cache.Stats(), f.cache.Snapshot()})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,203 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerEndToEnd drives the whole HTTP surface: submit two identical
+// jobs, poll to completion, and check the stats/cache/statusz endpoints
+// report the shared compile.
+func TestServerEndToEnd(t *testing.T) {
+	f := New(Config{Workers: 2})
+	defer f.Close()
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	spec := `{"design":"Rocket-2C","scale":0.1,"cycles":100,"vcd":true}`
+	var ids []string
+	for i := 0; i < 2; i++ {
+		code, body := post("/jobs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", code, body)
+		}
+		var v JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	// Poll until both jobs are terminal.
+	deadline := time.Now().Add(60 * time.Second)
+	views := map[string]JobView{}
+	for len(views) < len(ids) && time.Now().Before(deadline) {
+		for _, id := range ids {
+			code, body := get("/jobs/" + id)
+			if code != http.StatusOK {
+				t.Fatalf("poll %s: %d %s", id, code, body)
+			}
+			var v JobView
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Fatal(err)
+			}
+			if v.Status.Terminal() {
+				views[id] = v
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, id := range ids {
+		v, ok := views[id]
+		if !ok {
+			t.Fatalf("%s never finished", id)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("%s: %s (%s)", id, v.Status, v.Error)
+		}
+		if v.Stats == nil || v.Stats.Cycles != 100 {
+			t.Errorf("%s: bad stats %+v", id, v.Stats)
+		}
+	}
+
+	// Stats: one compile shared by two jobs.
+	code, body := get("/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsCompleted != 2 || st.Cache.Misses != 1 || st.Cache.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 done, 1 miss, 1 hit", st)
+	}
+
+	code, body = get("/cache")
+	if code != http.StatusOK {
+		t.Fatalf("/cache: %d", code)
+	}
+	var cache struct {
+		Entries []CacheEntryView `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &cache); err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.Entries) != 1 || cache.Entries[0].Variant != "Dedup" {
+		t.Errorf("cache entries = %+v", cache.Entries)
+	}
+
+	code, body = get("/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("/jobs: %d", code)
+	}
+	var list []JobView
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Errorf("listed %d jobs, want 2", len(list))
+	}
+
+	code, body = get("/jobs/" + ids[0] + "/vcd")
+	if code != http.StatusOK || !strings.Contains(string(body), "$enddefinitions") {
+		t.Errorf("/vcd: %d %.80s", code, body)
+	}
+
+	code, body = get("/statusz")
+	if code != http.StatusOK || !strings.Contains(string(body), "compile cache: 1 programs") {
+		t.Errorf("/statusz: %d %s", code, body)
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz: %d", code)
+	}
+}
+
+// TestServerErrors covers the API's failure responses.
+func TestServerErrors(t *testing.T) {
+	f := New(Config{Workers: 1})
+	defer f.Close()
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/jobs", `{"bogus_field":1}`, http.StatusBadRequest},
+		{"POST", "/jobs", `{"variant":"NoSuch","design":"Rocket-2C"}`, http.StatusBadRequest},
+		{"POST", "/jobs", `{}`, http.StatusBadRequest},
+		{"GET", "/jobs/job-999", "", http.StatusNotFound},
+		{"POST", "/jobs/job-999/cancel", "", http.StatusNotFound},
+		{"GET", "/jobs/job-999/vcd", "", http.StatusNotFound},
+		{"DELETE", "/jobs", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: got %d (%s), want %d", tc.method, tc.path, resp.StatusCode, b, tc.want)
+		}
+	}
+}
+
+// TestServerQueueFull: a saturated queue returns 503.
+func TestServerQueueFull(t *testing.T) {
+	f := New(Config{Workers: 1, QueueDepth: 1})
+	defer f.Close()
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+
+	long := fmt.Sprintf(`{"design":"Rocket-2C","scale":0.1,"cycles":%d}`, 1_000_000)
+	saw503 := false
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(long))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+			break
+		}
+	}
+	if !saw503 {
+		t.Error("queue never reported full")
+	}
+}

@@ -1,0 +1,81 @@
+package farm
+
+import (
+	"fmt"
+	"time"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/sim"
+)
+
+// SimStats is the machine-readable record of one simulation run. It is
+// the single JSON encoding of simulation results shared by the farm API
+// and by `dedupsim -json`, so scripts can consume either interchangeably.
+type SimStats struct {
+	Design string `json:"design"`
+	Nodes  int    `json:"nodes"`
+	// CircuitHash is the elaborated design's content address.
+	CircuitHash string `json:"circuit_hash,omitempty"`
+
+	Variant       string `json:"variant"`
+	Partitions    int    `json:"partitions"`
+	Kernels       int    `json:"kernels"`
+	SharedClasses int    `json:"shared_classes"`
+	CodeBytes     int    `json:"code_bytes"`
+	TableBytes    int    `json:"table_bytes"`
+	// CompileMs is the compile wall time. For farm jobs served from the
+	// compile cache it is 0 (no compile ran).
+	CompileMs float64 `json:"compile_ms"`
+
+	Workload     string  `json:"workload,omitempty"`
+	Cycles       int64   `json:"cycles"`
+	WallMs       float64 `json:"wall_ms"`
+	SimHz        float64 `json:"sim_hz"`
+	ActsExecuted int64   `json:"acts_executed"`
+	ActsSkipped  int64   `json:"acts_skipped"`
+	ActivityPct  float64 `json:"activity_pct"`
+	DynInstrs    int64   `json:"dyn_instrs"`
+	// Outputs maps each top-level output to its final value in hex
+	// (strings, so 64-bit values survive JSON's float64 numbers).
+	Outputs map[string]string `json:"outputs"`
+}
+
+// CollectStats assembles a SimStats from a finished run.
+func CollectStats(c *circuit.Circuit, cv *harness.Compiled, e *sim.Engine, compile, wall time.Duration) SimStats {
+	prog := cv.Program
+	st := SimStats{
+		Design:       c.Name,
+		Nodes:        c.NumNodes(),
+		CircuitHash:  c.StructuralHash().String(),
+		Variant:      string(cv.Variant),
+		Partitions:   prog.NumParts,
+		Kernels:      len(prog.Kernels),
+		CodeBytes:    prog.UniqueCodeBytes,
+		TableBytes:   prog.TableBytes,
+		CompileMs:    float64(compile) / float64(time.Millisecond),
+		Cycles:       e.Cycles,
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		ActsExecuted: e.ActsExecuted,
+		ActsSkipped:  e.ActsSkipped,
+		DynInstrs:    e.DynInstrs,
+		Outputs:      map[string]string{},
+	}
+	if cv.Dedup != nil {
+		st.SharedClasses = cv.Dedup.NumClasses
+	}
+	if wall > 0 {
+		st.SimHz = float64(e.Cycles) / wall.Seconds()
+	}
+	if total := e.ActsExecuted + e.ActsSkipped; total > 0 {
+		st.ActivityPct = 100 * float64(e.ActsExecuted) / float64(total)
+	}
+	for _, out := range c.Outputs() {
+		name := c.Names[out]
+		v, err := e.Output(name)
+		if err == nil {
+			st.Outputs[name] = fmt.Sprintf("%#x", v)
+		}
+	}
+	return st
+}

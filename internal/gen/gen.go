@@ -21,6 +21,7 @@ package gen
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dedupsim/internal/circuit"
@@ -128,6 +129,27 @@ func Config(f Family, cores int, scale float64) SoCParams {
 		Peripherals:  periph,
 		UncoreBlocks: ublocks,
 	}
+}
+
+// ParseDesign splits a design name like "LargeBoom-6C" into its family
+// and core count. It is the inverse of Config's naming scheme and is
+// shared by every front end that accepts design names (cmd/dedupsim, the
+// farm's job API).
+func ParseDesign(s string) (Family, int, error) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 || !strings.HasSuffix(s, "C") {
+		return "", 0, fmt.Errorf("design %q: want FAMILY-nC, e.g. SmallBoom-4C", s)
+	}
+	cores, err := strconv.Atoi(s[i+1 : len(s)-1])
+	if err != nil || cores < 1 {
+		return "", 0, fmt.Errorf("design %q: bad core count", s)
+	}
+	for _, f := range Families {
+		if string(f) == s[:i] {
+			return f, cores, nil
+		}
+	}
+	return "", 0, fmt.Errorf("design %q: unknown family (have %v)", s, Families)
 }
 
 // GenerateFIRRTL emits the design as FIRRTL-dialect source text.

@@ -187,3 +187,22 @@ func TestFullScaleSizes(t *testing.T) {
 	}
 	t.Logf("Rocket-1C: %d nodes, %d edges", c.NumNodes(), c.NumEdges())
 }
+
+func TestParseDesign(t *testing.T) {
+	f, cores, err := ParseDesign("LargeBoom-6C")
+	if err != nil || f != LargeBoom || cores != 6 {
+		t.Fatalf("ParseDesign: %v %d %v", f, cores, err)
+	}
+	if _, _, err := ParseDesign("Nope-2C"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, _, err := ParseDesign("Rocket-0C"); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, _, err := ParseDesign("Rocket2C"); err == nil {
+		t.Fatal("missing dash accepted")
+	}
+	if _, _, err := ParseDesign("Rocket-2X"); err == nil {
+		t.Fatal("missing C suffix accepted")
+	}
+}

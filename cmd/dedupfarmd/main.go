@@ -34,6 +34,7 @@ func main() {
 	queue := flag.Int("queue", 0, "queued-job limit (0 = default 1024)")
 	maxCycles := flag.Int("max-cycles", 0, "per-job cycle budget cap (0 = default 1e6)")
 	timeout := flag.Duration("timeout", 0, "default per-job wall-clock timeout (0 = 2m)")
+	retain := flag.Int("retain-jobs", 0, "terminal jobs kept queryable before pruning (0 = default 1024, negative = unlimited)")
 	flag.Parse()
 
 	f := farm.New(farm.Config{
@@ -41,6 +42,7 @@ func main() {
 		QueueDepth:     *queue,
 		MaxCycles:      *maxCycles,
 		DefaultTimeout: *timeout,
+		RetainJobs:     *retain,
 	})
 
 	srv := &http.Server{

@@ -1,6 +1,8 @@
 package farm
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -52,14 +54,20 @@ func NewCompileCache() *CompileCache {
 // Get returns the compiled Program for key, running compile exactly once
 // per key (errors are cached too: a design that failed to compile fails
 // fast on resubmit). hit reports whether this call avoided a compile.
-func (cc *CompileCache) Get(key CacheKey, compile func() (*harness.Compiled, error)) (cv *harness.Compiled, hit bool, err error) {
+// Waiters coalescing onto an in-flight compile abandon it when ctx
+// expires; the compile itself keeps running and lands in the cache.
+func (cc *CompileCache) Get(ctx context.Context, key CacheKey, compile func() (*harness.Compiled, error)) (cv *harness.Compiled, hit bool, err error) {
 	cc.mu.Lock()
 	e, ok := cc.entries[key]
 	if ok {
 		cc.hits++
 		e.hits++
 		cc.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 		cc.mu.Lock()
 		cc.savedTime += e.compileTime
 		cc.mu.Unlock()
@@ -70,6 +78,20 @@ func (cc *CompileCache) Get(key CacheKey, compile func() (*harness.Compiled, err
 	cc.misses++
 	cc.mu.Unlock()
 
+	// A panicking compile must not wedge the entry: fail coalesced
+	// waiters and drop it from the map so a retry recompiles instead of
+	// blocking forever on ready, then let the panic keep unwinding (the
+	// farm's per-attempt recover turns it into a transient failure).
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("compile panicked: %v", r)
+			cc.mu.Lock()
+			delete(cc.entries, key)
+			cc.mu.Unlock()
+			close(e.ready)
+			panic(r)
+		}
+	}()
 	start := time.Now()
 	e.cv, e.err = compile()
 	e.compileTime = time.Since(start)

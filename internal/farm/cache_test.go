@@ -1,0 +1,114 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dedupsim/internal/harness"
+)
+
+// waitHits polls until the cache records at least n hits, i.e. n waiters
+// have registered against an in-flight compile.
+func waitHits(t *testing.T, cc *CompileCache, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for cc.Stats().Hits < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("cache never reached %d hits: %+v", n, cc.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCompileCachePanicDoesNotWedge: a panic inside compile must
+// propagate to the caller, fail any coalesced waiter instead of blocking
+// it forever, and drop the entry so a retry recompiles.
+func TestCompileCachePanicDoesNotWedge(t *testing.T) {
+	cc := NewCompileCache()
+	key := CacheKey{Variant: "Dedup"}
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		cc.Get(context.Background(), key, func() (*harness.Compiled, error) {
+			close(started)
+			<-block
+			panic("boom")
+		})
+	}()
+	<-started
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := cc.Get(context.Background(), key, func() (*harness.Compiled, error) {
+			t.Error("coalesced waiter must not compile")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	waitHits(t, cc, 1) // waiter is parked on the in-flight entry
+	close(block)
+
+	if r := <-panicked; r == nil {
+		t.Fatal("panic did not propagate out of Get")
+	}
+	select {
+	case err := <-waiterErr:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("waiter error = %v, want compile-panicked error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still blocked after compile panicked")
+	}
+
+	// The entry was dropped, so a retry compiles fresh and succeeds.
+	cv, hit, err := cc.Get(context.Background(), key, func() (*harness.Compiled, error) {
+		return &harness.Compiled{}, nil
+	})
+	if err != nil || hit || cv == nil {
+		t.Errorf("retry after panic: cv=%v hit=%v err=%v, want fresh successful compile", cv, hit, err)
+	}
+}
+
+// TestCompileCacheGetContext: a waiter coalesced onto a slow in-flight
+// compile abandons it when its context is canceled.
+func TestCompileCacheGetContext(t *testing.T) {
+	cc := NewCompileCache()
+	key := CacheKey{Variant: "Dedup"}
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go cc.Get(context.Background(), key, func() (*harness.Compiled, error) {
+		close(started)
+		<-block
+		return &harness.Compiled{}, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := cc.Get(ctx, key, func() (*harness.Compiled, error) {
+			t.Error("coalesced waiter must not compile")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	waitHits(t, cc, 1)
+	cancel()
+
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter ignored context cancellation")
+	}
+	close(block)
+}

@@ -35,6 +35,11 @@ type Config struct {
 	// DefaultTimeout bounds a job's wall-clock run when the spec sets no
 	// timeout (default 2 minutes).
 	DefaultTimeout time.Duration
+	// RetainJobs caps how many terminal jobs (and their stats/VCD
+	// buffers) stay queryable; the oldest-finished are pruned beyond it
+	// so a long-running daemon's memory stays bounded (default 1024,
+	// negative = unlimited).
+	RetainJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 1024
 	}
 	return c
 }
@@ -136,10 +144,12 @@ type Farm struct {
 	cfg   Config
 	cache *CompileCache
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for listing
-	nextID int64
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	finished []string // terminal jobs oldest-first, for pruning
+	nextID   int64
 
 	queue   chan *Job
 	running int
@@ -188,6 +198,7 @@ func New(cfg Config) *Farm {
 func (f *Farm) Close() {
 	f.stop()
 	f.mu.Lock()
+	f.closed = true
 	for _, j := range f.jobs {
 		j.mu.Lock()
 		if j.cancel != nil {
@@ -213,14 +224,17 @@ func (f *Farm) Cache() *CompileCache { return f.cache }
 
 // Submit validates and enqueues a job, returning its ID.
 func (f *Farm) Submit(spec JobSpec) (*Job, error) {
-	if err := f.ctx.Err(); err != nil {
-		return nil, fmt.Errorf("farm: closed")
-	}
 	if err := spec.normalize(f.cfg); err != nil {
 		return nil, err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Checked under f.mu (Close sets it under f.mu before draining the
+	// queue) so a Submit racing Close can't enqueue after the drain and
+	// strand a job in StatusQueued forever.
+	if f.closed {
+		return nil, fmt.Errorf("farm: closed")
+	}
 	f.nextID++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%d", f.nextID),
@@ -249,13 +263,16 @@ func (f *Farm) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs lists all jobs in submission order.
+// Jobs lists retained jobs in submission order (terminal jobs beyond
+// the retention cap have been pruned).
 func (f *Farm) Jobs() []*Job {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make([]*Job, len(f.order))
-	for i, id := range f.order {
-		out[i] = f.jobs[id]
+	out := make([]*Job, 0, len(f.jobs))
+	for _, id := range f.order {
+		if j, ok := f.jobs[id]; ok {
+			out = append(out, j)
+		}
 	}
 	return out
 }
@@ -273,9 +290,13 @@ func (f *Farm) Cancel(id string) error {
 	case j.status.Terminal():
 		j.mu.Unlock()
 	case j.status == StatusQueued:
+		// Transition while still holding j.mu: a worker dequeuing this
+		// job concurrently must observe either Queued (and run it) or
+		// Canceled (and skip it) — never flip it to Canceled after the
+		// worker already moved it to Running.
+		f.finishLocked(j, StatusCanceled, nil, errors.New("canceled while queued"))
 		j.mu.Unlock()
-		// The worker observes the canceled status when it dequeues.
-		f.finish(j, StatusCanceled, nil, errors.New("canceled while queued"))
+		f.accountFinish(j, StatusCanceled)
 	default:
 		if j.cancel != nil {
 			j.cancel()
@@ -397,7 +418,7 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	variant := harness.Variant(j.Spec.Variant)
 	key := CacheKey{Hash: hash, Variant: variant}
 	compileStart := time.Now()
-	cv, hit, err := f.cache.Get(key, func() (*harness.Compiled, error) {
+	cv, hit, err := f.cache.Get(ctx, key, func() (*harness.Compiled, error) {
 		return harness.CompileVariant(c, variant, partition.Options{})
 	})
 	if err != nil {
@@ -484,9 +505,20 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 // finish moves a job to a terminal status exactly once.
 func (f *Farm) finish(j *Job, status Status, stats *SimStats, err error) {
 	j.mu.Lock()
+	ok := f.finishLocked(j, status, stats, err)
+	j.mu.Unlock()
+	if ok {
+		f.accountFinish(j, status)
+	}
+}
+
+// finishLocked performs the terminal transition with j.mu held,
+// reporting whether this call was the one that made the job terminal.
+// The caller must follow up with accountFinish (outside j.mu) when it
+// returns true.
+func (f *Farm) finishLocked(j *Job, status Status, stats *SimStats, err error) bool {
 	if j.status.Terminal() {
-		j.mu.Unlock()
-		return
+		return false
 	}
 	j.status = status
 	if stats != nil {
@@ -495,9 +527,15 @@ func (f *Farm) finish(j *Job, status Status, stats *SimStats, err error) {
 	j.err = err
 	j.finished = time.Now()
 	close(j.done)
-	j.mu.Unlock()
+	return true
+}
 
+// accountFinish updates the farm counters for one terminal transition
+// and prunes the oldest-finished jobs beyond the retention cap so the
+// jobs map (and its stats/VCD buffers) can't grow without bound.
+func (f *Farm) accountFinish(j *Job, status Status) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	switch status {
 	case StatusDone:
 		f.completed++
@@ -506,5 +544,24 @@ func (f *Farm) finish(j *Job, status Status, stats *SimStats, err error) {
 	case StatusCanceled:
 		f.canceled++
 	}
-	f.mu.Unlock()
+	f.finished = append(f.finished, j.ID)
+	if f.cfg.RetainJobs < 0 {
+		return
+	}
+	for len(f.finished) > f.cfg.RetainJobs {
+		id := f.finished[0]
+		f.finished = f.finished[1:]
+		delete(f.jobs, id)
+	}
+	// Compact the submission-order list once pruning leaves it mostly
+	// dangling IDs.
+	if len(f.order) > 2*len(f.jobs)+16 {
+		keep := f.order[:0]
+		for _, id := range f.order {
+			if _, ok := f.jobs[id]; ok {
+				keep = append(keep, id)
+			}
+		}
+		f.order = keep
+	}
 }

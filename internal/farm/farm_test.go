@@ -312,6 +312,53 @@ func TestFarmVCDCapture(t *testing.T) {
 	}
 }
 
+// TestFarmRetainJobs: terminal jobs beyond the retention cap are pruned
+// (oldest-finished first) while the aggregate counters keep the history.
+func TestFarmRetainJobs(t *testing.T) {
+	f := New(Config{Workers: 1, RetainJobs: 2})
+	defer f.Close()
+
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		j, err := f.Submit(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.Done()
+		jobs = append(jobs, j)
+	}
+	// Pruning runs just after Done closes; poll briefly for it to settle.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(f.Jobs()) > 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retained %d jobs, want 2", len(f.Jobs()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := f.Job(jobs[0].ID); ok {
+		t.Error("oldest finished job should have been pruned")
+	}
+	if _, ok := f.Job(jobs[4].ID); !ok {
+		t.Error("newest finished job should be retained")
+	}
+	if got := f.Jobs(); len(got) != 2 || got[0].ID != jobs[3].ID || got[1].ID != jobs[4].ID {
+		t.Errorf("retained jobs = %v, want [%s %s]", got, jobs[3].ID, jobs[4].ID)
+	}
+	if st := f.Stats(); st.JobsCompleted != 5 {
+		t.Errorf("completed = %d after pruning, want 5", st.JobsCompleted)
+	}
+}
+
+// TestFarmSubmitAfterClose: Submit observes closure under the farm
+// mutex, so it can never enqueue a job the drained queue will strand.
+func TestFarmSubmitAfterClose(t *testing.T) {
+	f := New(Config{Workers: 1})
+	f.Close()
+	if _, err := f.Submit(smallSpec()); err == nil {
+		t.Fatal("Submit after Close should fail")
+	}
+}
+
 // TestFarmSpecValidation exercises Submit's rejection paths.
 func TestFarmSpecValidation(t *testing.T) {
 	f := New(Config{Workers: 1})

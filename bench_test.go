@@ -129,6 +129,64 @@ func BenchmarkEngineStepDedup(b *testing.B)  { benchEngine(b, harness.Dedup) }
 
 func BenchmarkEngineStepVerilator(b *testing.B) { benchEngine(b, harness.Verilator) }
 
+// --- Interpreter hot-path suite (CI smoke: -bench=BenchmarkStep) ----------
+//
+// BenchmarkStepScalar is the per-cycle scalar interpreter cost;
+// BenchmarkStepBatchN runs N lockstep lanes and reports ns per LANE-cycle
+// (b.N counts lane-cycles), so Scalar/BatchN compare directly: the ratio
+// is the dispatch-amortization win of lane batching. Both use workload B
+// (the paper's long, higher-activity benchmark), whose dirty-lane overlap
+// is representative of real stimulus; workload A's near-disjoint activity
+// is the adversarial floor and is covered by the differential tests.
+
+func benchStepDesign() (*harness.Compiled, error) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
+	return harness.CompileVariant(c, harness.Dedup, partition.Options{})
+}
+
+func BenchmarkStepScalar(b *testing.B) {
+	cv, err := benchStepDesign()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.New(cv.Program, cv.Activity)
+	drive := stimulus.VVAddB().NewEngineDrive(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(i)
+		e.Step()
+	}
+}
+
+func benchStepBatch(b *testing.B, lanes int) {
+	cv, err := benchStepDesign()
+	if err != nil {
+		b.Fatal(err)
+	}
+	be, err := sim.NewBatch(cv.Program, cv.Activity, lanes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drives := make([]func(int), lanes)
+	for l := range drives {
+		drives[l] = stimulus.VVAddB().Lane(l).NewLaneDrive(be, l)
+	}
+	b.ResetTimer()
+	// b.N counts lane-cycles: one batch step advances `lanes` of them.
+	for i := 0; i < b.N; i += lanes {
+		cyc := i / lanes
+		for l := 0; l < lanes; l++ {
+			drives[l](cyc)
+		}
+		be.Step()
+	}
+}
+
+func BenchmarkStepBatch2(b *testing.B)  { benchStepBatch(b, 2) }
+func BenchmarkStepBatch4(b *testing.B)  { benchStepBatch(b, 4) }
+func BenchmarkStepBatch8(b *testing.B)  { benchStepBatch(b, 8) }
+func BenchmarkStepBatch16(b *testing.B) { benchStepBatch(b, 16) }
+
 func BenchmarkReferenceStep(b *testing.B) {
 	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
 	r, err := sim.NewRef(c)

@@ -35,6 +35,7 @@ func main() {
 	maxCycles := flag.Int("max-cycles", 0, "per-job cycle budget cap (0 = default 1e6)")
 	timeout := flag.Duration("timeout", 0, "default per-job wall-clock timeout (0 = 2m)")
 	retain := flag.Int("retain-jobs", 0, "terminal jobs kept queryable before pruning (0 = default 1024, negative = unlimited)")
+	maxLanes := flag.Int("max-lanes", 0, "coalesce same-design queued jobs into lane batches up to this width (0 or 1 = off, max 64)")
 	flag.Parse()
 
 	f := farm.New(farm.Config{
@@ -43,6 +44,7 @@ func main() {
 		MaxCycles:      *maxCycles,
 		DefaultTimeout: *timeout,
 		RetainJobs:     *retain,
+		MaxLanes:       *maxLanes,
 	})
 
 	srv := &http.Server{

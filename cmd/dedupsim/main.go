@@ -8,6 +8,7 @@
 //	dedupsim -design Rocket-2C -variant Dedup -verify   # against reference
 //	dedupsim -design MegaBoom-8C -variant Dedup -model  # modeled counters
 //	dedupsim -design Rocket-2C -json                    # machine-readable
+//	dedupsim -design SmallBoom-4C -lanes 8              # 8 lane-batched sims
 //
 // With -json the human-readable report moves to stderr and stdout carries
 // a single JSON document in the same encoding the farm API (dedupfarmd)
@@ -42,6 +43,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "generator scale in (0, 1]")
 	cycles := flag.Int("cycles", 1000, "simulated cycles to run")
 	workload := flag.String("workload", "A", "stimulus workload: A (low activity) or B (high activity)")
+	lanes := flag.Int("lanes", 1, "run N independently-seeded simulations in one lane-batched engine (1..64)")
 	verify := flag.Bool("verify", false, "co-simulate against the reference interpreter and compare outputs")
 	model := flag.Bool("model", false, "also report modeled host performance counters")
 	vcdPath := flag.String("vcd", "", "dump a waveform of all registers and I/O to this VCD file")
@@ -104,6 +106,14 @@ func main() {
 		wl = stimulus.VVAddB()
 	default:
 		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	if *lanes > 1 {
+		if *verify || *vcdPath != "" || *stats || *model {
+			fail(fmt.Errorf("-lanes runs plain lockstep simulation; drop -verify/-vcd/-stats/-model or use -lanes 1"))
+		}
+		runLanes(out, c, cv, wl, *lanes, *cycles, compileTime, *jsonOut)
+		return
 	}
 
 	e := sim.New(prog, cv.Activity)
@@ -209,6 +219,66 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(st); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runLanes simulates N decorrelated copies of the design in one
+// lane-batched engine (lane l reseeds the workload via Workload.Lane) and
+// reports aggregate throughput. With -json, stdout carries an array of
+// per-lane SimStats in the farm encoding.
+func runLanes(out io.Writer, c *circuit.Circuit, cv *harness.Compiled, wl stimulus.Workload,
+	lanes, cycles int, compileTime time.Duration, jsonOut bool) {
+	be, err := sim.NewBatch(cv.Program, cv.Activity, lanes)
+	if err != nil {
+		fail(err)
+	}
+	drives := make([]func(int), lanes)
+	for l := range drives {
+		drives[l] = wl.Lane(l).NewLaneDrive(be, l)
+	}
+	start := time.Now()
+	for cyc := 0; cyc < cycles; cyc++ {
+		for l := 0; l < lanes; l++ {
+			drives[l](cyc)
+		}
+		be.Step()
+	}
+	wall := time.Since(start)
+	laneCycles := int64(lanes) * int64(cycles)
+	fmt.Fprintf(out, "ran %d lanes x %d cycles in %s (%.0f aggregate simulated Hz, %.0f Hz/lane)\n",
+		lanes, cycles, wall.Round(time.Millisecond),
+		float64(laneCycles)/wall.Seconds(), float64(cycles)/wall.Seconds())
+	var executed, skipped int64
+	for l := 0; l < lanes; l++ {
+		executed += be.ActsExecuted[l]
+		skipped += be.ActsSkipped[l]
+	}
+	fmt.Fprintf(out, "activations: %d executed, %d skipped (%.1f%% activity across lanes)\n",
+		executed, skipped, 100*float64(executed)/float64(executed+skipped))
+	for _, o := range c.Outputs() {
+		name := c.Names[o]
+		fmt.Fprintf(out, "output %-12s =", name)
+		for l := 0; l < lanes; l++ {
+			v, _ := be.Output(l, name)
+			fmt.Fprintf(out, " %#x", v)
+		}
+		fmt.Fprintln(out)
+	}
+	if jsonOut {
+		stats := make([]farm.SimStats, lanes)
+		for l := range stats {
+			compile := time.Duration(0)
+			if l == 0 {
+				compile = compileTime
+			}
+			stats[l] = farm.CollectLaneStats(c, cv, be, l, compile, wall)
+			stats[l].Workload = wl.Name
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
 			fail(err)
 		}
 	}

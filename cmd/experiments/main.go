@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,8 @@ func main() {
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable: 1 2 8 9 10 11 12)")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 2 3 4)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation studies")
+	batch := flag.Bool("batch", false, "run the lane-batched throughput experiment")
+	batchOut := flag.String("batch-out", "", "also write the -batch results as JSON to this file (e.g. BENCH_batch.json)")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -82,8 +85,8 @@ func main() {
 	for _, t := range tables {
 		selected = append(selected, fmt.Sprintf("table%d", t))
 	}
-	if len(selected) == 0 && !*ablations {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table N, or -ablations")
+	if len(selected) == 0 && !*ablations && !*batch {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table N, -batch, or -ablations")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -102,6 +105,29 @@ func main() {
 		}
 		fmt.Println(rep.String())
 		fmt.Printf("(%s generated in %s)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *batch {
+		start := time.Now()
+		res, err := cfg.BatchThroughputData()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batch throughput failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(harness.RenderBatchThroughput(res).String())
+		fmt.Printf("(batch throughput generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		if *batchOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "batch throughput: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*batchOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "batch throughput: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *batchOut)
+		}
 	}
 
 	if *ablations {

@@ -62,6 +62,11 @@ func Compile(c *circuit.Circuit, dr *dedup.Result, s *sched.Schedule, opt Option
 		kernelOf[i] = -1
 	}
 	addKernel := func(code []Instr, numTemps int, shared bool, numExt, numMems int) *Kernel {
+		// Precompute each instruction's width mask once, at lowering time,
+		// so the interpreters never call circuit.Mask per dispatch.
+		for i := range code {
+			code[i].Mask = circuit.Mask(code[i].Width)
+		}
 		k := &Kernel{
 			ID:       int32(len(p.Kernels)),
 			Code:     code,
@@ -160,24 +165,54 @@ func Compile(c *circuit.Circuit, dr *dedup.Result, s *sched.Schedule, opt Option
 		p.PartOfActivation = append(p.PartOfActivation, pid)
 	}
 
-	// Activity fan-out maps: who reads which slot / memory.
-	p.ConsumersOfSlot = make([][]int32, cc.numSlots)
-	p.ConsumersOfMem = make([][]int32, len(c.Mems))
+	// Activity fan-out maps: who reads which slot / memory. Built as
+	// per-slot lists, then flattened into CSR so the engines' hot
+	// markConsumers loop walks one flat edge array; the [][]int32 fields
+	// stay available as views into it.
+	slotCons := make([][]int32, cc.numSlots)
+	memCons := make([][]int32, len(c.Mems))
 	for pid := 0; pid < numParts; pid++ {
 		u := units[pid]
 		for _, ref := range u.reads {
 			slot := cc.resolveRef(ref)
-			p.ConsumersOfSlot[slot] = appendUnique(p.ConsumersOfSlot[slot], int32(pid))
+			slotCons[slot] = appendUnique(slotCons[slot], int32(pid))
 		}
 		for _, mem := range u.readMems {
-			p.ConsumersOfMem[mem] = appendUnique(p.ConsumersOfMem[mem], int32(pid))
+			memCons[mem] = appendUnique(memCons[mem], int32(pid))
 		}
+	}
+	p.SlotConsOff, p.SlotConsEdge, p.ConsumersOfSlot = flattenCSR(slotCons)
+	p.MemConsOff, p.MemConsEdge, p.ConsumersOfMem = flattenCSR(memCons)
+
+	// Per-write-port commit masks, precomputed like instruction masks.
+	for i := range p.WritePorts {
+		p.WritePorts[i].Mask = circuit.Mask(c.Mems[p.WritePorts[i].Mem].Width)
 	}
 
 	for _, k := range p.Kernels {
 		p.UniqueCodeBytes += k.CodeBytes
 	}
 	return p, nil
+}
+
+// flattenCSR packs per-index adjacency lists into offsets + one flat edge
+// array, returning the old list-of-lists shape as views into the flat
+// storage (len(lists)+1 offsets; views[i] aliases edges[off[i]:off[i+1]]).
+func flattenCSR(lists [][]int32) (off, edges []int32, views [][]int32) {
+	off = make([]int32, len(lists)+1)
+	total := 0
+	for i, l := range lists {
+		off[i] = int32(total)
+		total += len(l)
+	}
+	off[len(lists)] = int32(total)
+	edges = make([]int32, 0, total)
+	views = make([][]int32, len(lists))
+	for i, l := range lists {
+		edges = append(edges, l...)
+		views[i] = edges[off[i]:off[i+1]:off[i+1]]
+	}
+	return off, edges, views
 }
 
 func appendUnique(s []int32, v int32) []int32 {

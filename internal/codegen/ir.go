@@ -64,6 +64,9 @@ type Instr struct {
 	BinOp circuit.Op // for KBin
 	Width uint8
 	Val   uint64
+	// Mask is circuit.Mask(Width), precomputed by Compile so the engines
+	// never rebuild it per dispatch.
+	Mask uint64
 }
 
 // Kernel is the compiled body of one partition (direct) or one shared
@@ -126,6 +129,8 @@ type WritePortSpec struct {
 	Addr int32
 	Data int32
 	En   int32
+	// Mask is circuit.Mask of the memory's width, precomputed by Compile.
+	Mask uint64
 }
 
 // PortSpec maps a named top-level input or output to its slot.
@@ -167,10 +172,21 @@ type Program struct {
 	// only in kernel temps). Exposed for probes and tests.
 	SlotOfNode []int32
 	// ConsumersOfSlot lists, per slot, the partitions that read it —
-	// the activity-tracking fan-out map.
+	// the activity-tracking fan-out map. Each entry is a view into the
+	// CSR arrays below; callers may keep indexing it as before.
 	ConsumersOfSlot [][]int32
 	// ConsumersOfMem lists, per memory, the partitions that read it.
+	// Like ConsumersOfSlot, each entry is a view into the CSR arrays.
 	ConsumersOfMem [][]int32
+	// SlotConsOff/SlotConsEdge are the slot fan-out map in CSR form:
+	// the consumers of slot s are SlotConsEdge[SlotConsOff[s]:
+	// SlotConsOff[s+1]]. One flat allocation, no per-slot pointer chase —
+	// the engines' markConsumers hot path walks these directly.
+	SlotConsOff  []int32
+	SlotConsEdge []int32
+	// MemConsOff/MemConsEdge are ConsumersOfMem in the same CSR form.
+	MemConsOff  []int32
+	MemConsEdge []int32
 	// PartOfActivation maps schedule position to partition (same as
 	// Activations[i].Part, kept for fast access).
 	PartOfActivation []int32

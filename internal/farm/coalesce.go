@@ -1,0 +1,241 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+)
+
+// runBatch runs 2+ same-design jobs as lanes of one BatchEngine. Each
+// lane keeps its job's semantics: its own stimulus (workload + seed),
+// cycle budget, timeout, cancellation, attempt count, and SimStats. A
+// lane that finishes (budget reached, canceled, timed out) is finalized
+// and deactivated while the other lanes keep stepping; only a
+// batch-level failure (elaboration, compile, panic) touches every lane,
+// and a transient one falls back to per-job scalar retries so the
+// retry-once policy still holds job by job.
+func (f *Farm) runBatch(jobs []*Job) {
+	// Per-job contexts: cancellation and timeout stay per lane.
+	ctxs := make([]context.Context, len(jobs))
+	timeouts := make([]time.Duration, len(jobs))
+	live := jobs[:0]
+	for _, j := range jobs {
+		ctx, cancel := context.WithCancel(f.ctx)
+		timeout := f.cfg.DefaultTimeout
+		if j.Spec.TimeoutMs > 0 {
+			timeout = time.Duration(j.Spec.TimeoutMs) * time.Millisecond
+		}
+		ctx, cancelT := context.WithTimeout(ctx, timeout)
+		defer cancelT()
+
+		j.mu.Lock()
+		if j.status != StatusQueued {
+			// Canceled between claim and start.
+			j.mu.Unlock()
+			cancel()
+			continue
+		}
+		j.status = StatusRunning
+		j.started = time.Now()
+		j.cancel = cancel
+		j.attempts = 1
+		j.mu.Unlock()
+		ctxs[len(live)] = ctx
+		timeouts[len(live)] = timeout
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	ctxs, timeouts = ctxs[:len(live)], timeouts[:len(live)]
+
+	f.mu.Lock()
+	f.running += len(live)
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.running -= len(live)
+		f.mu.Unlock()
+	}()
+
+	err := f.runBatchAttempt(live, ctxs, timeouts)
+	if err == nil {
+		return
+	}
+	// Batch-level failure: every still-unfinished lane shares its fate.
+	// Transient errors (panics, injected faults) get the per-job retry on
+	// a dedicated scalar engine; deterministic errors fail everyone the
+	// same way a solo run would.
+	for i, j := range live {
+		j.mu.Lock()
+		terminal := j.status.Terminal()
+		j.mu.Unlock()
+		if terminal {
+			continue
+		}
+		if IsTransient(err) && ctxs[i].Err() == nil {
+			f.mu.Lock()
+			f.retries++
+			f.mu.Unlock()
+			j.mu.Lock()
+			j.attempts = 2
+			j.mu.Unlock()
+			rerr := f.runAttempt(ctxs[i], j, 1)
+			f.finishRun(j, rerr, timeouts[i])
+			continue
+		}
+		f.finishRun(j, err, timeouts[i])
+	}
+}
+
+// finishRun maps an attempt error to the job's terminal status (the same
+// mapping runJob applies).
+func (f *Farm) finishRun(j *Job, err error, timeout time.Duration) {
+	switch {
+	case err == nil:
+		f.finish(j, StatusDone, nil, nil)
+	case errors.Is(err, context.Canceled):
+		f.finish(j, StatusCanceled, nil, errors.New("canceled"))
+	case errors.Is(err, context.DeadlineExceeded):
+		f.finish(j, StatusFailed, nil, fmt.Errorf("timeout after %s", timeout))
+	default:
+		f.finish(j, StatusFailed, nil, err)
+	}
+}
+
+// runBatchAttempt elaborates and compiles once (through the cache), then
+// steps all lanes in lockstep. Lanes exit individually; an error return
+// means a failure before or during stepping that the caller must apply
+// to the lanes that have not been finalized.
+func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []time.Duration) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Transient(fmt.Errorf("panic: %v", r))
+		}
+	}()
+	if f.injectFault != nil {
+		for _, j := range jobs {
+			if ferr := f.injectFault(j, 0); ferr != nil {
+				return ferr
+			}
+		}
+	}
+
+	c, err := jobs[0].Spec.Build()
+	if err != nil {
+		return err
+	}
+	hash := c.StructuralHash()
+	variant := harness.Variant(jobs[0].Spec.Variant)
+	key := CacheKey{Hash: hash, Variant: variant}
+	compileStart := time.Now()
+	cv, hit, err := f.cache.Get(ctxs[0], key, func() (*harness.Compiled, error) {
+		return harness.CompileVariant(c, variant, partition.Options{})
+	})
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	compileTime := time.Duration(0)
+	if !hit {
+		compileTime = time.Since(compileStart)
+		f.mu.Lock()
+		f.compileWall += compileTime
+		f.mu.Unlock()
+	}
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.hash, j.hashed = hash, true
+		j.cacheHit = hit
+		j.mu.Unlock()
+	}
+
+	lanes := len(jobs)
+	be, err := sim.NewBatch(cv.Program, cv.Activity, lanes)
+	if err != nil {
+		return err
+	}
+	drives := make([]func(int), lanes)
+	budgets := make([]int, lanes)
+	names := make([]string, lanes)
+	maxBudget := 0
+	for l, j := range jobs {
+		wl, werr := workloadByName(j.Spec.Workload)
+		if werr != nil {
+			return werr
+		}
+		drives[l] = wl.WithSeed(j.Spec.Seed).NewLaneDrive(be, l)
+		budgets[l] = j.Spec.Cycles
+		names[l] = wl.Name
+		if budgets[l] > maxBudget {
+			maxBudget = budgets[l]
+		}
+	}
+
+	// Lockstep loop. Cancellation and timeouts bite at chunk boundaries
+	// (as in the scalar path); a lane reaching its own cycle budget is
+	// finalized right after the step that completed it. The compile cost
+	// is attributed to lane 0, matching the scalar path where only the
+	// job that triggered the compile reports it.
+	finished := make([]bool, lanes)
+	const chunk = 256
+	start := time.Now()
+	retire := func(l int) {
+		be.Deactivate(l)
+		finished[l] = true
+	}
+	complete := func(l int) {
+		stats := CollectLaneStats(c, cv, be, l, 0, time.Since(start))
+		if l == 0 {
+			stats.CompileMs = float64(compileTime) / float64(time.Millisecond)
+		}
+		stats.Workload = names[l]
+		j := jobs[l]
+		j.mu.Lock()
+		j.stats = &stats
+		j.mu.Unlock()
+		retire(l)
+	}
+	for cyc := 0; cyc < maxBudget && be.ActiveLanes() > 0; cyc++ {
+		if cyc%chunk == 0 {
+			for l, j := range jobs {
+				if finished[l] {
+					continue
+				}
+				if cerr := ctxs[l].Err(); cerr != nil {
+					retire(l)
+					f.finishRun(j, cerr, timeouts[l])
+				}
+			}
+			if be.ActiveLanes() == 0 {
+				break
+			}
+		}
+		for l := range jobs {
+			if !finished[l] {
+				drives[l](cyc)
+			}
+		}
+		be.Step()
+		for l, j := range jobs {
+			if !finished[l] && be.Cycles[l] >= int64(budgets[l]) {
+				complete(l)
+				f.finishRun(j, nil, timeouts[l])
+			}
+		}
+	}
+	wall := time.Since(start)
+	var cycles int64
+	for l := range jobs {
+		cycles += be.Cycles[l]
+	}
+	f.mu.Lock()
+	f.simCycles += cycles
+	f.simWall += wall
+	f.mu.Unlock()
+	return nil
+}

@@ -40,6 +40,15 @@ type Config struct {
 	// so a long-running daemon's memory stays bounded (default 1024,
 	// negative = unlimited).
 	RetainJobs int
+	// MaxLanes opts in to batch coalescing: queued jobs with identical
+	// design + variant (workload, seed, and cycle budget may differ) are
+	// run as lanes of one lockstep sim.BatchEngine, up to MaxLanes per
+	// batch, amortizing interpreter dispatch across them. 0 or 1
+	// disables coalescing; values beyond sim.MaxBatchLanes are clamped.
+	// Jobs requesting VCD capture never coalesce. Per-job semantics are
+	// preserved: each lane keeps its own stimulus, cycle budget,
+	// timeout, cancellation, and SimStats.
+	MaxLanes int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs == 0 {
 		c.RetainJobs = 1024
+	}
+	if c.MaxLanes > sim.MaxBatchLanes {
+		c.MaxLanes = sim.MaxBatchLanes
 	}
 	return c
 }
@@ -151,7 +163,14 @@ type Farm struct {
 	finished []string // terminal jobs oldest-first, for pruning
 	nextID   int64
 
-	queue   chan *Job
+	// pending is the submission-ordered queue. A slice (not a channel)
+	// so takeBatch can scan past the head and claim same-design jobs as
+	// lanes of one batch. Canceled-while-queued jobs stay in place and
+	// are skipped lazily. wake carries one token per Submit; a worker
+	// that consumes a token drains batches until the queue is empty, so
+	// dropped tokens (full channel) never strand work.
+	pending []*Job
+	wake    chan struct{}
 	running int
 
 	wg      sync.WaitGroup
@@ -181,7 +200,7 @@ func New(cfg Config) *Farm {
 		cfg:     cfg,
 		cache:   NewCompileCache(),
 		jobs:    map[string]*Job{},
-		queue:   make(chan *Job, cfg.QueueDepth),
+		wake:    make(chan struct{}, cfg.QueueDepth),
 		ctx:     ctx,
 		stop:    stop,
 		started: time.Now(),
@@ -206,16 +225,16 @@ func (f *Farm) Close() {
 		}
 		j.mu.Unlock()
 	}
+	// Detach the queue under f.mu: a worker mid-takeBatch has either
+	// already claimed (removed) its jobs or will find the queue empty.
+	pending := f.pending
+	f.pending = nil
 	f.mu.Unlock()
 	f.wg.Wait()
-	// Drain whatever never reached a worker.
-	for {
-		select {
-		case j := <-f.queue:
-			f.finish(j, StatusCanceled, nil, errors.New("farm shut down"))
-		default:
-			return
-		}
+	// Whatever never reached a worker is canceled (finish is a no-op for
+	// jobs Cancel already made terminal).
+	for _, j := range pending {
+		f.finish(j, StatusCanceled, nil, errors.New("farm shut down"))
 	}
 }
 
@@ -235,6 +254,14 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	if f.closed {
 		return nil, fmt.Errorf("farm: closed")
 	}
+	if len(f.pending) >= f.cfg.QueueDepth {
+		// Canceled-while-queued jobs linger in pending for lazy skipping;
+		// compact them out before declaring the queue full.
+		f.compactPendingLocked()
+	}
+	if len(f.pending) >= f.cfg.QueueDepth {
+		return nil, fmt.Errorf("farm: queue full (%d jobs)", f.cfg.QueueDepth)
+	}
 	f.nextID++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%d", f.nextID),
@@ -244,15 +271,34 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
+	f.jobs[j.ID] = j
+	f.order = append(f.order, j.ID)
+	f.pending = append(f.pending, j)
 	select {
-	case f.queue <- j:
-		f.jobs[j.ID] = j
-		f.order = append(f.order, j.ID)
-		return j, nil
+	case f.wake <- struct{}{}:
 	default:
-		f.nextID--
-		return nil, fmt.Errorf("farm: queue full (%d jobs)", f.cfg.QueueDepth)
+		// Channel full means at least QueueDepth tokens are outstanding —
+		// more than enough draining passes are already owed.
 	}
+	return j, nil
+}
+
+// compactPendingLocked drops terminal (canceled-while-queued) entries
+// from the pending queue. Caller holds f.mu.
+func (f *Farm) compactPendingLocked() {
+	keep := f.pending[:0]
+	for _, j := range f.pending {
+		j.mu.Lock()
+		terminal := j.status.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			keep = append(keep, j)
+		}
+	}
+	for i := len(keep); i < len(f.pending); i++ {
+		f.pending[i] = nil
+	}
+	f.pending = keep
 }
 
 // Job looks up a job by ID.
@@ -326,10 +372,92 @@ func (f *Farm) worker() {
 		select {
 		case <-f.ctx.Done():
 			return
-		case j := <-f.queue:
-			f.runJob(j)
+		case <-f.wake:
+			for {
+				batch := f.takeBatch()
+				if len(batch) == 0 {
+					break
+				}
+				if len(batch) == 1 {
+					f.runJob(batch[0])
+				} else {
+					f.runBatch(batch)
+				}
+				if f.ctx.Err() != nil {
+					return
+				}
+			}
 		}
 	}
+}
+
+// batchKey identifies jobs that may share one compiled Program and hence
+// one BatchEngine: same design source and simulator variant. Workload,
+// seed, cycle budget, and timeout may differ per lane.
+type batchKey struct {
+	design  string
+	scale   float64
+	firrtl  string
+	variant string
+}
+
+func jobBatchKey(s JobSpec) batchKey {
+	return batchKey{design: s.Design, scale: s.Scale, firrtl: s.FIRRTL, variant: s.Variant}
+}
+
+// takeBatch pops the first still-queued job and, when coalescing is on,
+// claims up to MaxLanes-1 later queued jobs with the same batch key as
+// additional lanes. Claimed jobs are removed from pending while still
+// StatusQueued; the runner re-checks each under its own lock (a racing
+// Cancel may turn one terminal first). VCD jobs never coalesce: waveform
+// capture is built around the scalar engine's prober.
+func (f *Farm) takeBatch() []*Job {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var batch []*Job
+	var key batchKey
+	i := 0
+	for ; i < len(f.pending); i++ {
+		j := f.pending[i]
+		j.mu.Lock()
+		queued := j.status == StatusQueued
+		j.mu.Unlock()
+		if queued {
+			batch = append(batch, j)
+			key = jobBatchKey(j.Spec)
+			i++
+			break
+		}
+		// Terminal (canceled while queued): drop in passing.
+	}
+	if len(batch) == 0 {
+		f.pending = f.pending[:0]
+		return nil
+	}
+	rest := f.pending[:0]
+	if f.cfg.MaxLanes > 1 && !batch[0].Spec.VCD {
+		for ; i < len(f.pending); i++ {
+			j := f.pending[i]
+			if len(batch) < f.cfg.MaxLanes && !j.Spec.VCD && jobBatchKey(j.Spec) == key {
+				j.mu.Lock()
+				queued := j.status == StatusQueued
+				j.mu.Unlock()
+				if queued {
+					batch = append(batch, j)
+					continue
+				}
+				continue // terminal: drop
+			}
+			rest = append(rest, j)
+		}
+	} else {
+		rest = append(rest, f.pending[i:]...)
+	}
+	for k := len(rest); k < len(f.pending); k++ {
+		f.pending[k] = nil
+	}
+	f.pending = rest
+	return batch
 }
 
 // runJob drives one job through the retry-once policy.
@@ -441,9 +569,10 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	}
 
 	// The Program is shared read-only across workers; each job gets its
-	// own Engine (private state/temps/dirty vectors).
+	// own Engine (private state/temps/dirty vectors). The drive resolves
+	// input handles once, so the cycle loop does no string hashing.
 	e := sim.New(cv.Program, cv.Activity)
-	drive := wl.NewDrive()
+	drive := wl.WithSeed(j.Spec.Seed).NewEngineDrive(e)
 
 	var vcdBuf bytes.Buffer
 	var vcd *sim.VCDWriter
@@ -472,7 +601,7 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 				return ctxErr
 			}
 		}
-		drive(e, cyc)
+		drive(cyc)
 		e.Step()
 		if vcd != nil {
 			if err := vcd.Sample(prober, cyc); err != nil {

@@ -56,6 +56,11 @@ type JobSpec struct {
 	Variant string `json:"variant,omitempty"`
 	// Workload selects the stimulus program, "A" or "B" (default "A").
 	Workload string `json:"workload,omitempty"`
+	// Seed reseeds the workload's stimulus stream; 0 keeps the
+	// workload's default seed. Distinct seeds give a regression sweep
+	// decorrelated stimuli while still sharing one compiled Program (and,
+	// with coalescing, one batch engine).
+	Seed uint64 `json:"seed,omitempty"`
 	// Cycles is the simulated cycle budget (default the workload's
 	// nominal length, capped at the farm's MaxCycles).
 	Cycles int `json:"cycles,omitempty"`

@@ -38,7 +38,7 @@ func (f *Farm) Stats() Stats {
 		UptimeSeconds:   time.Since(f.started).Seconds(),
 		Workers:         f.cfg.Workers,
 		JobsSubmitted:   f.nextID,
-		JobsQueued:      len(f.queue),
+		JobsQueued:      queuedLocked(f.pending),
 		JobsRunning:     f.running,
 		JobsCompleted:   f.completed,
 		JobsFailed:      f.failed,
@@ -77,4 +77,18 @@ func (f *Farm) WriteStats(w io.Writer) {
 		fmt.Fprintf(w, "  program %s/%s: %d hits, compiled in %.0f ms (%s)\n",
 			e.CircuitHash[:12], e.Variant, e.Hits, e.CompileMs, status)
 	}
+}
+
+// queuedLocked counts still-queued entries in the pending slice (skipping
+// canceled-while-queued jobs awaiting lazy removal). Caller holds f.mu.
+func queuedLocked(pending []*Job) int {
+	n := 0
+	for _, j := range pending {
+		j.mu.Lock()
+		if j.status == StatusQueued {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
 }

@@ -28,7 +28,10 @@ type SimStats struct {
 	// compile cache it is 0 (no compile ran).
 	CompileMs float64 `json:"compile_ms"`
 
-	Workload     string  `json:"workload,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// Lanes is the batch width this run shared an engine with (farm
+	// coalescing); 0 means a dedicated scalar engine.
+	Lanes        int     `json:"lanes,omitempty"`
 	Cycles       int64   `json:"cycles"`
 	WallMs       float64 `json:"wall_ms"`
 	SimHz        float64 `json:"sim_hz"`
@@ -73,6 +76,50 @@ func CollectStats(c *circuit.Circuit, cv *harness.Compiled, e *sim.Engine, compi
 	for _, out := range c.Outputs() {
 		name := c.Names[out]
 		v, err := e.Output(name)
+		if err == nil {
+			st.Outputs[name] = fmt.Sprintf("%#x", v)
+		}
+	}
+	return st
+}
+
+// CollectLaneStats assembles a SimStats for one lane of a batch run. The
+// counters are the lane's own (bit-exact with a dedicated scalar engine);
+// wall is the batch's elapsed time up to this lane's exit, so SimHz is
+// the lane's share of the lockstep run, and the per-job numbers sum to
+// the batch aggregate.
+func CollectLaneStats(c *circuit.Circuit, cv *harness.Compiled, be *sim.BatchEngine, lane int, compile, wall time.Duration) SimStats {
+	prog := cv.Program
+	st := SimStats{
+		Design:       c.Name,
+		Nodes:        c.NumNodes(),
+		CircuitHash:  c.StructuralHash().String(),
+		Variant:      string(cv.Variant),
+		Partitions:   prog.NumParts,
+		Kernels:      len(prog.Kernels),
+		CodeBytes:    prog.UniqueCodeBytes,
+		TableBytes:   prog.TableBytes,
+		CompileMs:    float64(compile) / float64(time.Millisecond),
+		Lanes:        be.Lanes(),
+		Cycles:       be.Cycles[lane],
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		ActsExecuted: be.ActsExecuted[lane],
+		ActsSkipped:  be.ActsSkipped[lane],
+		DynInstrs:    be.DynInstrs[lane],
+		Outputs:      map[string]string{},
+	}
+	if cv.Dedup != nil {
+		st.SharedClasses = cv.Dedup.NumClasses
+	}
+	if wall > 0 {
+		st.SimHz = float64(st.Cycles) / wall.Seconds()
+	}
+	if total := st.ActsExecuted + st.ActsSkipped; total > 0 {
+		st.ActivityPct = 100 * float64(st.ActsExecuted) / float64(total)
+	}
+	for _, out := range c.Outputs() {
+		name := c.Names[out]
+		v, err := be.Output(lane, name)
 		if err == nil {
 			st.Outputs[name] = fmt.Sprintf("%#x", v)
 		}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"dedupsim/internal/gen"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+// BatchLanePoint is one (variant, lane-count) measurement of the
+// batch-throughput experiment: aggregate simulated Hz of L lane-batched
+// simulations against L sequential scalar-engine runs of the same
+// independently-seeded stimuli.
+type BatchLanePoint struct {
+	Variant string `json:"variant"`
+	Lanes   int    `json:"lanes"`
+	// ScalarAggHz is lanes*cycles divided by the wall time of running
+	// the lanes one after another on dedicated scalar engines.
+	ScalarAggHz float64 `json:"scalar_agg_hz"`
+	// BatchAggHz is lanes*cycles divided by the wall time of one
+	// lockstep BatchEngine run.
+	BatchAggHz float64 `json:"batch_agg_hz"`
+	// Speedup is BatchAggHz / ScalarAggHz — the dispatch-amortization
+	// win of lane batching.
+	Speedup float64 `json:"speedup"`
+}
+
+// BatchLaneResult is the machine-readable record of the batch-throughput
+// experiment (written to BENCH_batch.json by cmd/experiments -batch).
+type BatchLaneResult struct {
+	Design   string           `json:"design"`
+	Scale    float64          `json:"scale"`
+	Workload string           `json:"workload"`
+	Cycles   int              `json:"cycles"`
+	Points   []BatchLanePoint `json:"points"`
+}
+
+// batchLaneCounts is the lane sweep for BatchThroughput.
+var batchLaneCounts = []int{1, 2, 4, 8, 16}
+
+// BatchThroughputData measures lane-batched vs sequential-scalar
+// aggregate throughput on the config's deduplicated mid-size design, for
+// the dedup variant and the no-dedup (ESSENT) baseline. Stimuli are
+// workload B (the paper's long, higher-activity benchmark) with per-lane
+// decorrelated seeds, so lanes genuinely diverge and per-lane activity
+// skipping is exercised rather than trivially synchronized.
+func (cfg Config) BatchThroughputData() (*BatchLaneResult, error) {
+	c := cfg.build(gen.SmallBoom, 4)
+	wl := stimulus.VVAddB()
+	// Enough cycles per measurement that wall times are far above timer
+	// noise even at the quick scale.
+	cycles := cfg.Cycles * 10
+	if cycles < 2000 {
+		cycles = 2000
+	}
+	res := &BatchLaneResult{
+		Design:   "SmallBoom-4C",
+		Scale:    cfg.Scale,
+		Workload: wl.Name,
+		Cycles:   cycles,
+	}
+	for _, v := range []Variant{Dedup, ESSENT} {
+		cv, err := CompileVariant(c, v, partition.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, lanes := range batchLaneCounts {
+			if lanes > sim.MaxBatchLanes {
+				continue
+			}
+			pt := BatchLanePoint{Variant: string(v), Lanes: lanes}
+			// Best of two passes each, to shed scheduler noise.
+			for rep := 0; rep < 2; rep++ {
+				if hz := measureScalarRuns(cv, wl, lanes, cycles); hz > pt.ScalarAggHz {
+					pt.ScalarAggHz = hz
+				}
+				if hz := measureBatchRun(cv, wl, lanes, cycles); hz > pt.BatchAggHz {
+					pt.BatchAggHz = hz
+				}
+			}
+			pt.Speedup = pt.BatchAggHz / pt.ScalarAggHz
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// measureScalarRuns runs lanes sequential scalar simulations (distinct
+// seeds) and returns aggregate simulated Hz.
+func measureScalarRuns(cv *Compiled, wl stimulus.Workload, lanes, cycles int) float64 {
+	start := time.Now()
+	for l := 0; l < lanes; l++ {
+		e := sim.New(cv.Program, cv.Activity)
+		drive := wl.Lane(l).NewEngineDrive(e)
+		for cyc := 0; cyc < cycles; cyc++ {
+			drive(cyc)
+			e.Step()
+		}
+	}
+	return float64(lanes) * float64(cycles) / time.Since(start).Seconds()
+}
+
+// measureBatchRun runs the same lanes in one lockstep BatchEngine and
+// returns aggregate simulated Hz.
+func measureBatchRun(cv *Compiled, wl stimulus.Workload, lanes, cycles int) float64 {
+	be, err := sim.NewBatch(cv.Program, cv.Activity, lanes)
+	if err != nil {
+		panic(err) // lane counts are from batchLaneCounts, always valid
+	}
+	drives := make([]func(int), lanes)
+	for l := range drives {
+		drives[l] = wl.Lane(l).NewLaneDrive(be, l)
+	}
+	start := time.Now()
+	for cyc := 0; cyc < cycles; cyc++ {
+		for l := 0; l < lanes; l++ {
+			drives[l](cyc)
+		}
+		be.Step()
+	}
+	return float64(lanes) * float64(cycles) / time.Since(start).Seconds()
+}
+
+// BatchThroughput renders BatchThroughputData as a report: the software
+// analogue of the paper's batch mode, where many simulations share one
+// deduplicated code footprint and, here, one interpreter dispatch stream.
+func (cfg Config) BatchThroughput() (*Report, error) {
+	res, err := cfg.BatchThroughputData()
+	if err != nil {
+		return nil, err
+	}
+	return RenderBatchThroughput(res), nil
+}
+
+// RenderBatchThroughput formats an already-measured BatchLaneResult
+// (e.g. one loaded back from BENCH_batch.json) as a report.
+func RenderBatchThroughput(res *BatchLaneResult) *Report {
+	rows := make([][]string, 0, len(res.Points))
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			p.Variant, fmt.Sprint(p.Lanes),
+			fmt.Sprintf("%.0f", p.ScalarAggHz),
+			fmt.Sprintf("%.0f", p.BatchAggHz),
+			fmt.Sprintf("%.2fx", p.Speedup),
+		})
+	}
+	body := fmt.Sprintf("%s @ scale %.2f, workload %s, %d cycles/lane\n%s",
+		res.Design, res.Scale, res.Workload, res.Cycles,
+		table([]string{"variant", "lanes", "scalar agg Hz", "batch agg Hz", "speedup"}, rows))
+	return &Report{Title: "Batch throughput — lane-batched vs sequential scalar", Body: body}
+}

@@ -1,0 +1,791 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dedupsim/internal/circuit"
+	"dedupsim/internal/codegen"
+)
+
+// MaxBatchLanes bounds a BatchEngine's lane count: per-partition dirty
+// state is one uint64 bitmask, bit l = lane l.
+const MaxBatchLanes = 64
+
+// BatchEngine executes up to MaxBatchLanes independent simulations of the
+// SAME compiled Program in lockstep — the software analogue of the
+// paper's batch-mode result: deduplicated kernels shrink the shared code
+// footprint, and running many simulations against that one footprint
+// amortizes what is left. Here the shared cost is interpreter dispatch:
+// each kernel instruction is decoded once per step and applied to every
+// lane that needs it before the next dispatch, so switch overhead,
+// activation scanning, commit-loop bookkeeping, and i-cache/branch-
+// predictor warmup are paid once per batch instead of once per
+// simulation.
+//
+// State is struct-of-arrays: slot s of lane l lives at state[s*L+l], so
+// the per-instruction lane loop walks contiguous memory. Activity
+// skipping is per-(partition, lane): dirty[part] is a lane bitmask, and a
+// partition whose mask is clean across all lanes is skipped at batch
+// granularity with a single test.
+//
+// Lane-isolation invariant: lanes share the Program (code, tables,
+// schedules) and NOTHING else. Every mutable word — state, memories,
+// temps, dirty masks, counters — is indexed by lane, and no instruction
+// ever reads another lane's index. A finished or canceled lane is masked
+// out of the active set (execution, commits, and counters freeze) without
+// disturbing its final state or the surviving lanes.
+type BatchEngine struct {
+	p        *codegen.Program
+	activity bool
+	lanes    int
+
+	state []uint64   // [slot*lanes + lane]
+	mems  [][]uint64 // per memory: [addr*lanes + lane]
+	temps []uint64   // [temp*lanes + lane]
+	dirty []uint64   // per partition: bit l = lane l dirty
+	// active has bit l set while lane l is live; Deactivate clears it.
+	active uint64
+	// all is the full lane mask (lanes low bits set).
+	all uint64
+	// allLanes is [0, 1, ..., lanes-1]; activeList is the live subset,
+	// rebuilt on Deactivate/Reset. Hot loops iterate lane lists instead
+	// of bit-scanning masks: a slice range is a load+increment where
+	// TrailingZeros64 per lane costs several ops and a data-dependent
+	// loop-carried chain.
+	allLanes   []int32
+	activeList []int32
+	// laneBuf is scratch for per-activation execution lane lists.
+	laneBuf []int32
+
+	outputs map[string]codegen.PortSpec
+
+	// Per-lane counters, same semantics as the scalar Engine's: a lane's
+	// entry advances exactly as it would in a standalone Engine run.
+	Cycles       []int64
+	ActsExecuted []int64
+	ActsSkipped  []int64
+	DynInstrs    []int64
+}
+
+// NewBatch builds a batch engine with the given lane count (1..
+// MaxBatchLanes). activity enables ESSENT-style per-(partition, lane)
+// skipping, exactly as in New.
+func NewBatch(p *codegen.Program, activity bool, lanes int) (*BatchEngine, error) {
+	if lanes < 1 || lanes > MaxBatchLanes {
+		return nil, fmt.Errorf("sim: batch lanes %d out of [1, %d]", lanes, MaxBatchLanes)
+	}
+	maxTemps := 0
+	for _, k := range p.Kernels {
+		if k.NumTemps > maxTemps {
+			maxTemps = k.NumTemps
+		}
+	}
+	e := &BatchEngine{
+		p:        p,
+		activity: activity,
+		lanes:    lanes,
+		state:    make([]uint64, p.NumSlots*lanes),
+		temps:    make([]uint64, maxTemps*lanes),
+		dirty:    make([]uint64, p.NumParts),
+		all:      ^uint64(0) >> (64 - uint(lanes)),
+		outputs:  map[string]codegen.PortSpec{},
+
+		Cycles:       make([]int64, lanes),
+		ActsExecuted: make([]int64, lanes),
+		ActsSkipped:  make([]int64, lanes),
+		DynInstrs:    make([]int64, lanes),
+	}
+	e.allLanes = make([]int32, lanes)
+	for l := range e.allLanes {
+		e.allLanes[l] = int32(l)
+	}
+	e.laneBuf = make([]int32, lanes)
+	e.mems = make([][]uint64, len(p.Mems))
+	for i, m := range p.Mems {
+		e.mems[i] = make([]uint64, m.Depth*lanes)
+	}
+	for _, out := range p.Outputs {
+		e.outputs[out.Name] = out
+	}
+	e.Reset()
+	return e, nil
+}
+
+// laneList expands a lane bitmask into a slice of lane indices, reusing
+// the engine's scratch buffer; the full mask returns the precomputed
+// dense list without scanning.
+func (e *BatchEngine) laneList(mask uint64) []int32 {
+	if mask == e.all {
+		return e.allLanes
+	}
+	buf := e.laneBuf[:0]
+	for m := mask; m != 0; m &= m - 1 {
+		buf = append(buf, int32(bits.TrailingZeros64(m)))
+	}
+	return buf
+}
+
+// Program returns the shared program being executed.
+func (e *BatchEngine) Program() *codegen.Program { return e.p }
+
+// Lanes returns the lane count.
+func (e *BatchEngine) Lanes() int { return e.lanes }
+
+// Reset zeroes all lanes, restores register reset values, reactivates
+// every lane, and marks every (partition, lane) dirty.
+func (e *BatchEngine) Reset() {
+	L := e.lanes
+	for i := range e.state {
+		e.state[i] = 0
+	}
+	for _, r := range e.p.Regs {
+		cur, next := int(r.Cur)*L, int(r.Next)*L
+		for l := 0; l < L; l++ {
+			e.state[cur+l] = r.Reset
+			e.state[next+l] = r.Reset
+		}
+	}
+	for _, m := range e.mems {
+		for i := range m {
+			m[i] = 0
+		}
+	}
+	for i := range e.dirty {
+		e.dirty[i] = e.all
+	}
+	e.active = e.all
+	e.activeList = e.allLanes
+	for l := 0; l < L; l++ {
+		e.Cycles[l], e.ActsExecuted[l], e.ActsSkipped[l], e.DynInstrs[l] = 0, 0, 0, 0
+	}
+}
+
+// Deactivate masks lane out of the batch: it stops executing, committing,
+// and counting, and its state freezes at its current cycle. Used for
+// per-lane early exit (budget reached, job canceled) without aborting the
+// other lanes.
+func (e *BatchEngine) Deactivate(lane int) {
+	e.active &^= uint64(1) << uint(lane)
+	live := make([]int32, 0, bits.OnesCount64(e.active))
+	for m := e.active; m != 0; m &= m - 1 {
+		live = append(live, int32(bits.TrailingZeros64(m)))
+	}
+	e.activeList = live
+}
+
+// LaneActive reports whether the lane is still stepping.
+func (e *BatchEngine) LaneActive(lane int) bool { return e.active&(uint64(1)<<uint(lane)) != 0 }
+
+// ActiveLanes returns how many lanes are still stepping.
+func (e *BatchEngine) ActiveLanes() int { return bits.OnesCount64(e.active) }
+
+// InputHandle resolves a named input of the shared program; the handle is
+// valid for every lane.
+func (e *BatchEngine) InputHandle(name string) (InputHandle, bool) {
+	return ResolveInput(e.p, name)
+}
+
+// SetInput drives a named input of one lane.
+func (e *BatchEngine) SetInput(lane int, name string, v uint64) error {
+	h, ok := e.InputHandle(name)
+	if !ok {
+		return fmt.Errorf("sim: no input %q", name)
+	}
+	e.SetLaneInput(lane, h, v)
+	return nil
+}
+
+// SetLaneInput drives a pre-resolved input on one lane — the hot-path
+// form. Invalid handles no-op.
+func (e *BatchEngine) SetLaneInput(lane int, h InputHandle, v uint64) {
+	if !h.ok {
+		return
+	}
+	v &= h.mask
+	idx := int(h.slot)*e.lanes + lane
+	if e.state[idx] != v {
+		e.state[idx] = v
+		e.markConsumers(h.slot, uint64(1)<<uint(lane))
+	}
+}
+
+// Output reads a named output of one lane as of the lane's last executed
+// step.
+func (e *BatchEngine) Output(lane int, name string) (uint64, error) {
+	out, ok := e.outputs[name]
+	if !ok {
+		return 0, fmt.Errorf("sim: no output %q", name)
+	}
+	return e.state[int(out.Slot)*e.lanes+lane], nil
+}
+
+// Slot reads a raw state slot of one lane (tests and probes).
+func (e *BatchEngine) Slot(lane int, s int32) uint64 { return e.state[int(s)*e.lanes+lane] }
+
+// markConsumers dirties every consumer of slot in every lane of
+// changedMask — one pass over the consumer list regardless of how many
+// lanes changed, where L scalar engines would walk it up to L times.
+func (e *BatchEngine) markConsumers(slot int32, changedMask uint64) {
+	p := e.p
+	for _, pt := range p.SlotConsEdge[p.SlotConsOff[slot]:p.SlotConsOff[slot+1]] {
+		e.dirty[pt] |= changedMask
+	}
+}
+
+// Step evaluates one full cycle for every active lane: the scheduled
+// activations (skipping a partition entirely when no active lane is
+// dirty), then register and memory commits vectorized over lanes.
+func (e *BatchEngine) Step() {
+	p := e.p
+	L := e.lanes
+	active := e.active
+	live := e.activeList
+
+	// Per-lane skip accounting: assume every activation skipped, then
+	// reverse per executed (activation, lane) in exec. This keeps the
+	// counters bit-exact with L scalar engines.
+	nActs := int64(len(p.Activations))
+	for _, l := range live {
+		e.ActsSkipped[l] += nActs
+		e.Cycles[l]++
+	}
+
+	for i := range p.Activations {
+		act := &p.Activations[i]
+		var execMask uint64
+		if e.activity {
+			execMask = e.dirty[act.Part] & active
+		} else {
+			execMask = active
+		}
+		if execMask == 0 {
+			continue
+		}
+		e.dirty[act.Part] &^= execMask
+		// Three interpreter gears by dirty-lane population: all lanes
+		// (dense bounds-check-free scans), exactly one lane (no lane loop
+		// at all — with decorrelated stimuli this is the most common
+		// case), or a scanned lane list in between.
+		if execMask == e.all {
+			e.execDense(act)
+		} else if execMask&(execMask-1) == 0 {
+			e.execOne(act, bits.TrailingZeros64(execMask))
+		} else {
+			e.exec(act, e.laneList(execMask))
+		}
+	}
+
+	// Register commits: per register, gather the lanes whose value moved
+	// and wake consumers with one pass over the fan-out list. With every
+	// lane live (the common case) the scan is a bounds-check-free range
+	// loop over the contiguous lane stripe.
+	st := e.state
+	allLive := active == e.all
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		curBase, nextBase := int(r.Cur)*L, int(r.Next)*L
+		var changed uint64
+		if allLive {
+			cur := st[curBase : curBase+L]
+			next := st[nextBase : nextBase+L][:L]
+			if r.En >= 0 {
+				en := st[int(r.En)*L : int(r.En)*L+L][:L]
+				for l := range cur {
+					if en[l] != 0 && cur[l] != next[l] {
+						cur[l] = next[l]
+						changed |= uint64(1) << uint(l)
+					}
+				}
+			} else {
+				for l := range cur {
+					if cur[l] != next[l] {
+						cur[l] = next[l]
+						changed |= uint64(1) << uint(l)
+					}
+				}
+			}
+		} else {
+			enBase := -1
+			if r.En >= 0 {
+				enBase = int(r.En) * L
+			}
+			for _, l := range live {
+				if enBase >= 0 && st[enBase+int(l)] == 0 {
+					continue
+				}
+				next := st[nextBase+int(l)]
+				if st[curBase+int(l)] != next {
+					st[curBase+int(l)] = next
+					changed |= uint64(1) << uint(l)
+				}
+			}
+		}
+		if changed != 0 {
+			e.markConsumers(r.Cur, changed)
+		}
+	}
+
+	// Memory commits in port order, per lane (addresses differ by lane).
+	for i := range p.WritePorts {
+		wp := &p.WritePorts[i]
+		m := e.mems[wp.Mem]
+		depth := uint64(len(m) / L)
+		enBase, addrBase, dataBase := int(wp.En)*L, int(wp.Addr)*L, int(wp.Data)*L
+		var changed uint64
+		for _, l := range live {
+			if st[enBase+int(l)] == 0 {
+				continue
+			}
+			addr := st[addrBase+int(l)] % depth
+			data := st[dataBase+int(l)] & wp.Mask
+			idx := int(addr)*L + int(l)
+			if m[idx] != data {
+				m[idx] = data
+				changed |= uint64(1) << uint(l)
+			}
+		}
+		if changed != 0 {
+			for _, pt := range p.MemConsEdge[p.MemConsOff[wp.Mem]:p.MemConsOff[wp.Mem+1]] {
+				e.dirty[pt] |= changed
+			}
+		}
+	}
+}
+
+// exec interprets one kernel activation for the listed lanes: one
+// instruction decode — and for binary ops, one operator dispatch — then a
+// tight lane loop per operation.
+func (e *BatchEngine) exec(act *codegen.Activation, lanes []int32) {
+	k := e.p.Kernels[act.Kernel]
+	L := e.lanes
+	t := e.temps
+	st := e.state
+	for i := range k.Code {
+		in := &k.Code[i]
+		switch in.Op {
+		case codegen.KConst:
+			d, v := int(in.Dst)*L, in.Val
+			for _, l := range lanes {
+				t[d+int(l)] = v
+			}
+		case codegen.KLoad:
+			d, a := int(in.Dst)*L, int(in.A)*L
+			for _, l := range lanes {
+				t[d+int(l)] = st[a+int(l)]
+			}
+		case codegen.KLoadExt:
+			d, a := int(in.Dst)*L, int(act.Ext[in.A])*L
+			for _, l := range lanes {
+				t[d+int(l)] = st[a+int(l)]
+			}
+		case codegen.KStore:
+			e.storeLanes(in.Dst, int(in.A)*L, in.Mask, lanes)
+		case codegen.KStoreExt:
+			e.storeLanes(act.Ext[in.Dst], int(in.A)*L, in.Mask, lanes)
+		case codegen.KBin:
+			evalBinLanes(t, in, L, lanes)
+		case codegen.KNot:
+			d, a, mask := int(in.Dst)*L, int(in.A)*L, in.Mask
+			for _, l := range lanes {
+				t[d+int(l)] = ^t[a+int(l)] & mask
+			}
+		case codegen.KMux:
+			d, s, a, b := int(in.Dst)*L, int(in.A)*L, int(in.B)*L, int(in.C)*L
+			for _, l := range lanes {
+				if t[s+int(l)] != 0 {
+					t[d+int(l)] = t[a+int(l)]
+				} else {
+					t[d+int(l)] = t[b+int(l)]
+				}
+			}
+		case codegen.KBits:
+			d, a, sh, mask := int(in.Dst)*L, int(in.A)*L, in.Val, in.Mask
+			for _, l := range lanes {
+				t[d+int(l)] = (t[a+int(l)] >> sh) & mask
+			}
+		case codegen.KMemRead:
+			mi := in.B
+			if k.Shared {
+				mi = act.Mems[in.B]
+			}
+			mem := e.mems[mi]
+			depth := uint64(len(mem) / L)
+			d, a := int(in.Dst)*L, int(in.A)*L
+			for _, l := range lanes {
+				t[d+int(l)] = mem[int(t[a+int(l)]%depth)*L+int(l)]
+			}
+		}
+	}
+	dyn := int64(k.DynInstrs)
+	for _, l := range lanes {
+		e.ActsExecuted[l]++
+		e.ActsSkipped[l]--
+		e.DynInstrs[l] += dyn
+	}
+}
+
+// execDense interprets one kernel activation with EVERY lane dirty — the
+// common case on busy designs and the whole batch when activity skipping
+// is off. Per-lane slices are carved once per instruction so the inner
+// loops are bounds-check-free range scans over contiguous memory; this is
+// where lane batching beats the scalar engine hardest.
+func (e *BatchEngine) execDense(act *codegen.Activation) {
+	k := e.p.Kernels[act.Kernel]
+	L := e.lanes
+	t := e.temps
+	st := e.state
+	for i := range k.Code {
+		in := &k.Code[i]
+		switch in.Op {
+		case codegen.KConst:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			v := in.Val
+			for l := range d {
+				d[l] = v
+			}
+		case codegen.KLoad:
+			copy(t[int(in.Dst)*L:int(in.Dst)*L+L], st[int(in.A)*L:int(in.A)*L+L])
+		case codegen.KLoadExt:
+			a := int(act.Ext[in.A]) * L
+			copy(t[int(in.Dst)*L:int(in.Dst)*L+L], st[a:a+L])
+		case codegen.KStore:
+			e.storeDense(in.Dst, int(in.A)*L, in.Mask)
+		case codegen.KStoreExt:
+			e.storeDense(act.Ext[in.Dst], int(in.A)*L, in.Mask)
+		case codegen.KBin:
+			evalBinDense(t, in, L)
+		case codegen.KNot:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := t[int(in.A)*L : int(in.A)*L+L][:L]
+			mask := in.Mask
+			for l := range d {
+				d[l] = ^a[l] & mask
+			}
+		case codegen.KMux:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			s := t[int(in.A)*L : int(in.A)*L+L][:L]
+			a := t[int(in.B)*L : int(in.B)*L+L][:L]
+			b := t[int(in.C)*L : int(in.C)*L+L][:L]
+			for l := range d {
+				if s[l] != 0 {
+					d[l] = a[l]
+				} else {
+					d[l] = b[l]
+				}
+			}
+		case codegen.KBits:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := t[int(in.A)*L : int(in.A)*L+L][:L]
+			sh, mask := in.Val, in.Mask
+			for l := range d {
+				d[l] = (a[l] >> sh) & mask
+			}
+		case codegen.KMemRead:
+			mi := in.B
+			if k.Shared {
+				mi = act.Mems[in.B]
+			}
+			mem := e.mems[mi]
+			depth := uint64(len(mem) / L)
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := t[int(in.A)*L : int(in.A)*L+L][:L]
+			for l := range d {
+				d[l] = mem[int(a[l]%depth)*L+l]
+			}
+		}
+	}
+	dyn := int64(k.DynInstrs)
+	for l := 0; l < L; l++ {
+		e.ActsExecuted[l]++
+		e.ActsSkipped[l]--
+		e.DynInstrs[l] += dyn
+	}
+}
+
+// execOne interprets one kernel activation for a single lane — the
+// scalar engine's hot loop transposed onto the strided batch layout.
+// With sparse, decorrelated stimuli most activations are dirty in one
+// lane only, and here they cost what the scalar engine pays: one decode,
+// one op, no lane loop.
+func (e *BatchEngine) execOne(act *codegen.Activation, lane int) {
+	k := e.p.Kernels[act.Kernel]
+	L := e.lanes
+	t := e.temps
+	st := e.state
+	bit := uint64(1) << uint(lane)
+	for i := range k.Code {
+		in := &k.Code[i]
+		switch in.Op {
+		case codegen.KConst:
+			t[int(in.Dst)*L+lane] = in.Val
+		case codegen.KLoad:
+			t[int(in.Dst)*L+lane] = st[int(in.A)*L+lane]
+		case codegen.KLoadExt:
+			t[int(in.Dst)*L+lane] = st[int(act.Ext[in.A])*L+lane]
+		case codegen.KStore:
+			v := t[int(in.A)*L+lane] & in.Mask
+			idx := int(in.Dst)*L + lane
+			if st[idx] != v {
+				st[idx] = v
+				e.markConsumers(in.Dst, bit)
+			}
+		case codegen.KStoreExt:
+			slot := act.Ext[in.Dst]
+			v := t[int(in.A)*L+lane] & in.Mask
+			idx := int(slot)*L + lane
+			if st[idx] != v {
+				st[idx] = v
+				e.markConsumers(slot, bit)
+			}
+		case codegen.KBin:
+			t[int(in.Dst)*L+lane] = EvalBinMask(in.BinOp, in.Mask,
+				t[int(in.A)*L+lane], t[int(in.B)*L+lane], uint8(in.Val))
+		case codegen.KNot:
+			t[int(in.Dst)*L+lane] = ^t[int(in.A)*L+lane] & in.Mask
+		case codegen.KMux:
+			if t[int(in.A)*L+lane] != 0 {
+				t[int(in.Dst)*L+lane] = t[int(in.B)*L+lane]
+			} else {
+				t[int(in.Dst)*L+lane] = t[int(in.C)*L+lane]
+			}
+		case codegen.KBits:
+			t[int(in.Dst)*L+lane] = (t[int(in.A)*L+lane] >> in.Val) & in.Mask
+		case codegen.KMemRead:
+			mi := in.B
+			if k.Shared {
+				mi = act.Mems[in.B]
+			}
+			mem := e.mems[mi]
+			depth := uint64(len(mem) / L)
+			t[int(in.Dst)*L+lane] = mem[int(t[int(in.A)*L+lane]%depth)*L+lane]
+		}
+	}
+	e.ActsExecuted[lane]++
+	e.ActsSkipped[lane]--
+	e.DynInstrs[lane] += int64(k.DynInstrs)
+}
+
+// storeDense is storeLanes for the all-lanes case: one bounds-check-free
+// compare/publish scan, then a single consumer-marking pass.
+func (e *BatchEngine) storeDense(slot int32, tempBase int, mask uint64) {
+	L := e.lanes
+	src := e.temps[tempBase : tempBase+L]
+	dst := e.state[int(slot)*L : int(slot)*L+L][:L]
+	var changed uint64
+	for l, v := range src {
+		v &= mask
+		if dst[l] != v {
+			dst[l] = v
+			changed |= uint64(1) << uint(l)
+		}
+	}
+	if changed != 0 {
+		e.markConsumers(slot, changed)
+	}
+}
+
+// evalBinDense applies one binary instruction to every lane: operator
+// dispatch hoisted out of the loop, operands carved into equal-length
+// slices so the per-lane body compiles to straight-line masked ALU ops.
+func evalBinDense(t []uint64, in *codegen.Instr, L int) {
+	d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+	a := t[int(in.A)*L : int(in.A)*L+L][:L]
+	b := t[int(in.B)*L : int(in.B)*L+L][:L]
+	m := in.Mask
+	switch in.BinOp {
+	case circuit.OpAnd:
+		for l := range d {
+			d[l] = a[l] & b[l] & m
+		}
+	case circuit.OpOr:
+		for l := range d {
+			d[l] = (a[l] | b[l]) & m
+		}
+	case circuit.OpXor:
+		for l := range d {
+			d[l] = (a[l] ^ b[l]) & m
+		}
+	case circuit.OpAdd:
+		for l := range d {
+			d[l] = (a[l] + b[l]) & m
+		}
+	case circuit.OpSub:
+		for l := range d {
+			d[l] = (a[l] - b[l]) & m
+		}
+	case circuit.OpMul:
+		for l := range d {
+			d[l] = (a[l] * b[l]) & m
+		}
+	case circuit.OpEq:
+		for l := range d {
+			var v uint64
+			if a[l] == b[l] {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpNeq:
+		for l := range d {
+			var v uint64
+			if a[l] != b[l] {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpLt:
+		for l := range d {
+			var v uint64
+			if a[l] < b[l] {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpGeq:
+		for l := range d {
+			var v uint64
+			if a[l] >= b[l] {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpShl:
+		for l := range d {
+			sh := b[l]
+			if sh >= 64 {
+				d[l] = 0
+			} else {
+				d[l] = (a[l] << sh) & m
+			}
+		}
+	case circuit.OpShr:
+		for l := range d {
+			sh := b[l]
+			if sh >= 64 {
+				d[l] = 0
+			} else {
+				d[l] = (a[l] >> sh) & m
+			}
+		}
+	case circuit.OpCat:
+		bw := uint8(in.Val)
+		for l := range d {
+			d[l] = ((a[l] << bw) | b[l]) & m
+		}
+	default:
+		panic("sim: evalBinDense called with non-binary op " + in.BinOp.String())
+	}
+}
+
+// evalBinLanes applies one binary instruction across lanes with the
+// operator switch hoisted out of the lane loop — the scalar engine pays
+// that dispatch per (instruction, simulation); here it is paid once per
+// instruction per batch.
+func evalBinLanes(t []uint64, in *codegen.Instr, L int, lanes []int32) {
+	d, a, b := int(in.Dst)*L, int(in.A)*L, int(in.B)*L
+	m := in.Mask
+	switch in.BinOp {
+	case circuit.OpAnd:
+		for _, l := range lanes {
+			t[d+int(l)] = t[a+int(l)] & t[b+int(l)] & m
+		}
+	case circuit.OpOr:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] | t[b+int(l)]) & m
+		}
+	case circuit.OpXor:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] ^ t[b+int(l)]) & m
+		}
+	case circuit.OpAdd:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] + t[b+int(l)]) & m
+		}
+	case circuit.OpSub:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] - t[b+int(l)]) & m
+		}
+	case circuit.OpMul:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] * t[b+int(l)]) & m
+		}
+	case circuit.OpEq:
+		for _, l := range lanes {
+			var v uint64
+			if t[a+int(l)] == t[b+int(l)] {
+				v = 1
+			}
+			t[d+int(l)] = v
+		}
+	case circuit.OpNeq:
+		for _, l := range lanes {
+			var v uint64
+			if t[a+int(l)] != t[b+int(l)] {
+				v = 1
+			}
+			t[d+int(l)] = v
+		}
+	case circuit.OpLt:
+		for _, l := range lanes {
+			var v uint64
+			if t[a+int(l)] < t[b+int(l)] {
+				v = 1
+			}
+			t[d+int(l)] = v
+		}
+	case circuit.OpGeq:
+		for _, l := range lanes {
+			var v uint64
+			if t[a+int(l)] >= t[b+int(l)] {
+				v = 1
+			}
+			t[d+int(l)] = v
+		}
+	case circuit.OpShl:
+		for _, l := range lanes {
+			sh := t[b+int(l)]
+			if sh >= 64 {
+				t[d+int(l)] = 0
+			} else {
+				t[d+int(l)] = (t[a+int(l)] << sh) & m
+			}
+		}
+	case circuit.OpShr:
+		for _, l := range lanes {
+			sh := t[b+int(l)]
+			if sh >= 64 {
+				t[d+int(l)] = 0
+			} else {
+				t[d+int(l)] = (t[a+int(l)] >> sh) & m
+			}
+		}
+	case circuit.OpCat:
+		bw := uint8(in.Val)
+		for _, l := range lanes {
+			t[d+int(l)] = ((t[a+int(l)] << bw) | t[b+int(l)]) & m
+		}
+	default:
+		panic("sim: evalBinLanes called with non-binary op " + in.BinOp.String())
+	}
+}
+
+// storeLanes publishes temp values to a state slot across lanes, waking
+// consumers of the changed lanes with one fan-out pass.
+func (e *BatchEngine) storeLanes(slot int32, tempBase int, mask uint64, lanes []int32) {
+	L := e.lanes
+	base := int(slot) * L
+	t := e.temps
+	st := e.state
+	var changed uint64
+	for _, l := range lanes {
+		v := t[tempBase+int(l)] & mask
+		if st[base+int(l)] != v {
+			st[base+int(l)] = v
+			changed |= uint64(1) << uint(l)
+		}
+	}
+	if changed != 0 {
+		e.markConsumers(slot, changed)
+	}
+}

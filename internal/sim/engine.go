@@ -99,18 +99,60 @@ func (e *Engine) Reset() {
 	e.Cycles, e.ActsExecuted, e.ActsSkipped, e.DynInstrs = 0, 0, 0, 0
 }
 
+// InputHandle is a pre-resolved named input: the slot and width mask are
+// looked up once, so per-cycle drive loops stop hashing strings. A handle
+// is valid for any engine executing the same Program (scalar or batch);
+// the zero value is a no-op handle.
+type InputHandle struct {
+	slot int32
+	mask uint64
+	ok   bool
+}
+
+// Valid reports whether the handle resolved to an input.
+func (h InputHandle) Valid() bool { return h.ok }
+
+// ResolveInput looks up a named input of a Program once, for use with
+// SetInputBySlot on any engine running that Program.
+func ResolveInput(p *codegen.Program, name string) (InputHandle, bool) {
+	for _, in := range p.Inputs {
+		if in.Name == name {
+			return InputHandle{slot: in.Slot, mask: circuit.Mask(in.Width), ok: true}, true
+		}
+	}
+	return InputHandle{}, false
+}
+
+// InputHandle resolves a named input of this engine's program.
+func (e *Engine) InputHandle(name string) (InputHandle, bool) {
+	in, ok := e.inputs[name]
+	if !ok {
+		return InputHandle{}, false
+	}
+	return InputHandle{slot: in.Slot, mask: circuit.Mask(in.Width), ok: true}, true
+}
+
 // SetInput drives a named input, dirtying its consumers if it changed.
 func (e *Engine) SetInput(name string, v uint64) error {
-	in, ok := e.inputs[name]
+	h, ok := e.InputHandle(name)
 	if !ok {
 		return fmt.Errorf("sim: no input %q", name)
 	}
-	v &= circuit.Mask(in.Width)
-	if e.state[in.Slot] != v {
-		e.state[in.Slot] = v
-		e.markConsumers(in.Slot)
-	}
+	e.SetInputBySlot(h, v)
 	return nil
+}
+
+// SetInputBySlot drives a pre-resolved input — the hot-path form of
+// SetInput (no map lookup, no mask computation). Invalid handles no-op.
+func (e *Engine) SetInputBySlot(h InputHandle, v uint64) {
+	if !h.ok {
+		return
+	}
+	v &= h.mask
+	if e.state[h.slot] != v {
+		e.state[h.slot] = v
+		e.markConsumers(h.slot)
+	}
 }
 
 // Output reads a named output as of the last Step.
@@ -126,8 +168,9 @@ func (e *Engine) Output(name string) (uint64, error) {
 func (e *Engine) Slot(s int32) uint64 { return e.state[s] }
 
 func (e *Engine) markConsumers(slot int32) {
-	for _, p := range e.p.ConsumersOfSlot[slot] {
-		e.dirty[p] = true
+	p := e.p
+	for _, pt := range p.SlotConsEdge[p.SlotConsOff[slot]:p.SlotConsOff[slot+1]] {
+		e.dirty[pt] = true
 	}
 }
 
@@ -170,13 +213,13 @@ func (e *Engine) Step() {
 		}
 		m := e.mems[wp.Mem]
 		addr := e.state[wp.Addr] % uint64(len(m))
-		data := e.state[wp.Data] & circuit.Mask(p.Mems[wp.Mem].Width)
+		data := e.state[wp.Data] & wp.Mask
 		if e.OnMemAccess != nil {
 			e.OnMemAccess(wp.Mem, addr, true)
 		}
 		if m[addr] != data {
 			m[addr] = data
-			for _, pt := range p.ConsumersOfMem[wp.Mem] {
+			for _, pt := range p.MemConsEdge[p.MemConsOff[wp.Mem]:p.MemConsOff[wp.Mem+1]] {
 				e.dirty[pt] = true
 			}
 		}
@@ -199,22 +242,22 @@ func (e *Engine) exec(act *codegen.Activation) {
 		case codegen.KLoadExt:
 			t[in.Dst] = st[act.Ext[in.A]]
 		case codegen.KStore:
-			v := t[in.A] & circuit.Mask(in.Width)
+			v := t[in.A] & in.Mask
 			if st[in.Dst] != v {
 				st[in.Dst] = v
 				e.markConsumers(in.Dst)
 			}
 		case codegen.KStoreExt:
 			slot := act.Ext[in.Dst]
-			v := t[in.A] & circuit.Mask(in.Width)
+			v := t[in.A] & in.Mask
 			if st[slot] != v {
 				st[slot] = v
 				e.markConsumers(slot)
 			}
 		case codegen.KBin:
-			t[in.Dst] = EvalBin(in.BinOp, in.Width, t[in.A], t[in.B], uint8(in.Val))
+			t[in.Dst] = EvalBinMask(in.BinOp, in.Mask, t[in.A], t[in.B], uint8(in.Val))
 		case codegen.KNot:
-			t[in.Dst] = ^t[in.A] & circuit.Mask(in.Width)
+			t[in.Dst] = ^t[in.A] & in.Mask
 		case codegen.KMux:
 			if t[in.A] != 0 {
 				t[in.Dst] = t[in.B]
@@ -222,7 +265,7 @@ func (e *Engine) exec(act *codegen.Activation) {
 				t[in.Dst] = t[in.C]
 			}
 		case codegen.KBits:
-			t[in.Dst] = (t[in.A] >> in.Val) & circuit.Mask(in.Width)
+			t[in.Dst] = (t[in.A] >> in.Val) & in.Mask
 		case codegen.KMemRead:
 			mi := in.B
 			if k.Shared {

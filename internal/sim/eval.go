@@ -9,7 +9,13 @@ import "dedupsim/internal/circuit"
 // of operand b (needed by OpCat). Operands are assumed already masked to
 // their own widths.
 func EvalBin(op circuit.Op, w uint8, a, b uint64, bw uint8) uint64 {
-	m := circuit.Mask(w)
+	return EvalBinMask(op, circuit.Mask(w), a, b, bw)
+}
+
+// EvalBinMask is EvalBin with the result mask already computed; the
+// compiled-program interpreters call it with codegen.Instr.Mask so the
+// hot loop never rebuilds masks per dispatch.
+func EvalBinMask(op circuit.Op, m uint64, a, b uint64, bw uint8) uint64 {
 	switch op {
 	case circuit.OpAnd:
 		return (a & b) & m
@@ -56,5 +62,5 @@ func EvalBin(op circuit.Op, w uint8, a, b uint64, bw uint8) uint64 {
 	case circuit.OpCat:
 		return ((a << bw) | b) & m
 	}
-	panic("sim: EvalBin called with non-binary op " + op.String())
+	panic("sim: EvalBinMask called with non-binary op " + op.String())
 }

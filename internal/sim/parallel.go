@@ -211,7 +211,7 @@ func (e *ParallelEngine) Step() {
 		}
 		m := e.mems[wp.Mem]
 		addr := e.state[wp.Addr] % uint64(len(m))
-		data := e.state[wp.Data] & circuit.Mask(p.Mems[wp.Mem].Width)
+		data := e.state[wp.Data] & wp.Mask
 		if m[addr] != data {
 			m[addr] = data
 			for _, pt := range p.ConsumersOfMem[wp.Mem] {
@@ -248,13 +248,13 @@ func (e *ParallelEngine) runChunk(acts []int32, w int) (executed, skipped int64)
 			case codegen.KLoadExt:
 				t[in.Dst] = st[act.Ext[in.A]]
 			case codegen.KStore:
-				e.store(in.Dst, t[in.A]&circuit.Mask(in.Width))
+				e.store(in.Dst, t[in.A]&in.Mask)
 			case codegen.KStoreExt:
-				e.store(act.Ext[in.Dst], t[in.A]&circuit.Mask(in.Width))
+				e.store(act.Ext[in.Dst], t[in.A]&in.Mask)
 			case codegen.KBin:
-				t[in.Dst] = EvalBin(in.BinOp, in.Width, t[in.A], t[in.B], uint8(in.Val))
+				t[in.Dst] = EvalBinMask(in.BinOp, in.Mask, t[in.A], t[in.B], uint8(in.Val))
 			case codegen.KNot:
-				t[in.Dst] = ^t[in.A] & circuit.Mask(in.Width)
+				t[in.Dst] = ^t[in.A] & in.Mask
 			case codegen.KMux:
 				if t[in.A] != 0 {
 					t[in.Dst] = t[in.B]
@@ -262,7 +262,7 @@ func (e *ParallelEngine) runChunk(acts []int32, w int) (executed, skipped int64)
 					t[in.Dst] = t[in.C]
 				}
 			case codegen.KBits:
-				t[in.Dst] = (t[in.A] >> in.Val) & circuit.Mask(in.Width)
+				t[in.Dst] = (t[in.A] >> in.Val) & in.Mask
 			case codegen.KMemRead:
 				mi := in.B
 				if k.Shared {

@@ -4,6 +4,8 @@
 // it and runs ~11x longer (paper Section 6.6).
 package stimulus
 
+import "dedupsim/internal/sim"
+
 // Driver is the simulator-facing interface (both sim.Engine and sim.Ref
 // satisfy it).
 type Driver interface {
@@ -32,13 +34,39 @@ func VVAddB() Workload {
 	return Workload{Name: "B", Cycles: 4480, seed: 0xbf58476d1ce4e5b9, duty: 45, toggle: 28}
 }
 
-// NewDrive returns a fresh, self-contained drive function: calling it on
-// the same cycle sequence reproduces the same stimulus, so the reference
-// and any number of engines can be driven in lockstep.
-func (w Workload) NewDrive() func(d Driver, cycle int) {
+// WithSeed returns the workload reseeded; seed 0 keeps the default, so
+// job specs can pass a zero value through unchanged.
+func (w Workload) WithSeed(seed uint64) Workload {
+	if seed != 0 {
+		w.seed = seed
+	}
+	return w
+}
+
+// Lane derives the per-lane variant of the workload for batch
+// simulation: lane 0 is the workload itself and higher lanes get
+// decorrelated seeds (splitmix64 of the base seed), so L lanes behave
+// like L independently seeded runs.
+func (w Workload) Lane(lane int) Workload {
+	if lane == 0 {
+		return w
+	}
+	z := w.seed + uint64(lane)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	w.seed = z ^ (z >> 31)
+	return w
+}
+
+// NewValues returns the raw stimulus stream: a fresh, self-contained
+// generator yielding each cycle's (stim, stim_valid) pair. Calling a new
+// generator over the same cycle sequence reproduces the same stimulus,
+// so the reference and any number of engines (or batch lanes) can be
+// driven in lockstep.
+func (w Workload) NewValues() func(cycle int) (stim, valid uint64) {
 	state := w.seed
 	stim := uint64(0)
-	return func(d Driver, cycle int) {
+	return func(int) (uint64, uint64) {
 		state = state*6364136223846793005 + 1442695040888963407
 		r := state >> 11
 		valid := uint64(0)
@@ -50,9 +78,47 @@ func (w Workload) NewDrive() func(d Driver, cycle int) {
 		if int((r/100)%100) < w.toggle {
 			stim = r >> 14
 		}
+		return stim, valid
+	}
+}
+
+// NewDrive returns a fresh drive function over the generic named-input
+// interface (reference interpreter, event-driven engine, ...).
+func (w Workload) NewDrive() func(d Driver, cycle int) {
+	vals := w.NewValues()
+	return func(d Driver, cycle int) {
+		stim, valid := vals(cycle)
 		// Errors are impossible on the generated designs; ignore to keep
 		// drive loops allocation-free and branch-light.
 		_ = d.SetInput("stim", stim)
 		_ = d.SetInput("stim_valid", valid)
+	}
+}
+
+// NewEngineDrive returns a drive function bound to the engine's input
+// slots: handles are resolved once here, so the per-cycle path does no
+// string hashing. Inputs the design does not expose are skipped, matching
+// NewDrive's ignore-errors behavior.
+func (w Workload) NewEngineDrive(e *sim.Engine) func(cycle int) {
+	vals := w.NewValues()
+	hStim, _ := e.InputHandle("stim")
+	hValid, _ := e.InputHandle("stim_valid")
+	return func(cycle int) {
+		stim, valid := vals(cycle)
+		e.SetInputBySlot(hStim, stim)
+		e.SetInputBySlot(hValid, valid)
+	}
+}
+
+// NewLaneDrive returns a drive function for one lane of a batch engine,
+// with handles resolved once like NewEngineDrive.
+func (w Workload) NewLaneDrive(e *sim.BatchEngine, lane int) func(cycle int) {
+	vals := w.NewValues()
+	hStim, _ := e.InputHandle("stim")
+	hValid, _ := e.InputHandle("stim_valid")
+	return func(cycle int) {
+		stim, valid := vals(cycle)
+		e.SetLaneInput(lane, hStim, stim)
+		e.SetLaneInput(lane, hValid, valid)
 	}
 }

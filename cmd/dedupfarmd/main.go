@@ -12,6 +12,16 @@
 //	curl localhost:8080/stats
 //	curl localhost:8080/statusz
 //	curl localhost:8080/cache
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: admission closes
+// (/readyz flips to 503, new submissions are refused), queued and
+// running jobs finish within -drain-timeout, then the server exits. It
+// exits non-zero only if the drain deadline expired with jobs still
+// outstanding (those are canceled) or the server failed.
+//
+// For chaos testing, -fault-inject arms deterministic fault injection,
+// e.g. -fault-inject 'worker.crash=0.01,compile.stall=0.1' (see
+// internal/faultinject for the points).
 package main
 
 import (
@@ -26,48 +36,100 @@ import (
 	"time"
 
 	"dedupsim/internal/farm"
+	"dedupsim/internal/faultinject"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "queued-job limit (0 = default 1024)")
+	queue := flag.Int("queue", 0, "queued-job limit; past it submissions get 429 (0 = default 1024)")
 	maxCycles := flag.Int("max-cycles", 0, "per-job cycle budget cap (0 = default 1e6)")
 	timeout := flag.Duration("timeout", 0, "default per-job wall-clock timeout (0 = 2m)")
 	retain := flag.Int("retain-jobs", 0, "terminal jobs kept queryable before pruning (0 = default 1024, negative = unlimited)")
 	maxLanes := flag.Int("max-lanes", 0, "coalesce same-design queued jobs into lane batches up to this width (0 or 1 = off, max 64)")
+	ckptEvery := flag.Int("checkpoint-every", 4096, "checkpoint running simulations every N cycles so retries resume instead of restarting (0 = off)")
+	retries := flag.Int("retries", 0, "max retries per transiently failed job (0 = default 1, negative = off)")
+	backoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff, doubled per attempt with jitter (0 = immediate)")
+	stuck := flag.Duration("stuck-timeout", 0, "preempt and retry jobs that report no progress for this long (0 = watchdog off)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
+	faultSpec := flag.String("fault-inject", "", "arm fault injection: 'point=rate,...' over "+faultPoints())
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection decision seed")
+	faultStall := flag.Duration("fault-stall", 0, "duration of injected stalls (0 = default 50ms)")
+	faultBudget := flag.Int64("fault-budget", 0, "max fires per injection point (0 = unlimited)")
 	flag.Parse()
 
+	faults, err := faultinject.Parse(*faultSpec, *faultSeed, *faultStall, *faultBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+		os.Exit(1)
+	}
+	if faults != nil {
+		fmt.Printf("dedupfarmd: FAULT INJECTION ARMED: %s\n", faults)
+	}
+
 	f := farm.New(farm.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxCycles:      *maxCycles,
-		DefaultTimeout: *timeout,
-		RetainJobs:     *retain,
-		MaxLanes:       *maxLanes,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxCycles:       *maxCycles,
+		DefaultTimeout:  *timeout,
+		RetainJobs:      *retain,
+		MaxLanes:        *maxLanes,
+		CheckpointEvery: *ckptEvery,
+		MaxRetries:      *retries,
+		RetryBackoff:    *backoff,
+		StuckTimeout:    *stuck,
+		Faults:          faults,
 	})
 
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: farm.Handler(f),
 	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutCtx)
-	}()
 
 	fmt.Printf("dedupfarmd listening on %s\n", *addr)
-	err := srv.ListenAndServe()
-	if err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
-		os.Exit(1)
+	exit := 0
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		// Let a second signal kill the process the default way while we
+		// drain.
+		stop()
+		fmt.Printf("dedupfarmd: signal received; draining (admission closed, up to %s)\n", *drainTimeout)
+		// The server keeps answering status polls during the drain;
+		// Submit refuses with 503 and /readyz reports unready so load
+		// balancers stop routing here.
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := f.Drain(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "dedupfarmd:", err, "— canceling remaining jobs")
+			exit = 1
+		}
+		dcancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(sctx)
+		scancel()
 	}
 	f.Close()
 	fmt.Println("dedupfarmd: final stats")
 	f.WriteStats(os.Stdout)
+	os.Exit(exit)
+}
+
+func faultPoints() string {
+	s := ""
+	for i, p := range faultinject.Points() {
+		if i > 0 {
+			s += ", "
+		}
+		s += string(p)
+	}
+	return s
 }

@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dedupsim/internal/circuit"
@@ -57,6 +60,13 @@ func main() {
 	if *jsonOut {
 		out = os.Stderr
 	}
+
+	// SIGINT/SIGTERM stop the simulation at the next cycle-chunk
+	// boundary; the run then flushes whatever it has (VCD, stats, JSON)
+	// and exits cleanly. A second signal kills the process the default
+	// way (NotifyContext unregisters after the first).
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
 
 	c, err := loadDesign(*design, *firrtlPath, *scale)
 	if err != nil {
@@ -112,7 +122,7 @@ func main() {
 		if *verify || *vcdPath != "" || *stats || *model {
 			fail(fmt.Errorf("-lanes runs plain lockstep simulation; drop -verify/-vcd/-stats/-model or use -lanes 1"))
 		}
-		runLanes(out, c, cv, wl, *lanes, *cycles, compileTime, *jsonOut)
+		runLanes(sigCtx, out, c, cv, wl, *lanes, *cycles, compileTime, *jsonOut)
 		return
 	}
 
@@ -132,13 +142,14 @@ func main() {
 		pstats = sim.NewPartitionStats(e)
 	}
 	var vcd *sim.VCDWriter
+	var vcdFile *os.File
 	var prober *sim.EngineProber
 	if *vcdPath != "" {
 		f, err := os.Create(*vcdPath)
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
+		vcdFile = f
 		prober = sim.NewEngineProber(e, c)
 		var probes []string
 		for _, n := range sim.ProbeNames(c) {
@@ -152,8 +163,13 @@ func main() {
 		}
 		fmt.Fprintf(out, "dumping %d signals to %s\n", len(probes), *vcdPath)
 	}
+	interrupted := false
 	start = time.Now()
 	for cyc := 0; cyc < *cycles; cyc++ {
+		if cyc%256 == 0 && sigCtx.Err() != nil {
+			interrupted = true
+			break
+		}
 		drive(e, cyc)
 		e.Step()
 		if vcd != nil {
@@ -178,14 +194,23 @@ func main() {
 			}
 		}
 	}
+	// Flush the waveform even on an interrupted run — a truncated-but-
+	// well-formed VCD beats a corrupt one — and propagate write errors
+	// (ENOSPC, closed pipe) as run failures rather than dropping them.
 	if vcd != nil {
 		if err := vcd.Close(); err != nil {
-			fail(err)
+			fail(fmt.Errorf("vcd write: %w", err))
+		}
+		if err := vcdFile.Close(); err != nil {
+			fail(fmt.Errorf("vcd close: %w", err))
 		}
 	}
 	wall := time.Since(start)
+	if interrupted {
+		fmt.Fprintf(out, "interrupted after %d of %d cycles; flushing results\n", e.Cycles, *cycles)
+	}
 	fmt.Fprintf(out, "ran %d cycles in %s (%.0f simulated Hz in-process)\n",
-		*cycles, wall.Round(time.Millisecond), float64(*cycles)/wall.Seconds())
+		e.Cycles, wall.Round(time.Millisecond), float64(e.Cycles)/wall.Seconds())
 	total := e.ActsExecuted + e.ActsSkipped
 	fmt.Fprintf(out, "activations: %d executed, %d skipped (%.1f%% activity)\n",
 		e.ActsExecuted, e.ActsSkipped, 100*float64(e.ActsExecuted)/float64(total))
@@ -193,7 +218,7 @@ func main() {
 		val, _ := e.Output(c.Names[o])
 		fmt.Fprintf(out, "output %-12s = %#x\n", c.Names[o], val)
 	}
-	if ref != nil {
+	if ref != nil && !interrupted {
 		fmt.Fprintln(out, "verification PASSED: all outputs matched the reference every cycle")
 	}
 	if pstats != nil {
@@ -227,8 +252,9 @@ func main() {
 // runLanes simulates N decorrelated copies of the design in one
 // lane-batched engine (lane l reseeds the workload via Workload.Lane) and
 // reports aggregate throughput. With -json, stdout carries an array of
-// per-lane SimStats in the farm encoding.
-func runLanes(out io.Writer, c *circuit.Circuit, cv *harness.Compiled, wl stimulus.Workload,
+// per-lane SimStats in the farm encoding. SIGINT/SIGTERM (sigCtx) stops
+// the lockstep loop at the next chunk boundary and reports what ran.
+func runLanes(sigCtx context.Context, out io.Writer, c *circuit.Circuit, cv *harness.Compiled, wl stimulus.Workload,
 	lanes, cycles int, compileTime time.Duration, jsonOut bool) {
 	be, err := sim.NewBatch(cv.Program, cv.Activity, lanes)
 	if err != nil {
@@ -238,18 +264,24 @@ func runLanes(out io.Writer, c *circuit.Circuit, cv *harness.Compiled, wl stimul
 	for l := range drives {
 		drives[l] = wl.Lane(l).NewLaneDrive(be, l)
 	}
+	ran := 0
 	start := time.Now()
 	for cyc := 0; cyc < cycles; cyc++ {
+		if cyc%256 == 0 && sigCtx.Err() != nil {
+			fmt.Fprintf(out, "interrupted after %d of %d cycles; flushing results\n", ran, cycles)
+			break
+		}
 		for l := 0; l < lanes; l++ {
 			drives[l](cyc)
 		}
 		be.Step()
+		ran++
 	}
 	wall := time.Since(start)
-	laneCycles := int64(lanes) * int64(cycles)
+	laneCycles := int64(lanes) * int64(ran)
 	fmt.Fprintf(out, "ran %d lanes x %d cycles in %s (%.0f aggregate simulated Hz, %.0f Hz/lane)\n",
-		lanes, cycles, wall.Round(time.Millisecond),
-		float64(laneCycles)/wall.Seconds(), float64(cycles)/wall.Seconds())
+		lanes, ran, wall.Round(time.Millisecond),
+		float64(laneCycles)/wall.Seconds(), float64(ran)/wall.Seconds())
 	var executed, skipped int64
 	for l := 0; l < lanes; l++ {
 		executed += be.ActsExecuted[l]

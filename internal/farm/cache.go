@@ -2,6 +2,7 @@ package farm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,12 @@ import (
 	"dedupsim/internal/circuit"
 	"dedupsim/internal/harness"
 )
+
+// ErrCompilePanicked is wrapped into the error coalesced waiters see
+// when the compile they were waiting on panicked. The panic is treated
+// as transient (the entry is dropped and a retry recompiles), so the
+// farm retries waiters that hit it rather than failing their jobs.
+var ErrCompilePanicked = errors.New("compile panicked")
 
 // CacheKey addresses one compiled Program: the same elaborated circuit
 // compiled under the same variant is the same Program, no matter which
@@ -84,7 +91,7 @@ func (cc *CompileCache) Get(ctx context.Context, key CacheKey, compile func() (*
 	// farm's per-attempt recover turns it into a transient failure).
 	defer func() {
 		if r := recover(); r != nil {
-			e.err = fmt.Errorf("compile panicked: %v", r)
+			e.err = fmt.Errorf("%w: %v", ErrCompilePanicked, r)
 			cc.mu.Lock()
 			delete(cc.entries, key)
 			cc.mu.Unlock()

@@ -6,8 +6,7 @@ import (
 	"fmt"
 	"time"
 
-	"dedupsim/internal/harness"
-	"dedupsim/internal/partition"
+	"dedupsim/internal/faultinject"
 	"dedupsim/internal/sim"
 )
 
@@ -15,10 +14,11 @@ import (
 // lane keeps its job's semantics: its own stimulus (workload + seed),
 // cycle budget, timeout, cancellation, attempt count, and SimStats. A
 // lane that finishes (budget reached, canceled, timed out) is finalized
-// and deactivated while the other lanes keep stepping; only a
-// batch-level failure (elaboration, compile, panic) touches every lane,
-// and a transient one falls back to per-job scalar retries so the
-// retry-once policy still holds job by job.
+// and deactivated while the other lanes keep stepping. Failures degrade
+// per job, never per batch: a watchdog-preempted lane resumes from its
+// lane checkpoint on a dedicated scalar engine, and a batch-level
+// transient failure (compile panic, worker crash) falls back to per-job
+// scalar retries under the normal retry policy.
 func (f *Farm) runBatch(jobs []*Job) {
 	// Per-job contexts: cancellation and timeout stay per lane.
 	ctxs := make([]context.Context, len(jobs))
@@ -26,10 +26,7 @@ func (f *Farm) runBatch(jobs []*Job) {
 	live := jobs[:0]
 	for _, j := range jobs {
 		ctx, cancel := context.WithCancel(f.ctx)
-		timeout := f.cfg.DefaultTimeout
-		if j.Spec.TimeoutMs > 0 {
-			timeout = time.Duration(j.Spec.TimeoutMs) * time.Millisecond
-		}
+		timeout := f.jobTimeout(j.Spec)
 		ctx, cancelT := context.WithTimeout(ctx, timeout)
 		defer cancelT()
 
@@ -41,8 +38,15 @@ func (f *Farm) runBatch(jobs []*Job) {
 			continue
 		}
 		j.status = StatusRunning
-		j.started = time.Now()
+		now := time.Now()
+		j.started = now
+		j.progressAt = now
 		j.cancel = cancel
+		// The lane context doubles as the attempt context: the watchdog
+		// preempts a stuck lane by canceling it, and the preempted flag
+		// distinguishes that from a user cancel of the same context.
+		j.attemptCancel = cancel
+		j.preempted = false
 		j.attempts = 1
 		j.mu.Unlock()
 		ctxs[len(live)] = ctx
@@ -63,14 +67,22 @@ func (f *Farm) runBatch(jobs []*Job) {
 		f.mu.Unlock()
 	}()
 
-	err := f.runBatchAttempt(live, ctxs, timeouts)
+	preempted, err := f.runBatchAttempt(live, ctxs, timeouts)
+	// Watchdog-preempted lanes were retired mid-batch with their lane
+	// context already dead; each resumes from its lane checkpoint on a
+	// dedicated scalar engine with a fresh wall-clock budget, continuing
+	// the lane's attempt count under the retry policy.
+	for _, l := range preempted {
+		f.retryScalarLane(live[l], timeouts[l])
+	}
 	if err == nil {
 		return
 	}
 	// Batch-level failure: every still-unfinished lane shares its fate.
-	// Transient errors (panics, injected faults) get the per-job retry on
-	// a dedicated scalar engine; deterministic errors fail everyone the
-	// same way a solo run would.
+	// Transient errors (panics, injected faults) get per-job retries on
+	// dedicated scalar engines — resuming from lane checkpoints when they
+	// exist; deterministic errors fail everyone the same way a solo run
+	// would.
 	for i, j := range live {
 		j.mu.Lock()
 		terminal := j.status.Terminal()
@@ -78,75 +90,73 @@ func (f *Farm) runBatch(jobs []*Job) {
 		if terminal {
 			continue
 		}
-		if IsTransient(err) && ctxs[i].Err() == nil {
-			f.mu.Lock()
-			f.retries++
-			f.mu.Unlock()
-			j.mu.Lock()
-			j.attempts = 2
-			j.mu.Unlock()
-			rerr := f.runAttempt(ctxs[i], j, 1)
-			f.finishRun(j, rerr, timeouts[i])
+		if cerr := ctxs[i].Err(); cerr != nil {
+			f.finishRun(j, cerr, timeouts[i])
 			continue
 		}
-		f.finishRun(j, err, timeouts[i])
+		lastErr := err
+		if !IsTransient(lastErr) {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Another lane's context died mid-compile and aborted the
+				// batch; this lane is innocent — retry it alone.
+				lastErr = TransientCause("batch-abort", err)
+			} else {
+				f.finishRun(j, err, timeouts[i])
+				continue
+			}
+		}
+		rerr := f.runRetryLoop(ctxs[i], j, 1, lastErr)
+		f.finishRun(j, rerr, timeouts[i])
 	}
 }
 
-// finishRun maps an attempt error to the job's terminal status (the same
-// mapping runJob applies).
-func (f *Farm) finishRun(j *Job, err error, timeout time.Duration) {
-	switch {
-	case err == nil:
-		f.finish(j, StatusDone, nil, nil)
-	case errors.Is(err, context.Canceled):
-		f.finish(j, StatusCanceled, nil, errors.New("canceled"))
-	case errors.Is(err, context.DeadlineExceeded):
-		f.finish(j, StatusFailed, nil, fmt.Errorf("timeout after %s", timeout))
-	default:
-		f.finish(j, StatusFailed, nil, err)
-	}
+// retryScalarLane resumes one preempted batch lane on a scalar engine.
+// The lane's own context was canceled by the watchdog, so the retry
+// runs under a fresh context with a fresh timeout budget (the cycles
+// already simulated are preserved through the lane checkpoint).
+func (f *Farm) retryScalarLane(j *Job, timeout time.Duration) {
+	ctx, cancel := context.WithCancel(f.ctx)
+	ctx, cancelT := context.WithTimeout(ctx, timeout)
+	defer cancelT()
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	preemptErr := TransientCause("preempted",
+		fmt.Errorf("preempted by watchdog: no progress for %s", f.cfg.StuckTimeout))
+	err := f.runRetryLoop(ctx, j, 1, preemptErr)
+	f.finishRun(j, err, timeout)
 }
 
 // runBatchAttempt elaborates and compiles once (through the cache), then
-// steps all lanes in lockstep. Lanes exit individually; an error return
-// means a failure before or during stepping that the caller must apply
-// to the lanes that have not been finalized.
-func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []time.Duration) (err error) {
+// steps all lanes in lockstep. Lanes exit individually; the preempted
+// return lists lanes retired by watchdog preemption (still non-terminal,
+// to be resumed by the caller), and an error return means a failure
+// before or during stepping that the caller must apply to the lanes that
+// have not been finalized.
+func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []time.Duration) (preempted []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = Transient(fmt.Errorf("panic: %v", r))
+			err = TransientCause("panic", fmt.Errorf("panic: %v", r))
 		}
 	}()
+	faults := f.cfg.Faults
 	if f.injectFault != nil {
 		for _, j := range jobs {
 			if ferr := f.injectFault(j, 0); ferr != nil {
-				return ferr
+				return preempted, ferr
 			}
 		}
 	}
+	if faults.Fire(faultinject.BatchTransient) {
+		return preempted, TransientCause("fault", errors.New("faultinject: transient batch failure"))
+	}
 
-	c, err := jobs[0].Spec.Build()
+	c, cv, hit, compileTime, err := f.compileSpec(ctxs[0], jobs[0].Spec)
 	if err != nil {
-		return err
+		return preempted, err
 	}
 	hash := c.StructuralHash()
-	variant := harness.Variant(jobs[0].Spec.Variant)
-	key := CacheKey{Hash: hash, Variant: variant}
-	compileStart := time.Now()
-	cv, hit, err := f.cache.Get(ctxs[0], key, func() (*harness.Compiled, error) {
-		return harness.CompileVariant(c, variant, partition.Options{})
-	})
-	if err != nil {
-		return fmt.Errorf("compile: %w", err)
-	}
-	compileTime := time.Duration(0)
-	if !hit {
-		compileTime = time.Since(compileStart)
-		f.mu.Lock()
-		f.compileWall += compileTime
-		f.mu.Unlock()
-	}
 	for _, j := range jobs {
 		j.mu.Lock()
 		j.hash, j.hashed = hash, true
@@ -157,7 +167,17 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 	lanes := len(jobs)
 	be, err := sim.NewBatch(cv.Program, cv.Activity, lanes)
 	if err != nil {
-		return err
+		return preempted, err
+	}
+	if faults.Armed(faultinject.StepStall) {
+		// The stall sleeps against the farm context (not a lane's): lane
+		// contexts come and go as lanes retire, and the sleep is bounded
+		// by the configured stall duration anyway.
+		be.OnStep = func() {
+			if faults.Fire(faultinject.StepStall) {
+				faults.Sleep(f.ctx)
+			}
+		}
 	}
 	drives := make([]func(int), lanes)
 	budgets := make([]int, lanes)
@@ -166,7 +186,7 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 	for l, j := range jobs {
 		wl, werr := workloadByName(j.Spec.Workload)
 		if werr != nil {
-			return werr
+			return preempted, werr
 		}
 		drives[l] = wl.WithSeed(j.Spec.Seed).NewLaneDrive(be, l)
 		budgets[l] = j.Spec.Cycles
@@ -176,13 +196,15 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 		}
 	}
 
-	// Lockstep loop. Cancellation and timeouts bite at chunk boundaries
-	// (as in the scalar path); a lane reaching its own cycle budget is
-	// finalized right after the step that completed it. The compile cost
-	// is attributed to lane 0, matching the scalar path where only the
-	// job that triggered the compile reports it.
+	// Lockstep loop. Cancellation, timeouts, and the watchdog heartbeat
+	// bite at chunk boundaries (as in the scalar path); a lane reaching
+	// its own cycle budget is finalized right after the step that
+	// completed it. The compile cost is attributed to lane 0, matching
+	// the scalar path where only the job that triggered the compile
+	// reports it.
 	finished := make([]bool, lanes)
 	const chunk = 256
+	ckptEvery := f.cfg.CheckpointEvery
 	start := time.Now()
 	retire := func(l int) {
 		be.Deactivate(l)
@@ -207,12 +229,29 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 					continue
 				}
 				if cerr := ctxs[l].Err(); cerr != nil {
+					j.mu.Lock()
+					pre := j.preempted
+					j.mu.Unlock()
 					retire(l)
-					f.finishRun(j, cerr, timeouts[l])
+					if pre && !errors.Is(cerr, context.DeadlineExceeded) && f.ctx.Err() == nil {
+						// Watchdog preemption, not a user cancel / timeout /
+						// shutdown: leave the lane non-terminal for the
+						// caller's scalar resume.
+						preempted = append(preempted, l)
+					} else {
+						f.finishRun(j, cerr, timeouts[l])
+					}
+					continue
 				}
+				j.noteProgress(cyc)
 			}
 			if be.ActiveLanes() == 0 {
 				break
+			}
+			// Crash faults skip the first boundary so every lane gets past
+			// at least one checkpoint interval before a crash can hit.
+			if cyc != 0 && faults.Fire(faultinject.WorkerCrash) {
+				panic("faultinject: worker crash")
 			}
 		}
 		for l := range jobs {
@@ -227,6 +266,23 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 				f.finishRun(j, nil, timeouts[l])
 			}
 		}
+		if ckptEvery > 0 && (cyc+1)%ckptEvery == 0 {
+			taken := int64(0)
+			for l, j := range jobs {
+				if finished[l] || cyc+1 >= budgets[l] {
+					continue
+				}
+				if snap, serr := be.SaveLane(l); serr == nil {
+					j.setCheckpoint(snap)
+					taken++
+				}
+			}
+			if taken > 0 {
+				f.mu.Lock()
+				f.checkpoints += taken
+				f.mu.Unlock()
+			}
+		}
 	}
 	wall := time.Since(start)
 	var cycles int64
@@ -237,5 +293,5 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 	f.simCycles += cycles
 	f.simWall += wall
 	f.mu.Unlock()
-	return nil
+	return preempted, nil
 }

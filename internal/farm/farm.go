@@ -6,6 +6,14 @@
 // verification farm, the compile cache shares one compiled Program per
 // structural circuit hash, so a thousand regressions of the same design
 // pay for one compile and share one read-only code/table footprint.
+//
+// The farm is built to survive partial failure (see DESIGN.md, "Failure
+// model"): transient faults are retried with exponential backoff and
+// resume from periodic checkpoints instead of cycle 0, a watchdog
+// preempts simulations that stop making progress, admission is bounded
+// (load shedding with HTTP 429), and shutdown drains in-flight work.
+// Every failure mode is injectable through internal/faultinject for
+// deterministic chaos testing.
 package farm
 
 import (
@@ -13,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
 
 	"dedupsim/internal/circuit"
+	"dedupsim/internal/faultinject"
 	"dedupsim/internal/harness"
 	"dedupsim/internal/partition"
 	"dedupsim/internal/sim"
@@ -28,7 +38,7 @@ type Config struct {
 	// Workers is the worker-pool size (default GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds the number of queued-but-not-running jobs;
-	// Submit fails when full (default 1024).
+	// Submit fails with ErrQueueFull when full (default 1024).
 	QueueDepth int
 	// MaxCycles caps any single job's cycle budget (default 1_000_000).
 	MaxCycles int
@@ -49,6 +59,29 @@ type Config struct {
 	// preserved: each lane keeps its own stimulus, cycle budget,
 	// timeout, cancellation, and SimStats.
 	MaxLanes int
+
+	// CheckpointEvery, when positive, snapshots each running non-VCD
+	// simulation every N cycles; a retried job resumes from its last
+	// checkpoint instead of cycle 0 (0 = no checkpoints). Batch lanes
+	// checkpoint too, and a failed lane's scalar retry resumes from its
+	// lane snapshot.
+	CheckpointEvery int
+	// MaxRetries is how many times a transiently failed job is retried
+	// (default 1, i.e. the historical retry-once policy; negative
+	// disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay between retry attempts, doubled per
+	// attempt (capped at 30s) with ±50% jitter; 0 retries immediately.
+	RetryBackoff time.Duration
+	// StuckTimeout, when positive, arms the watchdog: a running job that
+	// reports no progress for this long is preempted — its attempt is
+	// canceled and retried (resuming from the last checkpoint) under the
+	// normal retry policy. 0 disables the watchdog.
+	StuckTimeout time.Duration
+	// Faults, when non-nil, injects deterministic faults at the
+	// registered points (see internal/faultinject). Nil — the production
+	// default — costs a single pointer test per site.
+	Faults *faultinject.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +103,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxLanes > sim.MaxBatchLanes {
 		c.MaxLanes = sim.MaxBatchLanes
 	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 1
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
 	return c
 }
+
+// ErrQueueFull reports an admission rejection: the pending queue is at
+// QueueDepth. The HTTP layer maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("queue full")
+
+// ErrDraining reports that the farm is shutting down gracefully and no
+// longer accepts jobs. The HTTP layer maps it to 503.
+var ErrDraining = errors.New("draining (not accepting new jobs)")
 
 // Job is one queued or running simulation. All mutable fields are behind
 // mu; external readers use View.
@@ -91,6 +138,22 @@ type Job struct {
 	stats    *SimStats
 	vcd      []byte
 
+	// checkpoint is the latest periodic snapshot (non-VCD jobs only);
+	// retries resume from it. Dropped on terminal transition so retained
+	// jobs don't pin snapshot memory.
+	checkpoint  *sim.Snapshot
+	resumedFrom int64 // cycles skipped by the latest attempt's resume
+
+	// attemptCancel cancels only the current attempt; the watchdog uses
+	// it to preempt a stuck attempt without killing the job. preempted
+	// distinguishes that preemption from a user cancel on the same
+	// context. progressAt/progressCycle are the watchdog's heartbeat,
+	// refreshed at every cycle-chunk boundary.
+	attemptCancel context.CancelFunc
+	preempted     bool
+	progressAt    time.Time
+	progressCycle int64
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -104,16 +167,17 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:         j.ID,
-		Spec:       j.Spec,
-		Status:     j.status,
-		Attempts:   j.attempts,
-		CacheHit:   j.cacheHit,
-		Stats:      j.stats,
-		HasVCD:     len(j.vcd) > 0,
-		CreatedAt:  j.created,
-		StartedAt:  j.started,
-		FinishedAt: j.finished,
+		ID:            j.ID,
+		Spec:          j.Spec,
+		Status:        j.status,
+		Attempts:      j.attempts,
+		CacheHit:      j.cacheHit,
+		Stats:         j.stats,
+		HasVCD:        len(j.vcd) > 0,
+		ResumedCycles: j.resumedFrom,
+		CreatedAt:     j.created,
+		StartedAt:     j.started,
+		FinishedAt:    j.finished,
 	}
 	if j.hashed {
 		v.CircuitHash = j.hash.String()
@@ -134,21 +198,54 @@ func (j *Job) VCD() []byte {
 	return j.vcd
 }
 
-// transientError marks failures worth one retry (the farm's retry-once
-// policy): worker panics and injected faults, as opposed to deterministic
-// compile/validation errors that would fail identically again.
-type transientError struct{ err error }
+// noteProgress refreshes the watchdog heartbeat.
+func (j *Job) noteProgress(cyc int) {
+	j.mu.Lock()
+	j.progressCycle = int64(cyc)
+	j.progressAt = time.Now()
+	j.mu.Unlock()
+}
+
+// setCheckpoint replaces the job's resume point (the latest snapshot
+// wins; one snapshot per job bounds checkpoint memory).
+func (j *Job) setCheckpoint(s *sim.Snapshot) {
+	j.mu.Lock()
+	j.checkpoint = s
+	j.mu.Unlock()
+}
+
+// transientError marks failures worth retrying (worker panics, injected
+// faults, watchdog preemptions) as opposed to deterministic
+// compile/validation errors that would fail identically again. cause
+// labels the retry for the retries-by-cause metric.
+type transientError struct {
+	cause string
+	err   error
+}
 
 func (e transientError) Error() string { return "transient: " + e.err.Error() }
 func (e transientError) Unwrap() error { return e.err }
 
 // Transient wraps err as retryable.
-func Transient(err error) error { return transientError{err} }
+func Transient(err error) error { return transientError{cause: "transient", err: err} }
+
+// TransientCause wraps err as retryable with a metric label ("panic",
+// "preempted", "fault", ...).
+func TransientCause(cause string, err error) error { return transientError{cause: cause, err: err} }
 
 // IsTransient reports whether err is retryable.
 func IsTransient(err error) bool {
 	var t transientError
 	return errors.As(err, &t)
+}
+
+// transientCause extracts the retry-cause label.
+func transientCause(err error) string {
+	var t transientError
+	if errors.As(err, &t) {
+		return t.cause
+	}
+	return "other"
 }
 
 // Farm is the simulation-farm service.
@@ -158,6 +255,7 @@ type Farm struct {
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
 	finished []string // terminal jobs oldest-first, for pruning
@@ -179,41 +277,60 @@ type Farm struct {
 	started time.Time
 
 	// counters (guarded by mu)
-	completed   int64
-	failed      int64
-	canceled    int64
-	retries     int64
-	simCycles   int64
-	simWall     time.Duration
-	compileWall time.Duration
+	completed      int64
+	failed         int64
+	canceled       int64
+	retries        int64
+	retriesByCause map[string]int64
+	shed           int64 // submissions rejected at admission (queue full)
+	preempts       int64 // attempts preempted by the watchdog
+	checkpoints    int64 // snapshots taken
+	cyclesSaved    int64 // cycles skipped by checkpoint resumes
+	simCycles      int64
+	simWall        time.Duration
+	compileWall    time.Duration
 
 	// injectFault, when set (tests), runs before each attempt and may
 	// return an error standing in for an environment failure.
 	injectFault func(j *Job, attempt int) error
 }
 
-// New starts a farm with cfg.Workers workers.
+// New starts a farm with cfg.Workers workers (plus a watchdog when
+// StuckTimeout is set).
 func New(cfg Config) *Farm {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	f := &Farm{
-		cfg:     cfg,
-		cache:   NewCompileCache(),
-		jobs:    map[string]*Job{},
-		wake:    make(chan struct{}, cfg.QueueDepth),
-		ctx:     ctx,
-		stop:    stop,
-		started: time.Now(),
+		cfg:            cfg,
+		cache:          NewCompileCache(),
+		jobs:           map[string]*Job{},
+		retriesByCause: map[string]int64{},
+		wake:           make(chan struct{}, cfg.QueueDepth),
+		ctx:            ctx,
+		stop:           stop,
+		started:        time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		f.wg.Add(1)
 		go f.worker()
 	}
+	if cfg.StuckTimeout > 0 {
+		interval := cfg.StuckTimeout / 4
+		if interval < 5*time.Millisecond {
+			interval = 5 * time.Millisecond
+		}
+		if interval > time.Second {
+			interval = time.Second
+		}
+		f.wg.Add(1)
+		go f.watchdog(interval)
+	}
 	return f
 }
 
 // Close stops accepting work, cancels running jobs, and waits for the
-// workers to exit. Queued jobs are marked canceled.
+// workers to exit. Queued jobs are marked canceled. For a graceful
+// shutdown that lets in-flight work finish, call Drain first.
 func (f *Farm) Close() {
 	f.stop()
 	f.mu.Lock()
@@ -238,10 +355,62 @@ func (f *Farm) Close() {
 	}
 }
 
+// BeginDrain stops admission — Submit fails with ErrDraining and Ready
+// flips false (the /readyz probe) — while queued and running jobs keep
+// going. Idempotent.
+func (f *Farm) BeginDrain() {
+	f.mu.Lock()
+	f.draining = true
+	f.mu.Unlock()
+}
+
+// Ready reports whether the farm accepts new jobs (the readiness probe).
+func (f *Farm) Ready() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.draining && !f.closed
+}
+
+// Drain stops admission and blocks until every queued and running job
+// reaches a terminal state, or ctx expires (returning its error with
+// work still outstanding). Callers typically follow with Close.
+func (f *Farm) Drain(ctx context.Context) error {
+	f.BeginDrain()
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if f.outstanding() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("farm: drain: %w (%d jobs outstanding)", ctx.Err(), f.outstanding())
+		case <-t.C:
+		}
+	}
+}
+
+// outstanding counts non-terminal jobs.
+func (f *Farm) outstanding() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, j := range f.jobs {
+		j.mu.Lock()
+		if !j.status.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
 // Cache exposes the compile cache (introspection, stats).
 func (f *Farm) Cache() *CompileCache { return f.cache }
 
-// Submit validates and enqueues a job, returning its ID.
+// Submit validates and enqueues a job, returning its ID. It fails with
+// ErrQueueFull when the pending queue is at QueueDepth (load shedding)
+// and ErrDraining during graceful shutdown.
 func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.normalize(f.cfg); err != nil {
 		return nil, err
@@ -254,13 +423,21 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	if f.closed {
 		return nil, fmt.Errorf("farm: closed")
 	}
+	if f.draining {
+		return nil, fmt.Errorf("farm: %w", ErrDraining)
+	}
+	if f.cfg.Faults.Fire(faultinject.QueuePressure) {
+		f.shed++
+		return nil, fmt.Errorf("farm: %w (injected queue pressure)", ErrQueueFull)
+	}
 	if len(f.pending) >= f.cfg.QueueDepth {
 		// Canceled-while-queued jobs linger in pending for lazy skipping;
 		// compact them out before declaring the queue full.
 		f.compactPendingLocked()
 	}
 	if len(f.pending) >= f.cfg.QueueDepth {
-		return nil, fmt.Errorf("farm: queue full (%d jobs)", f.cfg.QueueDepth)
+		f.shed++
+		return nil, fmt.Errorf("farm: %w (%d jobs)", ErrQueueFull, f.cfg.QueueDepth)
 	}
 	f.nextID++
 	j := &Job{
@@ -391,6 +568,44 @@ func (f *Farm) worker() {
 	}
 }
 
+// watchdog periodically preempts running jobs whose progress heartbeat
+// has gone stale: the stuck attempt's context is canceled (the job-level
+// context stays live), which the retry loop converts into a retryable
+// "preempted" fault that resumes from the last checkpoint.
+func (f *Farm) watchdog(interval time.Duration) {
+	defer f.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-t.C:
+			f.preemptStuck()
+		}
+	}
+}
+
+func (f *Farm) preemptStuck() {
+	cutoff := time.Now().Add(-f.cfg.StuckTimeout)
+	for _, j := range f.Jobs() {
+		j.mu.Lock()
+		var cancel context.CancelFunc
+		if j.status == StatusRunning && !j.preempted &&
+			j.attemptCancel != nil && j.progressAt.Before(cutoff) {
+			j.preempted = true
+			cancel = j.attemptCancel
+		}
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+			f.mu.Lock()
+			f.preempts++
+			f.mu.Unlock()
+		}
+	}
+}
+
 // batchKey identifies jobs that may share one compiled Program and hence
 // one BatchEngine: same design source and simulator variant. Workload,
 // seed, cycle budget, and timeout may differ per lane.
@@ -460,13 +675,19 @@ func (f *Farm) takeBatch() []*Job {
 	return batch
 }
 
-// runJob drives one job through the retry-once policy.
+// jobTimeout resolves a job's wall-clock budget.
+func (f *Farm) jobTimeout(s JobSpec) time.Duration {
+	if s.TimeoutMs > 0 {
+		return time.Duration(s.TimeoutMs) * time.Millisecond
+	}
+	return f.cfg.DefaultTimeout
+}
+
+// runJob drives one job through the retry policy on a dedicated scalar
+// engine.
 func (f *Farm) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(f.ctx)
-	timeout := f.cfg.DefaultTimeout
-	if j.Spec.TimeoutMs > 0 {
-		timeout = time.Duration(j.Spec.TimeoutMs) * time.Millisecond
-	}
+	timeout := f.jobTimeout(j.Spec)
 	ctx, cancelT := context.WithTimeout(ctx, timeout)
 	defer cancelT()
 
@@ -478,7 +699,9 @@ func (f *Farm) runJob(j *Job) {
 		return
 	}
 	j.status = StatusRunning
-	j.started = time.Now()
+	now := time.Now()
+	j.started = now
+	j.progressAt = now
 	j.cancel = cancel
 	j.mu.Unlock()
 
@@ -491,12 +714,25 @@ func (f *Farm) runJob(j *Job) {
 		f.mu.Unlock()
 	}()
 
-	var err error
-	for attempt := 0; attempt < 2; attempt++ {
+	err := f.runRetryLoop(ctx, j, 0, nil)
+	f.finishRun(j, err, timeout)
+}
+
+// runRetryLoop runs attempts of one job under the retry policy:
+// transient failures retry up to MaxRetries times with exponential
+// backoff + jitter, each retry resuming from the job's last checkpoint
+// when one exists. start is the zero-based attempt index to begin at
+// (the batch fallback paths enter at 1, continuing the lane's attempt
+// count) and lastErr is the failure that brought us here (for the
+// retries-by-cause metric).
+func (f *Farm) runRetryLoop(ctx context.Context, j *Job, start int, lastErr error) error {
+	err := lastErr
+	for attempt := start; attempt <= f.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			f.mu.Lock()
-			f.retries++
-			f.mu.Unlock()
+			f.recordRetry(transientCause(err))
+			if werr := f.backoff(ctx, attempt); werr != nil {
+				return werr
+			}
 		}
 		j.mu.Lock()
 		j.attempts = attempt + 1
@@ -506,26 +742,110 @@ func (f *Farm) runJob(j *Job) {
 			break
 		}
 	}
-	switch {
-	case err == nil:
-		f.finish(j, StatusDone, nil, nil)
-	case errors.Is(err, context.Canceled):
-		f.finish(j, StatusCanceled, nil, errors.New("canceled"))
-	case errors.Is(err, context.DeadlineExceeded):
-		f.finish(j, StatusFailed, nil, fmt.Errorf("timeout after %s", timeout))
-	default:
-		f.finish(j, StatusFailed, nil, err)
+	return err
+}
+
+// recordRetry bumps the retry counters.
+func (f *Farm) recordRetry(cause string) {
+	f.mu.Lock()
+	f.retries++
+	f.retriesByCause[cause]++
+	f.mu.Unlock()
+}
+
+// backoff sleeps before retry `attempt` (1-based): RetryBackoff doubled
+// per attempt, capped at 30s, with ±50% jitter so a farm full of
+// retrying jobs doesn't thunder back in lockstep. Returns ctx's error
+// if it expires mid-sleep; a zero RetryBackoff retries immediately.
+func (f *Farm) backoff(ctx context.Context, attempt int) error {
+	base := f.cfg.RetryBackoff
+	if base <= 0 {
+		return ctx.Err()
+	}
+	d := base << uint(attempt-1)
+	if max := 30 * time.Second; d > max || d <= 0 {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-// runAttempt elaborates, compiles (through the cache), and simulates.
+// compileSpec elaborates and compiles a job spec's design through the
+// cache, applying compile-stage fault injection. The elaborated circuit
+// is returned even when compilation fails (for hash reporting).
+func (f *Farm) compileSpec(ctx context.Context, spec JobSpec) (c *circuit.Circuit, cv *harness.Compiled, hit bool, compileTime time.Duration, err error) {
+	c, err = spec.Build()
+	if err != nil {
+		return nil, nil, false, 0, err
+	}
+	variant := harness.Variant(spec.Variant)
+	key := CacheKey{Hash: c.StructuralHash(), Variant: variant}
+	faults := f.cfg.Faults
+	compileStart := time.Now()
+	cv, hit, err = f.cache.Get(ctx, key, func() (*harness.Compiled, error) {
+		if faults.Fire(faultinject.CompileStall) {
+			faults.Sleep(ctx)
+		}
+		if faults.Fire(faultinject.CompilePanic) {
+			panic("faultinject: compile panic")
+		}
+		return harness.CompileVariant(c, variant, partition.Options{})
+	})
+	if err != nil {
+		err = fmt.Errorf("compile: %w", err)
+		if errors.Is(err, ErrCompilePanicked) {
+			// We coalesced onto a compile that panicked under another job;
+			// the cache dropped the entry, so a retry recompiles.
+			err = TransientCause("panic", err)
+		}
+		return c, nil, hit, 0, err
+	}
+	if !hit {
+		compileTime = time.Since(compileStart)
+		f.mu.Lock()
+		f.compileWall += compileTime
+		f.mu.Unlock()
+	}
+	return c, cv, hit, compileTime, nil
+}
+
+// runAttempt elaborates, compiles (through the cache), and simulates,
+// resuming from the job's last checkpoint when retrying.
 func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) {
+	// Per-attempt context: the watchdog preempts a stuck attempt by
+	// canceling actx while the job-level ctx stays live, so the retry
+	// loop can run another attempt from the last checkpoint.
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	j.mu.Lock()
+	j.preempted = false
+	j.attemptCancel = acancel
+	j.progressAt = time.Now()
+	j.mu.Unlock()
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic in elaboration or simulation is treated as
 			// transient: the retry isolates one-off corruption, and a
-			// deterministic panic fails the job on the second attempt.
-			err = Transient(fmt.Errorf("panic: %v", r))
+			// deterministic panic exhausts the retry budget and fails the
+			// job.
+			err = TransientCause("panic", fmt.Errorf("panic: %v", r))
+		}
+		j.mu.Lock()
+		j.attemptCancel = nil
+		preempted := j.preempted
+		j.mu.Unlock()
+		// Map a watchdog preemption (attempt context canceled, job
+		// context live) to a retryable fault.
+		if err != nil && preempted && ctx.Err() == nil && errors.Is(err, context.Canceled) {
+			err = TransientCause("preempted",
+				fmt.Errorf("preempted by watchdog: no progress for %s", f.cfg.StuckTimeout))
 		}
 	}()
 	if f.injectFault != nil {
@@ -534,30 +854,14 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 		}
 	}
 
-	c, err := j.Spec.Build()
+	c, cv, hit, compileTime, err := f.compileSpec(actx, j.Spec)
+	if c != nil {
+		j.mu.Lock()
+		j.hash, j.hashed = c.StructuralHash(), true
+		j.mu.Unlock()
+	}
 	if err != nil {
 		return err
-	}
-	hash := c.StructuralHash()
-	j.mu.Lock()
-	j.hash, j.hashed = hash, true
-	j.mu.Unlock()
-
-	variant := harness.Variant(j.Spec.Variant)
-	key := CacheKey{Hash: hash, Variant: variant}
-	compileStart := time.Now()
-	cv, hit, err := f.cache.Get(ctx, key, func() (*harness.Compiled, error) {
-		return harness.CompileVariant(c, variant, partition.Options{})
-	})
-	if err != nil {
-		return fmt.Errorf("compile: %w", err)
-	}
-	compileTime := time.Duration(0)
-	if !hit {
-		compileTime = time.Since(compileStart)
-		f.mu.Lock()
-		f.compileWall += compileTime
-		f.mu.Unlock()
 	}
 	j.mu.Lock()
 	j.cacheHit = hit
@@ -572,7 +876,37 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	// own Engine (private state/temps/dirty vectors). The drive resolves
 	// input handles once, so the cycle loop does no string hashing.
 	e := sim.New(cv.Program, cv.Activity)
-	drive := wl.WithSeed(j.Spec.Seed).NewEngineDrive(e)
+	faults := f.cfg.Faults
+	if faults.Armed(faultinject.StepStall) {
+		e.OnStep = func(int64) {
+			if faults.Fire(faultinject.StepStall) {
+				faults.Sleep(actx)
+			}
+		}
+	}
+
+	// Resume from the last checkpoint when one exists. VCD jobs always
+	// restart from cycle 0: the waveform must cover the whole run. A
+	// shape-mismatched snapshot (can't happen while the compile is
+	// deterministic) is discarded rather than trusted.
+	resume := 0
+	if !j.Spec.VCD {
+		j.mu.Lock()
+		ckpt := j.checkpoint
+		j.mu.Unlock()
+		if ckpt != nil && e.Restore(ckpt) == nil {
+			resume = int(ckpt.Cycles)
+		}
+	}
+	j.mu.Lock()
+	j.resumedFrom = int64(resume)
+	j.mu.Unlock()
+	if resume > 0 {
+		f.mu.Lock()
+		f.cyclesSaved += int64(resume)
+		f.mu.Unlock()
+	}
+	drive := wl.WithSeed(j.Spec.Seed).NewEngineDriveFrom(e, resume)
 
 	var vcdBuf bytes.Buffer
 	var vcd *sim.VCDWriter
@@ -587,32 +921,47 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 		}
 		vcd, err = sim.NewVCDWriter(&vcdBuf, c, probes)
 		if err != nil {
-			return err
+			return fmt.Errorf("vcd: %w", err)
 		}
 	}
 
-	// Simulate in chunks so cancellation and timeouts bite between
-	// chunks without a per-cycle context check on the hot path.
+	// Simulate in chunks so cancellation, timeouts, and the progress
+	// heartbeat run between chunks without a per-cycle context check on
+	// the hot path.
 	const chunk = 256
+	ckptEvery := f.cfg.CheckpointEvery
 	start := time.Now()
-	for cyc := 0; cyc < j.Spec.Cycles; cyc++ {
+	for cyc := resume; cyc < j.Spec.Cycles; cyc++ {
 		if cyc%chunk == 0 {
-			if ctxErr := ctx.Err(); ctxErr != nil {
+			if ctxErr := actx.Err(); ctxErr != nil {
 				return ctxErr
+			}
+			j.noteProgress(cyc)
+			// Crash faults skip the attempt's first boundary so a resumed
+			// attempt always gets past its checkpoint before it can crash
+			// again — injected chaos must not be able to livelock a job.
+			if cyc != resume && faults.Fire(faultinject.WorkerCrash) {
+				panic("faultinject: worker crash")
 			}
 		}
 		drive(cyc)
 		e.Step()
 		if vcd != nil {
 			if err := vcd.Sample(prober, cyc); err != nil {
-				return err
+				return fmt.Errorf("vcd write: %w", err)
 			}
+		}
+		if ckptEvery > 0 && vcd == nil && (cyc+1)%ckptEvery == 0 && cyc+1 < j.Spec.Cycles {
+			j.setCheckpoint(e.Save())
+			f.mu.Lock()
+			f.checkpoints++
+			f.mu.Unlock()
 		}
 	}
 	wall := time.Since(start)
 	if vcd != nil {
 		if err := vcd.Close(); err != nil {
-			return err
+			return fmt.Errorf("vcd write: %w", err)
 		}
 	}
 
@@ -625,10 +974,24 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	}
 	j.mu.Unlock()
 	f.mu.Lock()
-	f.simCycles += e.Cycles
+	f.simCycles += e.Cycles - int64(resume) // only cycles executed this attempt
 	f.simWall += wall
 	f.mu.Unlock()
 	return nil
+}
+
+// finishRun maps an attempt error to the job's terminal status.
+func (f *Farm) finishRun(j *Job, err error, timeout time.Duration) {
+	switch {
+	case err == nil:
+		f.finish(j, StatusDone, nil, nil)
+	case errors.Is(err, context.Canceled):
+		f.finish(j, StatusCanceled, nil, errors.New("canceled"))
+	case errors.Is(err, context.DeadlineExceeded):
+		f.finish(j, StatusFailed, nil, fmt.Errorf("timeout after %s", timeout))
+	default:
+		f.finish(j, StatusFailed, nil, err)
+	}
 }
 
 // finish moves a job to a terminal status exactly once.
@@ -655,6 +1018,9 @@ func (f *Farm) finishLocked(j *Job, status Status, stats *SimStats, err error) b
 	}
 	j.err = err
 	j.finished = time.Now()
+	// Terminal jobs are retained for the API; their checkpoint is not.
+	j.checkpoint = nil
+	j.attemptCancel = nil
 	close(j.done)
 	return true
 }

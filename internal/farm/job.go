@@ -121,7 +121,8 @@ func workloadByName(name string) (stimulus.Workload, error) {
 type Status string
 
 // Job lifecycle: Queued -> Running -> one of Done / Failed / Canceled.
-// A transient failure re-enters Running once (retry-once policy).
+// A transient failure re-enters Running up to Config.MaxRetries times,
+// resuming from the job's last checkpoint when one exists.
 const (
 	StatusQueued   Status = "queued"
 	StatusRunning  Status = "running"
@@ -151,8 +152,11 @@ type JobView struct {
 	// Stats carries the simulation results for done jobs.
 	Stats *SimStats `json:"stats,omitempty"`
 	// HasVCD reports that a waveform is fetchable.
-	HasVCD     bool      `json:"has_vcd,omitempty"`
-	CreatedAt  time.Time `json:"created_at"`
-	StartedAt  time.Time `json:"started_at,omitempty"`
-	FinishedAt time.Time `json:"finished_at,omitempty"`
+	HasVCD bool `json:"has_vcd,omitempty"`
+	// ResumedCycles is how many cycles the latest attempt skipped by
+	// resuming from a checkpoint (0 for first attempts and cold retries).
+	ResumedCycles int64     `json:"resumed_cycles,omitempty"`
+	CreatedAt     time.Time `json:"created_at"`
+	StartedAt     time.Time `json:"started_at,omitempty"`
+	FinishedAt    time.Time `json:"finished_at,omitempty"`
 }

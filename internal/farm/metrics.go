@@ -3,6 +3,7 @@ package farm
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -18,6 +19,21 @@ type Stats struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
 	JobsRetried   int64 `json:"jobs_retried"`
+
+	// Robustness counters (see DESIGN.md, "Failure model"). JobsShed are
+	// submissions rejected at admission (queue full); JobsPreempted are
+	// attempts the watchdog canceled for lack of progress;
+	// CheckpointsTaken and CyclesSavedByResume measure checkpoint-resume
+	// (cycles a retry did NOT re-simulate thanks to a checkpoint).
+	JobsShed            int64            `json:"jobs_shed"`
+	JobsPreempted       int64            `json:"jobs_preempted"`
+	RetriesByCause      map[string]int64 `json:"retries_by_cause,omitempty"`
+	CheckpointsTaken    int64            `json:"checkpoints_taken"`
+	CyclesSavedByResume int64            `json:"cycles_saved_by_resume"`
+	// FaultsInjected counts fired fault-injection points (chaos runs).
+	FaultsInjected map[string]int64 `json:"faults_injected,omitempty"`
+	// Draining reports graceful shutdown in progress (admission closed).
+	Draining bool `json:"draining,omitempty"`
 
 	Cache CacheStats `json:"cache"`
 	// CompileMsSpent is the wall time spent compiling (cache misses).
@@ -35,20 +51,34 @@ type Stats struct {
 func (f *Farm) Stats() Stats {
 	f.mu.Lock()
 	st := Stats{
-		UptimeSeconds:   time.Since(f.started).Seconds(),
-		Workers:         f.cfg.Workers,
-		JobsSubmitted:   f.nextID,
-		JobsQueued:      queuedLocked(f.pending),
-		JobsRunning:     f.running,
-		JobsCompleted:   f.completed,
-		JobsFailed:      f.failed,
-		JobsCanceled:    f.canceled,
-		JobsRetried:     f.retries,
-		CompileMsSpent:  float64(f.compileWall) / float64(time.Millisecond),
-		SimulatedCycles: f.simCycles,
-		SimWallMs:       float64(f.simWall) / float64(time.Millisecond),
+		UptimeSeconds:       time.Since(f.started).Seconds(),
+		Workers:             f.cfg.Workers,
+		JobsSubmitted:       f.nextID,
+		JobsQueued:          queuedLocked(f.pending),
+		JobsRunning:         f.running,
+		JobsCompleted:       f.completed,
+		JobsFailed:          f.failed,
+		JobsCanceled:        f.canceled,
+		JobsRetried:         f.retries,
+		JobsShed:            f.shed,
+		JobsPreempted:       f.preempts,
+		CheckpointsTaken:    f.checkpoints,
+		CyclesSavedByResume: f.cyclesSaved,
+		Draining:            f.draining,
+		CompileMsSpent:      float64(f.compileWall) / float64(time.Millisecond),
+		SimulatedCycles:     f.simCycles,
+		SimWallMs:           float64(f.simWall) / float64(time.Millisecond),
+	}
+	if len(f.retriesByCause) > 0 {
+		st.RetriesByCause = make(map[string]int64, len(f.retriesByCause))
+		for k, v := range f.retriesByCause {
+			st.RetriesByCause[k] = v
+		}
 	}
 	f.mu.Unlock()
+	if counts := f.cfg.Faults.Counts(); len(counts) > 0 {
+		st.FaultsInjected = counts
+	}
 	if st.SimWallMs > 0 {
 		st.AggregateSimHz = float64(st.SimulatedCycles) / (st.SimWallMs / 1000)
 	}
@@ -64,6 +94,25 @@ func (f *Farm) WriteStats(w io.Writer) {
 	fmt.Fprintf(w, "jobs: %d submitted, %d queued, %d running, %d done, %d failed, %d canceled, %d retried\n",
 		st.JobsSubmitted, st.JobsQueued, st.JobsRunning,
 		st.JobsCompleted, st.JobsFailed, st.JobsCanceled, st.JobsRetried)
+	fmt.Fprintf(w, "robustness: %d shed, %d preempted by watchdog, %d checkpoints taken, %d cycles saved by resume\n",
+		st.JobsShed, st.JobsPreempted, st.CheckpointsTaken, st.CyclesSavedByResume)
+	if len(st.RetriesByCause) > 0 {
+		fmt.Fprintf(w, "  retries by cause:")
+		for _, cause := range sortedKeys(st.RetriesByCause) {
+			fmt.Fprintf(w, " %s=%d", cause, st.RetriesByCause[cause])
+		}
+		fmt.Fprintln(w)
+	}
+	if len(st.FaultsInjected) > 0 {
+		fmt.Fprintf(w, "  faults injected:")
+		for _, point := range sortedKeys(st.FaultsInjected) {
+			fmt.Fprintf(w, " %s=%d", point, st.FaultsInjected[point])
+		}
+		fmt.Fprintln(w)
+	}
+	if st.Draining {
+		fmt.Fprintln(w, "DRAINING: admission closed, letting in-flight jobs finish")
+	}
 	fmt.Fprintf(w, "compile cache: %d programs, %d hits / %d misses, %.0f ms compiling, %.0f ms saved\n",
 		st.Cache.Entries, st.Cache.Hits, st.Cache.Misses,
 		st.CompileMsSpent, st.Cache.CompileMsSaved)
@@ -77,6 +126,15 @@ func (f *Farm) WriteStats(w io.Writer) {
 		fmt.Fprintf(w, "  program %s/%s: %d hits, compiled in %.0f ms (%s)\n",
 			e.CircuitHash[:12], e.Variant, e.Hits, e.CompileMs, status)
 	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // queuedLocked counts still-queued entries in the pending slice (skipping

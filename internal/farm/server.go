@@ -19,6 +19,11 @@ import (
 //	GET  /statusz           farm metrics (text dump)
 //	GET  /cache             compile-cache introspection
 //	GET  /healthz           liveness probe
+//	GET  /readyz            readiness probe (503 while draining)
+//
+// Admission control: a full queue yields 429 Too Many Requests with a
+// Retry-After hint, and a draining farm yields 503 so load balancers
+// stop routing to it.
 //
 // Handlers are safe for concurrent use; all state lives in the Farm.
 func Handler(f *Farm) http.Handler {
@@ -35,7 +40,12 @@ func Handler(f *Farm) http.Handler {
 		j, err := f.Submit(spec)
 		if err != nil {
 			code := http.StatusBadRequest
-			if strings.Contains(err.Error(), "queue full") {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				// Load shedding: the client should back off and retry.
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, ErrDraining), strings.Contains(err.Error(), "closed"):
 				code = http.StatusServiceUnavailable
 			}
 			httpError(w, code, err)
@@ -104,6 +114,16 @@ func Handler(f *Farm) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !f.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 

@@ -176,7 +176,8 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
-// TestServerQueueFull: a saturated queue returns 503.
+// TestServerQueueFull: a saturated queue sheds load with 429 Too Many
+// Requests and a Retry-After hint.
 func TestServerQueueFull(t *testing.T) {
 	f := New(Config{Workers: 1, QueueDepth: 1})
 	defer f.Close()
@@ -184,7 +185,7 @@ func TestServerQueueFull(t *testing.T) {
 	defer srv.Close()
 
 	long := fmt.Sprintf(`{"design":"Rocket-2C","scale":0.1,"cycles":%d}`, 1_000_000)
-	saw503 := false
+	saw429 := false
 	for i := 0; i < 8; i++ {
 		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(long))
 		if err != nil {
@@ -192,12 +193,65 @@ func TestServerQueueFull(t *testing.T) {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusServiceUnavailable {
-			saw503 = true
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After header")
+			}
+			saw429 = true
 			break
 		}
 	}
-	if !saw503 {
+	if !saw429 {
 		t.Error("queue never reported full")
+	}
+	if st := f.Stats(); st.JobsShed == 0 {
+		t.Errorf("JobsShed = 0 after shedding")
+	}
+}
+
+// TestServerReadyz: /readyz flips to 503 once the farm begins draining,
+// and new submissions are refused with 503 while /healthz stays 200.
+func TestServerReadyz(t *testing.T) {
+	f := New(Config{Workers: 1})
+	defer f.Close()
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+
+	if resp, err := http.Get(srv.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/readyz before drain: %d", resp.StatusCode)
+		}
+	}
+
+	f.BeginDrain()
+
+	if resp, err := http.Get(srv.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("/readyz while draining: %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/healthz while draining: %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"design":"Rocket-2C","scale":0.1,"cycles":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: %d, want 503", resp.StatusCode)
 	}
 }

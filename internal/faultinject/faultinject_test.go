@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	if r.Armed(WorkerCrash) {
+		t.Error("nil registry armed")
+	}
+	for i := 0; i < 100; i++ {
+		if r.Fire(WorkerCrash) {
+			t.Fatal("nil registry fired")
+		}
+	}
+	if r.Counts() != nil {
+		t.Error("nil registry has counts")
+	}
+	r.Sleep(context.Background()) // must not block or panic
+	if r.String() != "faultinject: disabled" {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestFireIsSeedDeterministic(t *testing.T) {
+	mk := func(seed uint64) []bool {
+		r := New(Config{Seed: seed, Rates: map[Point]float64{WorkerCrash: 0.3, StepStall: 0.5}})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, r.Fire(WorkerCrash), r.Fire(StepStall))
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at trial %d", i)
+		}
+	}
+	c := mk(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+func TestFireRates(t *testing.T) {
+	r := New(Config{Seed: 1, Rates: map[Point]float64{CompilePanic: 1, CompileStall: 0}})
+	for i := 0; i < 50; i++ {
+		if !r.Fire(CompilePanic) {
+			t.Fatal("rate-1 point did not fire")
+		}
+		if r.Fire(CompileStall) {
+			t.Fatal("rate-0 point fired")
+		}
+		if r.Fire(QueuePressure) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	// A mid-rate point should fire roughly at its rate.
+	r2 := New(Config{Seed: 1, Rates: map[Point]float64{StepStall: 0.25}})
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if r2.Fire(StepStall) {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Errorf("rate 0.25 fired %d/2000 trials", fired)
+	}
+}
+
+func TestMaxPerPointBudget(t *testing.T) {
+	r := New(Config{Seed: 3, Rates: map[Point]float64{WorkerCrash: 1}, MaxPerPoint: 2})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if r.Fire(WorkerCrash) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("fired %d times with budget 2", fired)
+	}
+	if r.Armed(WorkerCrash) {
+		t.Error("exhausted point still armed")
+	}
+	if got := r.Counts()["worker.crash"]; got != 2 {
+		t.Errorf("counts = %d, want 2", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	r, err := Parse("worker.crash=0.2, compile.stall=1", 9, 5*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Armed(WorkerCrash) || !r.Armed(CompileStall) || r.Armed(StepStall) {
+		t.Error("parsed registry armed the wrong points")
+	}
+	if r.Stall() != 5*time.Millisecond {
+		t.Errorf("stall = %v", r.Stall())
+	}
+	if r, err := Parse("", 1, 0, 0); r != nil || err != nil {
+		t.Errorf("empty spec: %v, %v (want nil, nil)", r, err)
+	}
+	for _, bad := range []string{"nope=0.5", "worker.crash", "worker.crash=2", "worker.crash=x"} {
+		if _, err := Parse(bad, 1, 0, 0); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	r := New(Config{Seed: 1, Stall: time.Minute, Rates: map[Point]float64{StepStall: 1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r.Sleep(ctx)
+	if time.Since(start) > time.Second {
+		t.Error("Sleep ignored canceled context")
+	}
+}

@@ -66,6 +66,11 @@ type BatchEngine struct {
 	ActsExecuted []int64
 	ActsSkipped  []int64
 	DynInstrs    []int64
+
+	// OnStep, when set, runs at the start of every Step; the farm's
+	// fault-injection layer hooks stall faults in here. One nil check
+	// per batch step when unset.
+	OnStep func()
 }
 
 // NewBatch builds a batch engine with the given lane count (1..
@@ -237,6 +242,9 @@ func (e *BatchEngine) markConsumers(slot int32, changedMask uint64) {
 // activations (skipping a partition entirely when no active lane is
 // dirty), then register and memory commits vectorized over lanes.
 func (e *BatchEngine) Step() {
+	if e.OnStep != nil {
+		e.OnStep()
+	}
 	p := e.p
 	L := e.lanes
 	active := e.active

@@ -42,6 +42,10 @@ type Engine struct {
 	// evaluation, committed writes) with concrete addresses for the data-
 	// cache model.
 	OnMemAccess func(mem int32, addr uint64, write bool)
+	// OnStep, when set, runs at the start of every Step with the cycle
+	// count so far; the farm's fault-injection layer hooks stall faults
+	// in here. One nil check per cycle when unset.
+	OnStep func(cycles int64)
 }
 
 // New builds an engine. activity enables ESSENT-style partition skipping.
@@ -178,6 +182,9 @@ func (e *Engine) markConsumers(slot int32) {
 // clean partitions when activity mode is on), then register and memory
 // commits.
 func (e *Engine) Step() {
+	if e.OnStep != nil {
+		e.OnStep(e.Cycles)
+	}
 	p := e.p
 	for i := range p.Activations {
 		act := &p.Activations[i]

@@ -1,0 +1,225 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dedupsim/internal/gen"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+	"dedupsim/internal/stimulus"
+)
+
+// snapshotsEqual compares two snapshots field by field, including the
+// activity flags and counters that make resume bit-exact.
+func snapshotsEqual(t *testing.T, label string, a, b *sim.Snapshot) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.ActsExecuted != b.ActsExecuted ||
+		a.ActsSkipped != b.ActsSkipped || a.DynInstrs != b.DynInstrs {
+		t.Errorf("%s: counters diverged: {cyc %d acts %d/%d dyn %d} vs {cyc %d acts %d/%d dyn %d}",
+			label, a.Cycles, a.ActsExecuted, a.ActsSkipped, a.DynInstrs,
+			b.Cycles, b.ActsExecuted, b.ActsSkipped, b.DynInstrs)
+	}
+	for i := range a.State {
+		if a.State[i] != b.State[i] {
+			t.Fatalf("%s: state slot %d diverged: %#x vs %#x", label, i, a.State[i], b.State[i])
+		}
+	}
+	for m := range a.Mems {
+		for addr := range a.Mems[m] {
+			if a.Mems[m][addr] != b.Mems[m][addr] {
+				t.Fatalf("%s: mem %d[%d] diverged", label, m, addr)
+			}
+		}
+	}
+	for i := range a.Dirty {
+		if a.Dirty[i] != b.Dirty[i] {
+			t.Fatalf("%s: dirty[%d] diverged", label, i)
+		}
+	}
+}
+
+// TestResumeBitExactScalar: restoring a mid-run checkpoint and resuming
+// with a fast-forwarded stimulus stream reproduces an uninterrupted run
+// exactly — state, memories, activity flags, and counters — with
+// activity skipping both on and off. This is the determinism contract
+// farm checkpoint-resume relies on.
+func TestResumeBitExactScalar(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 2, 0.1))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K, M = 123, 300 // checkpoint mid-run at an odd cycle, finish at M
+	wl := stimulus.VVAddB()
+	for _, activity := range []bool{true, false} {
+		t.Run(fmt.Sprintf("activity=%v", activity), func(t *testing.T) {
+			// Uninterrupted reference run.
+			ref := sim.New(cv.Program, activity)
+			drive := wl.NewEngineDrive(ref)
+			for cyc := 0; cyc < M; cyc++ {
+				drive(cyc)
+				ref.Step()
+			}
+			want := ref.Save()
+
+			// Interrupted run: checkpoint at K, resume on a fresh engine.
+			first := sim.New(cv.Program, activity)
+			d1 := wl.NewEngineDrive(first)
+			for cyc := 0; cyc < K; cyc++ {
+				d1(cyc)
+				first.Step()
+			}
+			ckpt := first.Save()
+
+			resumed := sim.New(cv.Program, activity)
+			if err := resumed.Restore(ckpt); err != nil {
+				t.Fatal(err)
+			}
+			d2 := wl.NewEngineDriveFrom(resumed, K)
+			for cyc := K; cyc < M; cyc++ {
+				d2(cyc)
+				resumed.Step()
+			}
+			snapshotsEqual(t, "scalar resume", want, resumed.Save())
+		})
+	}
+}
+
+// TestResumeBitExactBatchLanes: a batch lane checkpoint resumes
+// bit-exactly on BOTH a scalar engine (the farm's fallback path for
+// failed lanes) and a fresh batch lane, with activity skipping on and
+// off.
+func TestResumeBitExactBatchLanes(t *testing.T) {
+	c := gen.MustBuild(gen.Config(gen.Rocket, 2, 0.1))
+	cv, err := harness.CompileVariant(c, harness.Dedup, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes, K, M = 3, 77, 250
+	wl := stimulus.VVAddA()
+	for _, activity := range []bool{true, false} {
+		t.Run(fmt.Sprintf("activity=%v", activity), func(t *testing.T) {
+			// Uninterrupted batch run to M.
+			ref, err := sim.NewBatch(cv.Program, activity, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDrives := make([]func(int), lanes)
+			for l := range refDrives {
+				refDrives[l] = wl.Lane(l).NewLaneDrive(ref, l)
+			}
+			for cyc := 0; cyc < M; cyc++ {
+				for l := 0; l < lanes; l++ {
+					refDrives[l](cyc)
+				}
+				ref.Step()
+			}
+			want := make([]*sim.Snapshot, lanes)
+			for l := range want {
+				if want[l], err = ref.SaveLane(l); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Interrupted batch run: checkpoint every lane at K.
+			first, err := sim.NewBatch(cv.Program, activity, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drives := make([]func(int), lanes)
+			for l := range drives {
+				drives[l] = wl.Lane(l).NewLaneDrive(first, l)
+			}
+			for cyc := 0; cyc < K; cyc++ {
+				for l := 0; l < lanes; l++ {
+					drives[l](cyc)
+				}
+				first.Step()
+			}
+			ckpts := make([]*sim.Snapshot, lanes)
+			for l := range ckpts {
+				if ckpts[l], err = first.SaveLane(l); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Path 1: scalar fallback — each lane resumes on its own Engine.
+			for l := 0; l < lanes; l++ {
+				e := sim.New(cv.Program, activity)
+				if err := e.Restore(ckpts[l]); err != nil {
+					t.Fatal(err)
+				}
+				d := wl.Lane(l).NewEngineDriveFrom(e, K)
+				for cyc := K; cyc < M; cyc++ {
+					d(cyc)
+					e.Step()
+				}
+				snapshotsEqual(t, fmt.Sprintf("lane %d on scalar", l), want[l], e.Save())
+			}
+
+			// Path 2: batch resume — restore every lane into a fresh batch.
+			second, err := sim.NewBatch(cv.Program, activity, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumeDrives := make([]func(int), lanes)
+			for l := 0; l < lanes; l++ {
+				if err := second.RestoreLane(l, ckpts[l]); err != nil {
+					t.Fatal(err)
+				}
+				resumeDrives[l] = wl.Lane(l).NewLaneDriveFrom(second, l, K)
+			}
+			for cyc := K; cyc < M; cyc++ {
+				for l := 0; l < lanes; l++ {
+					resumeDrives[l](cyc)
+				}
+				second.Step()
+			}
+			for l := 0; l < lanes; l++ {
+				got, err := second.SaveLane(l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				snapshotsEqual(t, fmt.Sprintf("lane %d on batch", l), want[l], got)
+			}
+		})
+	}
+}
+
+// TestLaneSnapshotShapeChecks: lane bounds and cross-design restores are
+// rejected.
+func TestLaneSnapshotShapeChecks(t *testing.T) {
+	c1 := gen.MustBuild(gen.Config(gen.Rocket, 1, 0.1))
+	c2 := gen.MustBuild(gen.Config(gen.Rocket, 2, 0.1))
+	cv1, err := harness.CompileVariant(c1, harness.ESSENT, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv2, err := harness.CompileVariant(c2, harness.ESSENT, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := sim.NewBatch(cv1.Program, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.SaveLane(2); err == nil {
+		t.Error("out-of-range SaveLane accepted")
+	}
+	if err := be.RestoreLane(-1, &sim.Snapshot{}); err == nil {
+		t.Error("out-of-range RestoreLane accepted")
+	}
+	other := sim.New(cv2.Program, true)
+	if err := be.RestoreLane(0, other.Save()); err == nil {
+		t.Error("cross-design lane restore accepted")
+	}
+	snap, err := be.SaveLane(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Error("cross-design scalar restore of lane snapshot accepted")
+	}
+}

@@ -3,23 +3,48 @@ package sim
 import "fmt"
 
 // Snapshot is a saved simulation state: every state slot, every memory,
-// and the cycle counter. Industrial RTL simulations run for days (paper
-// Section 6.6); checkpointing makes long runs resumable and enables
-// bisection debugging (restore, re-run with waves on).
+// the cycle counter, and (for exact resume) the per-partition activity
+// flags and activation counters. Industrial RTL simulations run for days
+// (paper Section 6.6); checkpointing makes long runs resumable — the
+// farm retries a crashed job from its last checkpoint instead of cycle 0
+// — and enables bisection debugging (restore, re-run with waves on).
+//
+// A Snapshot is engine-shape-agnostic within one Program: Engine.Save /
+// BatchEngine.SaveLane produce the same layout, and either can be
+// restored into a scalar Engine or a batch lane executing the same
+// Program. That is what lets a failed batch lane fall back to a scalar
+// resume.
 type Snapshot struct {
 	State  []uint64
 	Mems   [][]uint64
 	Cycles int64
+
+	// Dirty, when non-nil, records the per-partition activity state so a
+	// resumed run re-evaluates exactly what the uninterrupted run would
+	// have — keeping ActsExecuted/ActsSkipped bit-exact with activity
+	// skipping on. Restore falls back to marking everything dirty when
+	// Dirty is nil (older snapshots): conservative and always sound, but
+	// the first resumed step then over-executes.
+	Dirty []bool
+
+	// Activation counters at the checkpoint, restored so a resumed run's
+	// final counters match an uninterrupted run's.
+	ActsExecuted int64
+	ActsSkipped  int64
+	DynInstrs    int64
 }
 
-// Save captures the engine's architectural state. Activity (dirty) flags
-// are deliberately not saved: Restore marks everything dirty, which is
-// always sound.
+// Save captures the engine's architectural state plus the activity flags
+// and counters needed for bit-exact resume.
 func (e *Engine) Save() *Snapshot {
 	s := &Snapshot{
-		State:  append([]uint64(nil), e.state...),
-		Mems:   make([][]uint64, len(e.mems)),
-		Cycles: e.Cycles,
+		State:        append([]uint64(nil), e.state...),
+		Mems:         make([][]uint64, len(e.mems)),
+		Cycles:       e.Cycles,
+		Dirty:        append([]bool(nil), e.dirty...),
+		ActsExecuted: e.ActsExecuted,
+		ActsSkipped:  e.ActsSkipped,
+		DynInstrs:    e.DynInstrs,
 	}
 	for i, m := range e.mems {
 		s.Mems[i] = append([]uint64(nil), m...)
@@ -27,29 +52,128 @@ func (e *Engine) Save() *Snapshot {
 	return s
 }
 
-// Restore loads a snapshot previously taken from an engine running the
-// same program. All partitions are marked dirty, so the next Step fully
-// re-evaluates — conservative and always correct.
+// Restore loads a snapshot previously taken from an engine (or batch
+// lane) running the same program. With the snapshot's Dirty flags
+// present the resumed run is bit-exact with an uninterrupted one;
+// without them all partitions are marked dirty, which is conservative
+// and always correct.
 func (e *Engine) Restore(s *Snapshot) error {
-	if len(s.State) != len(e.state) {
-		return fmt.Errorf("sim: snapshot has %d slots, engine has %d", len(s.State), len(e.state))
-	}
-	if len(s.Mems) != len(e.mems) {
-		return fmt.Errorf("sim: snapshot has %d memories, engine has %d", len(s.Mems), len(e.mems))
-	}
-	for i := range s.Mems {
-		if len(s.Mems[i]) != len(e.mems[i]) {
-			return fmt.Errorf("sim: snapshot memory %d has depth %d, engine has %d",
-				i, len(s.Mems[i]), len(e.mems[i]))
-		}
+	if err := checkShape(s, len(e.state), e.mems); err != nil {
+		return err
 	}
 	copy(e.state, s.State)
 	for i := range s.Mems {
 		copy(e.mems[i], s.Mems[i])
 	}
 	e.Cycles = s.Cycles
-	for i := range e.dirty {
-		e.dirty[i] = true
+	if len(s.Dirty) == len(e.dirty) {
+		copy(e.dirty, s.Dirty)
+	} else {
+		for i := range e.dirty {
+			e.dirty[i] = true
+		}
 	}
+	e.ActsExecuted = s.ActsExecuted
+	e.ActsSkipped = s.ActsSkipped
+	e.DynInstrs = s.DynInstrs
+	return nil
+}
+
+// checkShape validates a snapshot against an engine's slot count and
+// per-memory depths (memory slices carry lane-collapsed depths).
+func checkShape(s *Snapshot, slots int, mems [][]uint64) error {
+	if len(s.State) != slots {
+		return fmt.Errorf("sim: snapshot has %d slots, engine has %d", len(s.State), slots)
+	}
+	if len(s.Mems) != len(mems) {
+		return fmt.Errorf("sim: snapshot has %d memories, engine has %d", len(s.Mems), len(mems))
+	}
+	for i := range s.Mems {
+		if len(s.Mems[i]) != len(mems[i]) {
+			return fmt.Errorf("sim: snapshot memory %d has depth %d, engine has %d",
+				i, len(s.Mems[i]), len(mems[i]))
+		}
+	}
+	return nil
+}
+
+// SaveLane captures one batch lane's architectural state, activity
+// flags, and counters in the same layout Engine.Save produces, so the
+// snapshot can be resumed on a scalar Engine (the farm's fallback path
+// for failed batch lanes) or restored into a batch lane.
+func (e *BatchEngine) SaveLane(lane int) (*Snapshot, error) {
+	if lane < 0 || lane >= e.lanes {
+		return nil, fmt.Errorf("sim: lane %d out of [0, %d)", lane, e.lanes)
+	}
+	L := e.lanes
+	s := &Snapshot{
+		State:        make([]uint64, e.p.NumSlots),
+		Mems:         make([][]uint64, len(e.mems)),
+		Cycles:       e.Cycles[lane],
+		Dirty:        make([]bool, len(e.dirty)),
+		ActsExecuted: e.ActsExecuted[lane],
+		ActsSkipped:  e.ActsSkipped[lane],
+		DynInstrs:    e.DynInstrs[lane],
+	}
+	for slot := range s.State {
+		s.State[slot] = e.state[slot*L+lane]
+	}
+	for i, m := range e.mems {
+		depth := len(m) / L
+		lm := make([]uint64, depth)
+		for a := 0; a < depth; a++ {
+			lm[a] = m[a*L+lane]
+		}
+		s.Mems[i] = lm
+	}
+	bit := uint64(1) << uint(lane)
+	for p := range e.dirty {
+		s.Dirty[p] = e.dirty[p]&bit != 0
+	}
+	return s, nil
+}
+
+// RestoreLane loads a snapshot into one batch lane without disturbing
+// the other lanes. The snapshot may come from Engine.Save or SaveLane of
+// any engine running the same Program.
+func (e *BatchEngine) RestoreLane(lane int, s *Snapshot) error {
+	if lane < 0 || lane >= e.lanes {
+		return fmt.Errorf("sim: lane %d out of [0, %d)", lane, e.lanes)
+	}
+	L := e.lanes
+	laneMems := make([][]uint64, len(e.mems))
+	for i, m := range e.mems {
+		laneMems[i] = m[:len(m)/L] // depth carrier for shape checking only
+	}
+	if err := checkShape(s, e.p.NumSlots, laneMems); err != nil {
+		return err
+	}
+	for slot, v := range s.State {
+		e.state[slot*L+lane] = v
+	}
+	for i, lm := range s.Mems {
+		m := e.mems[i]
+		for a, v := range lm {
+			m[a*L+lane] = v
+		}
+	}
+	bit := uint64(1) << uint(lane)
+	if len(s.Dirty) == len(e.dirty) {
+		for p, d := range s.Dirty {
+			if d {
+				e.dirty[p] |= bit
+			} else {
+				e.dirty[p] &^= bit
+			}
+		}
+	} else {
+		for p := range e.dirty {
+			e.dirty[p] |= bit
+		}
+	}
+	e.Cycles[lane] = s.Cycles
+	e.ActsExecuted[lane] = s.ActsExecuted
+	e.ActsSkipped[lane] = s.ActsSkipped
+	e.DynInstrs[lane] = s.DynInstrs
 	return nil
 }

@@ -82,6 +82,20 @@ func (w Workload) NewValues() func(cycle int) (stim, valid uint64) {
 	}
 }
 
+// NewValuesFrom returns a generator fast-forwarded past the first skip
+// cycles: the value it yields first is exactly what a fresh generator
+// would yield on its (skip+1)-th call. Checkpoint-resume uses this to
+// rejoin a stimulus stream at the checkpoint cycle without replaying the
+// simulation — the generator is pure arithmetic, so the fast-forward is
+// nanoseconds per skipped cycle.
+func (w Workload) NewValuesFrom(skip int) func(cycle int) (stim, valid uint64) {
+	vals := w.NewValues()
+	for i := 0; i < skip; i++ {
+		vals(i)
+	}
+	return vals
+}
+
 // NewDrive returns a fresh drive function over the generic named-input
 // interface (reference interpreter, event-driven engine, ...).
 func (w Workload) NewDrive() func(d Driver, cycle int) {
@@ -110,10 +124,31 @@ func (w Workload) NewEngineDrive(e *sim.Engine) func(cycle int) {
 	}
 }
 
+// NewEngineDriveFrom is NewEngineDrive with the stimulus stream
+// fast-forwarded past the first skip cycles — the drive to pair with an
+// engine restored from a cycle-skip checkpoint.
+func (w Workload) NewEngineDriveFrom(e *sim.Engine, skip int) func(cycle int) {
+	vals := w.NewValuesFrom(skip)
+	hStim, _ := e.InputHandle("stim")
+	hValid, _ := e.InputHandle("stim_valid")
+	return func(cycle int) {
+		stim, valid := vals(cycle)
+		e.SetInputBySlot(hStim, stim)
+		e.SetInputBySlot(hValid, valid)
+	}
+}
+
 // NewLaneDrive returns a drive function for one lane of a batch engine,
 // with handles resolved once like NewEngineDrive.
 func (w Workload) NewLaneDrive(e *sim.BatchEngine, lane int) func(cycle int) {
-	vals := w.NewValues()
+	return w.NewLaneDriveFrom(e, lane, 0)
+}
+
+// NewLaneDriveFrom is NewLaneDrive with the stimulus stream
+// fast-forwarded past the first skip cycles, for lanes restored from a
+// checkpoint.
+func (w Workload) NewLaneDriveFrom(e *sim.BatchEngine, lane, skip int) func(cycle int) {
+	vals := w.NewValuesFrom(skip)
 	hStim, _ := e.InputHandle("stim")
 	hValid, _ := e.InputHandle("stim_valid")
 	return func(cycle int) {

@@ -19,6 +19,13 @@
 // exits non-zero only if the drain deadline expired with jobs still
 // outstanding (those are canceled) or the server failed.
 //
+// With -data-dir the daemon is durable: job lifecycle is journaled,
+// checkpoints and compile-cache metadata persist, and a restart — even
+// after SIGKILL — replays the journal, re-admits unfinished jobs
+// (resuming from their newest valid checkpoint), and recompiles known
+// designs warm before taking traffic. -fsync trades journal safety
+// against write amplification (always / interval / none).
+//
 // For chaos testing, -fault-inject arms deterministic fault injection,
 // e.g. -fault-inject 'worker.crash=0.01,compile.stall=0.1' (see
 // internal/faultinject for the points).
@@ -51,6 +58,9 @@ func main() {
 	retries := flag.Int("retries", 0, "max retries per transiently failed job (0 = default 1, negative = off)")
 	backoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff, doubled per attempt with jitter (0 = immediate)")
 	stuck := flag.Duration("stuck-timeout", 0, "preempt and retry jobs that report no progress for this long (0 = watchdog off)")
+	dataDir := flag.String("data-dir", "", "durable data directory: journal job lifecycle, persist checkpoints and compile-cache metadata, and recover all of it on restart (empty = in-memory only)")
+	fsync := flag.String("fsync", "", "journal fsync policy with -data-dir: always, interval, none (default interval)")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "group-commit period for -fsync interval (0 = default 100ms)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
 	faultSpec := flag.String("fault-inject", "", "arm fault injection: 'point=rate,...' over "+faultPoints())
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection decision seed")
@@ -67,7 +77,10 @@ func main() {
 		fmt.Printf("dedupfarmd: FAULT INJECTION ARMED: %s\n", faults)
 	}
 
-	f := farm.New(farm.Config{
+	// Open (not New) so a broken data dir — unwritable path, journal from
+	// an incompatible version — fails fast at startup with a clear error
+	// instead of surfacing mid-run.
+	f, err := farm.Open(farm.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		MaxCycles:       *maxCycles,
@@ -79,7 +92,23 @@ func main() {
 		RetryBackoff:    *backoff,
 		StuckTimeout:    *stuck,
 		Faults:          faults,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncInterval,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+		os.Exit(1)
+	}
+	if rec := f.RecoveryStats(); rec != nil {
+		fmt.Printf("dedupfarmd: recovered %s: %d journal records replayed, %d jobs re-admitted, %d checkpoints loaded (%d corrupt dropped), %d cache entries warmed, %.0f ms\n",
+			*dataDir, rec.JournalRecordsReplayed, rec.JobsRecovered,
+			rec.CheckpointsLoaded, rec.CheckpointsCorruptDropped,
+			rec.CacheEntriesWarmed, rec.RecoveryMillis)
+		if rec.JournalBytesDropped > 0 {
+			fmt.Printf("dedupfarmd: journal had %d torn/corrupt tail bytes (truncated)\n", rec.JournalBytesDropped)
+		}
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,

@@ -43,6 +43,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation studies")
 	batch := flag.Bool("batch", false, "run the lane-batched throughput experiment")
 	batchOut := flag.String("batch-out", "", "also write the -batch results as JSON to this file (e.g. BENCH_batch.json)")
+	recovery := flag.Bool("recovery", false, "run the durable-farm recovery experiment (cold start vs warm restart vs crash resume)")
+	recoveryOut := flag.String("recovery-out", "", "also write the -recovery results as JSON to this file (e.g. BENCH_recovery.json)")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -85,8 +87,8 @@ func main() {
 	for _, t := range tables {
 		selected = append(selected, fmt.Sprintf("table%d", t))
 	}
-	if len(selected) == 0 && !*ablations && !*batch {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table N, -batch, or -ablations")
+	if len(selected) == 0 && !*ablations && !*batch && !*recovery {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table N, -batch, -recovery, or -ablations")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,6 +129,36 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *batchOut)
+		}
+	}
+
+	if *recovery {
+		start := time.Now()
+		cyclesPerJob := 5000
+		if *quick {
+			cyclesPerJob = 1000
+		}
+		if *cycles > 0 {
+			cyclesPerJob = *cycles
+		}
+		res, err := runRecoveryExperiment(cyclesPerJob)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recovery experiment failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(renderRecovery(res))
+		fmt.Printf("(recovery experiment generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		if *recoveryOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "recovery experiment: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*recoveryOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "recovery experiment: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *recoveryOut)
 		}
 	}
 

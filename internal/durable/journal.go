@@ -1,0 +1,191 @@
+// Package durable is the farm's crash-safety layer: a write-ahead job
+// journal, a persistent checkpoint store, and a disk-backed tier for the
+// compile cache, all under one data directory. The paper's headline win
+// is batch throughput over long campaigns (Section 6.6 runs for days);
+// a campaign that outlives any single process needs its admitted jobs,
+// checkpoints, and compiled-design knowledge to survive a restart.
+//
+// Design rules, in order:
+//
+//  1. Never load torn or corrupt data. Every journal record is framed
+//     with a length and a CRC32C; checkpoint and cache files are written
+//     to a temp file and atomically renamed, and checkpoints carry their
+//     own checksum (sim.Snapshot's encoding).
+//  2. Degrade, don't die. A truncated or corrupt journal tail is dropped
+//     (the valid prefix replays); a corrupt checkpoint falls back to an
+//     older one or to cycle 0; a corrupt cache entry is deleted.
+//  3. Fail fast only on structural problems an operator must fix: an
+//     unwritable data directory or a journal from an incompatible format
+//     version.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Journal format version. Bump on any incompatible layout change;
+// OpenStore refuses journals from other versions (ErrIncompatibleVersion)
+// so an operator never silently replays records it would misread.
+const JournalVersion = 1
+
+// journalMagic opens every journal file ("DSJL": DedupSim JournaL).
+var journalMagic = [4]byte{'D', 'S', 'J', 'L'}
+
+// headerSize is the journal file header: 4-byte magic + uint32 version.
+const headerSize = 8
+
+// frameSize is the per-record frame: uint32 payload length + uint32
+// CRC32C of the payload.
+const frameSize = 8
+
+// MaxRecordLen bounds one record's payload. Anything larger is treated
+// as corruption — a flipped bit in a length field must not make replay
+// attempt a multi-gigabyte allocation.
+const MaxRecordLen = 16 << 20
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64; the same checksum filesystems and gRPC use for framing).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors an operator must act on (everything else degrades gracefully).
+var (
+	// ErrNotJournal reports a journal file that does not start with the
+	// journal magic — the data directory holds something else.
+	ErrNotJournal = errors.New("not a dedupsim journal")
+	// ErrIncompatibleVersion reports a journal written by an incompatible
+	// format version of this package.
+	ErrIncompatibleVersion = errors.New("incompatible journal format version")
+)
+
+// RecType labels a journal record.
+type RecType string
+
+// The journal's record vocabulary, mirroring a job's lifecycle. A job
+// whose newest record is admit/start/ckpt is unfinished and is re-admitted
+// on recovery; finish and cancel are terminal.
+const (
+	RecAdmit      RecType = "admit"  // job accepted; Spec carries the JobSpec JSON
+	RecStart      RecType = "start"  // an attempt began running
+	RecCheckpoint RecType = "ckpt"   // a checkpoint at Cycle was persisted
+	RecFinish     RecType = "finish" // terminal: done or failed (Status, Error)
+	RecCancel     RecType = "cancel" // terminal: canceled
+)
+
+// Record is one journal entry. The payload is JSON (self-describing and
+// forward-compatible: unknown fields are ignored on replay) inside a
+// binary length+CRC frame (torn tails and bit flips are detected without
+// trusting the payload).
+type Record struct {
+	Type RecType `json:"t"`
+	Job  string  `json:"job,omitempty"`
+	// Spec is the admitted JobSpec (RecAdmit only), kept as raw JSON so
+	// this package does not depend on the farm's types.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Cycle is the checkpointed cycle count (RecCheckpoint only).
+	Cycle int64 `json:"cycle,omitempty"`
+	// Status and Error describe the terminal state (RecFinish/RecCancel).
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ReplayInfo summarizes one journal scan.
+type ReplayInfo struct {
+	// Records is how many valid records were decoded.
+	Records int64
+	// ValidBytes is the length of the valid record prefix (excluding the
+	// file header); appends resume there after a truncate.
+	ValidBytes int64
+	// DroppedBytes counts trailing bytes discarded as a torn write or
+	// corruption; 0 means the journal was clean.
+	DroppedBytes int64
+}
+
+// encodeRecord frames one record: uint32 payload length, uint32 CRC32C
+// of the payload, then the JSON payload.
+func encodeRecord(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("durable: encode record: %w", err)
+	}
+	if len(payload) > MaxRecordLen {
+		return nil, fmt.Errorf("durable: record payload %d bytes exceeds max %d", len(payload), MaxRecordLen)
+	}
+	buf := make([]byte, frameSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameSize:], payload)
+	return buf, nil
+}
+
+// DecodeRecords scans framed records from data (the journal body, after
+// the file header). It decodes the longest valid prefix and stops at the
+// first frame that is truncated (a torn tail) or fails its CRC or JSON
+// decode (corruption); everything after that point is reported in
+// DroppedBytes, never returned as phantom records, and never panics
+// regardless of input.
+func DecodeRecords(data []byte) ([]Record, ReplayInfo) {
+	var recs []Record
+	var info ReplayInfo
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break // clean end
+		}
+		if len(rest) < frameSize {
+			break // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		if n > MaxRecordLen {
+			break // corrupt length field
+		}
+		if len(rest) < frameSize+int(n) {
+			break // torn payload
+		}
+		payload := rest[frameSize : frameSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != want {
+			break // bit flip
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil || r.Type == "" {
+			break // CRC-valid but not a record we understand
+		}
+		recs = append(recs, r)
+		off += frameSize + int(n)
+		info.Records++
+	}
+	info.ValidBytes = int64(off)
+	info.DroppedBytes = int64(len(data) - off)
+	return recs, info
+}
+
+// encodeHeader renders the journal file header.
+func encodeHeader() []byte {
+	buf := make([]byte, headerSize)
+	copy(buf[0:4], journalMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], JournalVersion)
+	return buf
+}
+
+// checkHeader validates a journal file header.
+func checkHeader(buf []byte) error {
+	if len(buf) < headerSize {
+		// A header torn mid-write: the journal never held a record, so
+		// treating it as empty (rewritten by the caller) would also be
+		// sound, but a short header more often means the file is not ours.
+		return fmt.Errorf("%w: %d-byte header", ErrNotJournal, len(buf))
+	}
+	if [4]byte(buf[0:4]) != journalMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrNotJournal, buf[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != JournalVersion {
+		return fmt.Errorf("%w: journal is version %d, this build reads version %d",
+			ErrIncompatibleVersion, v, JournalVersion)
+	}
+	return nil
+}

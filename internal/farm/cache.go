@@ -37,6 +37,9 @@ type cacheEntry struct {
 	err         error
 	compileTime time.Duration
 	hits        int64 // guarded by the cache mutex
+	// warm marks entries installed from the persistent tier at startup
+	// (recompiled before any job asked); hits on them count as warm hits.
+	warm bool
 }
 
 // CompileCache is the content-addressed compile cache: at most one
@@ -50,6 +53,7 @@ type CompileCache struct {
 
 	hits      int64
 	misses    int64
+	warmHits  int64         // hits served by warm-restart entries
 	savedTime time.Duration // compile time avoided by hits
 }
 
@@ -69,6 +73,9 @@ func (cc *CompileCache) Get(ctx context.Context, key CacheKey, compile func() (*
 	if ok {
 		cc.hits++
 		e.hits++
+		if e.warm {
+			cc.warmHits++
+		}
 		cc.mu.Unlock()
 		select {
 		case <-e.ready:
@@ -106,6 +113,22 @@ func (cc *CompileCache) Get(ctx context.Context, key CacheKey, compile func() (*
 	return e.cv, false, e.err
 }
 
+// InstallWarm installs an already-compiled Program as a completed warm
+// entry (the persistent tier's startup path). compileTime is the
+// historical compile cost, credited to CompileMsSaved when jobs hit the
+// entry. Reports false if the key is already present.
+func (cc *CompileCache) InstallWarm(key CacheKey, cv *harness.Compiled, compileTime time.Duration) bool {
+	e := &cacheEntry{ready: make(chan struct{}), cv: cv, compileTime: compileTime, warm: true}
+	close(e.ready)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if _, ok := cc.entries[key]; ok {
+		return false
+	}
+	cc.entries[key] = e
+	return true
+}
+
 // CacheStats summarizes cache effectiveness.
 type CacheStats struct {
 	Entries int `json:"entries"`
@@ -113,6 +136,10 @@ type CacheStats struct {
 	// that coalesced onto an in-flight compile).
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// WarmHits counts hits served by entries the persistent tier
+	// recompiled at startup — compiles a cold restart would have paid
+	// on the job path.
+	WarmHits int64 `json:"warm_hits"`
 	// CompileMsSaved sums the compile time hits avoided.
 	CompileMsSaved float64 `json:"compile_ms_saved"`
 }
@@ -125,6 +152,7 @@ func (cc *CompileCache) Stats() CacheStats {
 		Entries:        len(cc.entries),
 		Hits:           cc.hits,
 		Misses:         cc.misses,
+		WarmHits:       cc.warmHits,
 		CompileMsSaved: float64(cc.savedTime) / float64(time.Millisecond),
 	}
 }
@@ -135,6 +163,8 @@ type CacheEntryView struct {
 	Variant     string  `json:"variant"`
 	Hits        int64   `json:"hits"`
 	CompileMs   float64 `json:"compile_ms"`
+	// Warm marks entries installed from the persistent tier at startup.
+	Warm bool `json:"warm,omitempty"`
 	// Failed marks entries whose compile errored.
 	Failed bool   `json:"failed,omitempty"`
 	Error  string `json:"error,omitempty"`
@@ -162,6 +192,7 @@ func (cc *CompileCache) Snapshot() []CacheEntryView {
 			Variant:     string(key.Variant),
 			Hits:        e.hits,
 			CompileMs:   float64(e.compileTime) / float64(time.Millisecond),
+			Warm:        e.warm,
 		}
 		if e.err != nil {
 			v.Failed, v.Error = true, e.err.Error()

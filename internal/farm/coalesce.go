@@ -57,6 +57,9 @@ func (f *Farm) runBatch(jobs []*Job) {
 		return
 	}
 	ctxs, timeouts = ctxs[:len(live)], timeouts[:len(live)]
+	for _, j := range live {
+		f.journalStart(j)
+	}
 
 	f.mu.Lock()
 	f.running += len(live)
@@ -267,20 +270,13 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 			}
 		}
 		if ckptEvery > 0 && (cyc+1)%ckptEvery == 0 {
-			taken := int64(0)
 			for l, j := range jobs {
 				if finished[l] || cyc+1 >= budgets[l] {
 					continue
 				}
 				if snap, serr := be.SaveLane(l); serr == nil {
-					j.setCheckpoint(snap)
-					taken++
+					f.recordCheckpoint(j, snap)
 				}
-			}
-			if taken > 0 {
-				f.mu.Lock()
-				f.checkpoints += taken
-				f.mu.Unlock()
 			}
 		}
 	}

@@ -1,0 +1,374 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dedupsim/internal/durable"
+	"dedupsim/internal/harness"
+	"dedupsim/internal/partition"
+	"dedupsim/internal/sim"
+)
+
+// Durability. With Config.DataDir set, the farm journals every job's
+// lifecycle (admit/start/checkpoint/finish) to a write-ahead log, writes
+// periodic checkpoints and compile-cache metadata to disk, and on the
+// next Open replays all of it: unfinished jobs are re-admitted (resuming
+// from their newest valid checkpoint), orphaned files are garbage
+// collected, and known designs are recompiled warm before the first job
+// arrives. A SIGKILL at any point loses at most the records the fsync
+// policy allows (see durable.FsyncPolicy); it never corrupts recovery —
+// torn journal tails and damaged checkpoints are detected by checksum
+// and dropped, degrading to an older checkpoint or cycle 0.
+//
+// Without DataDir every hook below is a nil-pointer test and the farm
+// behaves exactly as before: in-memory only.
+
+// RecoveryStats summarizes one startup recovery (nil when the farm
+// started cold or has no data directory).
+type RecoveryStats struct {
+	// JournalRecordsReplayed counts valid records decoded from the
+	// journal; JournalBytesDropped is the torn/corrupt tail truncated.
+	JournalRecordsReplayed int64 `json:"journal_records_replayed"`
+	JournalBytesDropped    int64 `json:"journal_bytes_dropped,omitempty"`
+	// JobsRecovered is how many unfinished jobs were re-admitted.
+	JobsRecovered int64 `json:"jobs_recovered"`
+	// CheckpointsLoaded counts re-admitted jobs that will resume from a
+	// persisted checkpoint; CheckpointsCorruptDropped counts checkpoint
+	// files rejected by checksum (the job falls back to an older
+	// checkpoint or cycle 0).
+	CheckpointsLoaded         int64 `json:"checkpoints_loaded"`
+	CheckpointsCorruptDropped int64 `json:"checkpoints_corrupt_dropped"`
+	// CacheEntriesWarmed counts designs recompiled from persisted cache
+	// metadata before the farm started taking jobs.
+	CacheEntriesWarmed int64 `json:"cache_entries_warmed"`
+	// RecoveryMillis is the wall time from opening the store to workers
+	// starting (replay + re-admit + GC + warm compiles + compaction).
+	RecoveryMillis float64 `json:"recovery_millis"`
+}
+
+// RecoveryStats returns the startup recovery summary, or nil for a cold
+// or non-durable start.
+func (f *Farm) RecoveryStats() *RecoveryStats { return f.recovery }
+
+// Open starts a farm, recovering persisted state first when cfg.DataDir
+// is set. It fails fast — before accepting any job — when the data
+// directory is unwritable or holds a journal from an incompatible
+// format version; a farm that cannot persist what it promised must not
+// start. With no DataDir it cannot fail and is equivalent to New.
+func Open(cfg Config) (*Farm, error) {
+	cfg = cfg.withDefaults()
+	ctx, stop := newFarmContext()
+	f := &Farm{
+		cfg:            cfg,
+		cache:          NewCompileCache(),
+		jobs:           map[string]*Job{},
+		retriesByCause: map[string]int64{},
+		wake:           make(chan struct{}, cfg.QueueDepth),
+		ctx:            ctx,
+		stop:           stop,
+		started:        time.Now(),
+	}
+	if cfg.DataDir != "" {
+		store, err := durable.OpenStore(durable.Options{
+			Dir:           cfg.DataDir,
+			Fsync:         durable.FsyncPolicy(cfg.Fsync),
+			FsyncInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("farm: %w", err)
+		}
+		f.store = store
+		if err := f.recoverFromStore(); err != nil {
+			store.Close()
+			stop()
+			return nil, fmt.Errorf("farm: recovery: %w", err)
+		}
+	}
+	f.startWorkers()
+	return f, nil
+}
+
+// replayedJob is one job's journal history, folded during replay.
+type replayedJob struct {
+	spec     json.RawMessage
+	terminal bool
+}
+
+// recoverFromStore replays the journal and rebuilds farm state before
+// any worker runs: unfinished jobs re-enter the queue (newest valid
+// checkpoint attached), orphaned checkpoint and cache files are removed,
+// persisted designs are recompiled warm, and the journal is compacted
+// down to the live jobs.
+func (f *Farm) recoverFromStore() error {
+	start := time.Now()
+	rec := &RecoveryStats{}
+
+	table := map[string]*replayedJob{}
+	var order []string
+	var maxID int64
+	info, err := f.store.Replay(func(r durable.Record) {
+		switch r.Type {
+		case durable.RecAdmit:
+			if r.Job == "" || len(r.Spec) == 0 {
+				return
+			}
+			if _, ok := table[r.Job]; !ok {
+				table[r.Job] = &replayedJob{spec: r.Spec}
+				order = append(order, r.Job)
+			}
+			if n, perr := strconv.ParseInt(strings.TrimPrefix(r.Job, "job-"), 10, 64); perr == nil && n > maxID {
+				maxID = n
+			}
+		case durable.RecFinish, durable.RecCancel:
+			if rj, ok := table[r.Job]; ok {
+				rj.terminal = true
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rec.JournalRecordsReplayed = info.Records
+	rec.JournalBytesDropped = info.DroppedBytes
+	f.nextID = maxID
+
+	// Re-admit unfinished jobs in original admission order. A spec that
+	// no longer unmarshals or validates (format drift across versions) is
+	// dropped rather than wedging recovery; its checkpoint is then GC'd
+	// as an orphan below.
+	for _, id := range order {
+		rj := table[id]
+		if rj.terminal {
+			continue
+		}
+		var spec JobSpec
+		if uerr := json.Unmarshal(rj.spec, &spec); uerr != nil {
+			continue
+		}
+		if nerr := spec.normalize(f.cfg); nerr != nil {
+			continue
+		}
+		j := &Job{
+			ID:      id,
+			Spec:    spec,
+			farm:    f,
+			status:  StatusQueued,
+			created: time.Now(),
+			done:    make(chan struct{}),
+		}
+		if !spec.VCD {
+			for _, data := range f.store.LoadCheckpoint(id) {
+				snap, derr := sim.DecodeSnapshot(data)
+				if derr != nil {
+					rec.CheckpointsCorruptDropped++
+					continue
+				}
+				j.checkpoint = snap
+				rec.CheckpointsLoaded++
+				break
+			}
+		}
+		f.jobs[id] = j
+		f.order = append(f.order, id)
+		f.pending = append(f.pending, j)
+		select {
+		case f.wake <- struct{}{}:
+		default:
+		}
+		rec.JobsRecovered++
+	}
+
+	// GC checkpoints whose job finished (or whose admit record was lost
+	// with the torn tail — those jobs are gone; a stale checkpoint must
+	// not outlive them and be mistaken for live state later).
+	for _, id := range f.store.Checkpoints() {
+		if _, live := f.jobs[id]; !live {
+			f.store.RemoveCheckpoint(id)
+		}
+	}
+
+	rec.CacheEntriesWarmed = f.warmCompileCache()
+
+	// Compact the journal to exactly the live jobs so it doesn't grow
+	// with the full history of every job that ever ran.
+	var live []durable.Record
+	for _, id := range f.order {
+		j := f.jobs[id]
+		b, merr := json.Marshal(j.Spec)
+		if merr != nil {
+			continue
+		}
+		live = append(live, durable.Record{Type: durable.RecAdmit, Job: id, Spec: b})
+		if j.checkpoint != nil {
+			live = append(live, durable.Record{Type: durable.RecCheckpoint, Job: id, Cycle: j.checkpoint.Cycles})
+		}
+	}
+	if cerr := f.store.Compact(live); cerr != nil {
+		return cerr
+	}
+
+	rec.RecoveryMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	f.recovery = rec
+	return nil
+}
+
+// persistedCompile is the on-disk compile-cache metadata: enough to
+// rebuild the circuit (the design spec carries inline FIRRTL verbatim or
+// the generator name + scale) plus the expected structural hash, which
+// the warm load verifies so a drifted generator can never install a
+// Program under a stale key.
+type persistedCompile struct {
+	DesignSpec
+	Variant   string  `json:"variant"`
+	Hash      string  `json:"circuit_hash"`
+	CompileMs float64 `json:"compile_ms"`
+}
+
+// warmCompileCache recompiles every persisted cache entry before the
+// farm takes jobs, so a restarted farm serves its design zoo from cache
+// immediately. Entries that no longer decode, elaborate, hash-match, or
+// compile are removed — the persisted tier self-heals instead of
+// failing recovery.
+func (f *Farm) warmCompileCache() int64 {
+	var warmed int64
+	for name, data := range f.store.CacheEntries() {
+		var p persistedCompile
+		if json.Unmarshal(data, &p) != nil {
+			f.store.RemoveCacheEntry(name)
+			continue
+		}
+		c, err := p.DesignSpec.Build()
+		if err != nil || c.StructuralHash().String() != p.Hash {
+			f.store.RemoveCacheEntry(name)
+			continue
+		}
+		variant := harness.Variant(p.Variant)
+		cv, err := harness.CompileVariant(c, variant, partition.Options{})
+		if err != nil {
+			f.store.RemoveCacheEntry(name)
+			continue
+		}
+		key := CacheKey{Hash: c.StructuralHash(), Variant: variant}
+		if f.cache.InstallWarm(key, cv, time.Duration(p.CompileMs*float64(time.Millisecond))) {
+			warmed++
+		}
+	}
+	return warmed
+}
+
+// cacheEntryName keys a persisted cache file: structural hash x variant,
+// mirroring CacheKey.
+func cacheEntryName(key CacheKey) string {
+	return key.Hash.String() + "-" + string(key.Variant)
+}
+
+// persistCompile writes one freshly compiled design's metadata to the
+// disk tier (no-op without a store). Best-effort: a write failure is
+// counted but never fails the job that triggered the compile.
+func (f *Farm) persistCompile(spec JobSpec, key CacheKey, compileTime time.Duration) {
+	if f.store == nil {
+		return
+	}
+	data, err := json.Marshal(persistedCompile{
+		DesignSpec: spec.DesignSpec,
+		Variant:    string(key.Variant),
+		Hash:       key.Hash.String(),
+		CompileMs:  float64(compileTime) / float64(time.Millisecond),
+	})
+	if err != nil {
+		return
+	}
+	if err := f.store.SaveCacheEntry(cacheEntryName(key), data); err != nil {
+		f.durableErrs.Add(1)
+	}
+}
+
+// journal appends one record (no-op without a store). Append errors are
+// counted, not propagated: a sick disk degrades durability, it does not
+// take down running simulations.
+func (f *Farm) journal(r durable.Record) {
+	if f.store == nil {
+		return
+	}
+	if err := f.store.Append(r); err != nil {
+		f.durableErrs.Add(1)
+	}
+}
+
+// journalAdmitLocked journals a job's admission. Called with f.mu held
+// (Submit), which keeps the journal's admit order identical to ID order
+// — recovery re-admits in the order the records appear.
+func (f *Farm) journalAdmitLocked(j *Job) {
+	if f.store == nil {
+		return
+	}
+	b, err := json.Marshal(j.Spec)
+	if err != nil {
+		f.durableErrs.Add(1)
+		return
+	}
+	f.journal(durable.Record{Type: durable.RecAdmit, Job: j.ID, Spec: b})
+}
+
+// journalStart journals a job's transition to running.
+func (f *Farm) journalStart(j *Job) {
+	f.journal(durable.Record{Type: durable.RecStart, Job: j.ID})
+}
+
+// journalFinish journals a terminal transition and deletes the job's
+// persisted checkpoint. Shutdown-induced cancellations never get here
+// with a live store — Close freezes it first — so jobs canceled by the
+// shutdown itself re-admit on restart (at-least-once semantics).
+func (f *Farm) journalFinish(j *Job, status Status) {
+	if f.store == nil {
+		return
+	}
+	t := durable.RecFinish
+	if status == StatusCanceled {
+		t = durable.RecCancel
+	}
+	j.mu.Lock()
+	errMsg := ""
+	if j.err != nil {
+		errMsg = j.err.Error()
+	}
+	j.mu.Unlock()
+	f.journal(durable.Record{Type: t, Job: j.ID, Status: string(status), Error: errMsg})
+	f.store.RemoveCheckpoint(j.ID)
+}
+
+// recordCheckpoint installs a job's new resume point and, with a store,
+// persists it (atomic rename, previous checkpoint rotated to .prev) and
+// journals a checkpoint-ref so the recovery log shows resume progress.
+func (f *Farm) recordCheckpoint(j *Job, snap *sim.Snapshot) {
+	j.setCheckpoint(snap)
+	f.mu.Lock()
+	f.checkpoints++
+	f.mu.Unlock()
+	if f.store == nil {
+		return
+	}
+	if err := f.store.SaveCheckpoint(j.ID, snap.Encode()); err != nil {
+		f.durableErrs.Add(1)
+		return
+	}
+	f.journal(durable.Record{Type: durable.RecCheckpoint, Job: j.ID, Cycle: snap.Cycles})
+}
+
+// Kill shuts the farm down as a crash would: buffered-but-unsynced
+// journal records are dropped (per the fsync policy's guarantees),
+// nothing about the shutdown is persisted, and no graceful cleanup runs
+// against the store. Chaos tests and `experiments -recovery` use it to
+// emulate SIGKILL in-process; a real SIGKILL behaves the same minus the
+// in-memory goroutine teardown.
+func (f *Farm) Kill() {
+	if f.store != nil {
+		f.store.Abandon()
+	}
+	f.Close()
+}

@@ -24,9 +24,11 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dedupsim/internal/circuit"
+	"dedupsim/internal/durable"
 	"dedupsim/internal/faultinject"
 	"dedupsim/internal/harness"
 	"dedupsim/internal/partition"
@@ -82,6 +84,19 @@ type Config struct {
 	// registered points (see internal/faultinject). Nil — the production
 	// default — costs a single pointer test per site.
 	Faults *faultinject.Registry
+
+	// DataDir, when set, makes the farm durable: job lifecycle is
+	// journaled, checkpoints and compile-cache metadata persist under
+	// this directory, and Open recovers all of it after a crash (see
+	// durable.go). Empty keeps the farm purely in-memory.
+	DataDir string
+	// Fsync selects the journal sync policy ("always", "interval",
+	// "none"; default "interval") — see durable.FsyncPolicy for the
+	// crash-loss guarantees of each. Ignored without DataDir.
+	Fsync string
+	// FsyncInterval is the group-commit period for the "interval"
+	// policy (default 100ms).
+	FsyncInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +268,15 @@ type Farm struct {
 	cfg   Config
 	cache *CompileCache
 
+	// store is the durability tier (nil without Config.DataDir: every
+	// durability hook is then one nil test). recovery summarizes the
+	// startup replay; immutable once workers start. durableErrs counts
+	// failed journal/checkpoint writes (atomic: bumped under f.mu and
+	// j.mu alike).
+	store       *durable.Store
+	recovery    *RecoveryStats
+	durableErrs atomic.Int64
+
 	mu       sync.Mutex
 	closed   bool
 	draining bool
@@ -296,26 +320,30 @@ type Farm struct {
 }
 
 // New starts a farm with cfg.Workers workers (plus a watchdog when
-// StuckTimeout is set).
+// StuckTimeout is set). It panics if cfg requests durability that
+// cannot be established; durable callers should use Open and handle
+// the error.
 func New(cfg Config) *Farm {
-	cfg = cfg.withDefaults()
-	ctx, stop := context.WithCancel(context.Background())
-	f := &Farm{
-		cfg:            cfg,
-		cache:          NewCompileCache(),
-		jobs:           map[string]*Job{},
-		retriesByCause: map[string]int64{},
-		wake:           make(chan struct{}, cfg.QueueDepth),
-		ctx:            ctx,
-		stop:           stop,
-		started:        time.Now(),
+	f, err := Open(cfg)
+	if err != nil {
+		panic(err) // only reachable with Config.DataDir set
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	return f
+}
+
+func newFarmContext() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}
+
+// startWorkers launches the worker pool and watchdog. Called after
+// recovery so replayed jobs re-enter the queue before anything runs.
+func (f *Farm) startWorkers() {
+	for i := 0; i < f.cfg.Workers; i++ {
 		f.wg.Add(1)
 		go f.worker()
 	}
-	if cfg.StuckTimeout > 0 {
-		interval := cfg.StuckTimeout / 4
+	if f.cfg.StuckTimeout > 0 {
+		interval := f.cfg.StuckTimeout / 4
 		if interval < 5*time.Millisecond {
 			interval = 5 * time.Millisecond
 		}
@@ -325,13 +353,20 @@ func New(cfg Config) *Farm {
 		f.wg.Add(1)
 		go f.watchdog(interval)
 	}
-	return f
 }
 
 // Close stops accepting work, cancels running jobs, and waits for the
 // workers to exit. Queued jobs are marked canceled. For a graceful
 // shutdown that lets in-flight work finish, call Drain first.
+//
+// A durable farm freezes its store before canceling anything:
+// shutdown-induced cancellations are deliberately not journaled, so
+// those jobs re-admit on the next Open (at-least-once). Records already
+// appended are flushed on the way out.
 func (f *Farm) Close() {
+	if f.store != nil {
+		f.store.Freeze()
+	}
 	f.stop()
 	f.mu.Lock()
 	f.closed = true
@@ -352,6 +387,9 @@ func (f *Farm) Close() {
 	// jobs Cancel already made terminal).
 	for _, j := range pending {
 		f.finish(j, StatusCanceled, nil, errors.New("farm shut down"))
+	}
+	if f.store != nil {
+		f.store.Close()
 	}
 }
 
@@ -451,6 +489,9 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	f.jobs[j.ID] = j
 	f.order = append(f.order, j.ID)
 	f.pending = append(f.pending, j)
+	// Journaled under f.mu so admit records land in ID order; recovery
+	// re-admits in record order and preserves submission fairness.
+	f.journalAdmitLocked(j)
 	select {
 	case f.wake <- struct{}{}:
 	default:
@@ -620,6 +661,16 @@ func jobBatchKey(s JobSpec) batchKey {
 	return batchKey{design: s.Design, scale: s.Scale, firrtl: s.FIRRTL, variant: s.Variant}
 }
 
+// resumable reports whether a still-queued job already holds a resume
+// checkpoint — only recovery re-admission produces that state. Such
+// jobs never coalesce: batch lanes always start at cycle 0, which would
+// silently discard the recovered progress.
+func resumable(j *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoint != nil
+}
+
 // takeBatch pops the first still-queued job and, when coalescing is on,
 // claims up to MaxLanes-1 later queued jobs with the same batch key as
 // additional lanes. Claimed jobs are removed from pending while still
@@ -650,10 +701,10 @@ func (f *Farm) takeBatch() []*Job {
 		return nil
 	}
 	rest := f.pending[:0]
-	if f.cfg.MaxLanes > 1 && !batch[0].Spec.VCD {
+	if f.cfg.MaxLanes > 1 && !batch[0].Spec.VCD && !resumable(batch[0]) {
 		for ; i < len(f.pending); i++ {
 			j := f.pending[i]
-			if len(batch) < f.cfg.MaxLanes && !j.Spec.VCD && jobBatchKey(j.Spec) == key {
+			if len(batch) < f.cfg.MaxLanes && !j.Spec.VCD && !resumable(j) && jobBatchKey(j.Spec) == key {
 				j.mu.Lock()
 				queued := j.status == StatusQueued
 				j.mu.Unlock()
@@ -704,6 +755,7 @@ func (f *Farm) runJob(j *Job) {
 	j.progressAt = now
 	j.cancel = cancel
 	j.mu.Unlock()
+	f.journalStart(j)
 
 	f.mu.Lock()
 	f.running++
@@ -812,6 +864,9 @@ func (f *Farm) compileSpec(ctx context.Context, spec JobSpec) (c *circuit.Circui
 		f.mu.Lock()
 		f.compileWall += compileTime
 		f.mu.Unlock()
+		// Persist the design metadata so a restarted farm recompiles it
+		// warm before taking jobs.
+		f.persistCompile(spec, key, compileTime)
 	}
 	return c, cv, hit, compileTime, nil
 }
@@ -952,10 +1007,7 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 			}
 		}
 		if ckptEvery > 0 && vcd == nil && (cyc+1)%ckptEvery == 0 && cyc+1 < j.Spec.Cycles {
-			j.setCheckpoint(e.Save())
-			f.mu.Lock()
-			f.checkpoints++
-			f.mu.Unlock()
+			f.recordCheckpoint(j, e.Save())
 		}
 	}
 	wall := time.Since(start)
@@ -1025,12 +1077,12 @@ func (f *Farm) finishLocked(j *Job, status Status, stats *SimStats, err error) b
 	return true
 }
 
-// accountFinish updates the farm counters for one terminal transition
-// and prunes the oldest-finished jobs beyond the retention cap so the
-// jobs map (and its stats/VCD buffers) can't grow without bound.
+// accountFinish updates the farm counters for one terminal transition,
+// journals it, and prunes the oldest-finished jobs beyond the retention
+// cap so the jobs map (and its stats/VCD buffers) can't grow without
+// bound.
 func (f *Farm) accountFinish(j *Job, status Status) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	switch status {
 	case StatusDone:
 		f.completed++
@@ -1040,23 +1092,26 @@ func (f *Farm) accountFinish(j *Job, status Status) {
 		f.canceled++
 	}
 	f.finished = append(f.finished, j.ID)
-	if f.cfg.RetainJobs < 0 {
-		return
-	}
-	for len(f.finished) > f.cfg.RetainJobs {
-		id := f.finished[0]
-		f.finished = f.finished[1:]
-		delete(f.jobs, id)
-	}
-	// Compact the submission-order list once pruning leaves it mostly
-	// dangling IDs.
-	if len(f.order) > 2*len(f.jobs)+16 {
-		keep := f.order[:0]
-		for _, id := range f.order {
-			if _, ok := f.jobs[id]; ok {
-				keep = append(keep, id)
-			}
+	if f.cfg.RetainJobs >= 0 {
+		for len(f.finished) > f.cfg.RetainJobs {
+			id := f.finished[0]
+			f.finished = f.finished[1:]
+			delete(f.jobs, id)
 		}
-		f.order = keep
+		// Compact the submission-order list once pruning leaves it mostly
+		// dangling IDs.
+		if len(f.order) > 2*len(f.jobs)+16 {
+			keep := f.order[:0]
+			for _, id := range f.order {
+				if _, ok := f.jobs[id]; ok {
+					keep = append(keep, id)
+				}
+			}
+			f.order = keep
+		}
 	}
+	f.mu.Unlock()
+	// Journaled outside f.mu: an fsync-per-record policy must not stall
+	// submissions and stats behind a disk write.
+	f.journalFinish(j, status)
 }

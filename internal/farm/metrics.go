@@ -35,6 +35,12 @@ type Stats struct {
 	// Draining reports graceful shutdown in progress (admission closed).
 	Draining bool `json:"draining,omitempty"`
 
+	// Recovery summarizes the startup journal replay (nil for cold or
+	// non-durable starts); DurableWriteErrors counts failed journal or
+	// checkpoint writes since then (durability degraded to best-effort).
+	Recovery           *RecoveryStats `json:"recovery,omitempty"`
+	DurableWriteErrors int64          `json:"durable_write_errors,omitempty"`
+
 	Cache CacheStats `json:"cache"`
 	// CompileMsSpent is the wall time spent compiling (cache misses).
 	CompileMsSpent float64 `json:"compile_ms_spent"`
@@ -83,6 +89,8 @@ func (f *Farm) Stats() Stats {
 		st.AggregateSimHz = float64(st.SimulatedCycles) / (st.SimWallMs / 1000)
 	}
 	st.Cache = f.cache.Stats()
+	st.Recovery = f.recovery
+	st.DurableWriteErrors = f.durableErrs.Load()
 	return st
 }
 
@@ -113,8 +121,19 @@ func (f *Farm) WriteStats(w io.Writer) {
 	if st.Draining {
 		fmt.Fprintln(w, "DRAINING: admission closed, letting in-flight jobs finish")
 	}
-	fmt.Fprintf(w, "compile cache: %d programs, %d hits / %d misses, %.0f ms compiling, %.0f ms saved\n",
-		st.Cache.Entries, st.Cache.Hits, st.Cache.Misses,
+	if r := st.Recovery; r != nil {
+		fmt.Fprintf(w, "recovery: %d journal records replayed, %d jobs recovered, %d checkpoints loaded, %d corrupt checkpoints dropped, %d cache entries warmed, %.0f ms\n",
+			r.JournalRecordsReplayed, r.JobsRecovered, r.CheckpointsLoaded,
+			r.CheckpointsCorruptDropped, r.CacheEntriesWarmed, r.RecoveryMillis)
+		if r.JournalBytesDropped > 0 {
+			fmt.Fprintf(w, "  journal: %d torn/corrupt tail bytes truncated\n", r.JournalBytesDropped)
+		}
+	}
+	if st.DurableWriteErrors > 0 {
+		fmt.Fprintf(w, "DEGRADED: %d durable write errors (journal/checkpoints best-effort)\n", st.DurableWriteErrors)
+	}
+	fmt.Fprintf(w, "compile cache: %d programs, %d hits (%d warm) / %d misses, %.0f ms compiling, %.0f ms saved\n",
+		st.Cache.Entries, st.Cache.Hits, st.Cache.WarmHits, st.Cache.Misses,
 		st.CompileMsSpent, st.Cache.CompileMsSaved)
 	fmt.Fprintf(w, "simulation: %d cycles in %.0f ms of engine time (%.0f aggregate sim Hz)\n",
 		st.SimulatedCycles, st.SimWallMs, st.AggregateSimHz)

@@ -18,7 +18,8 @@ import (
 //	GET  /stats             farm metrics (JSON)
 //	GET  /statusz           farm metrics (text dump)
 //	GET  /cache             compile-cache introspection
-//	GET  /healthz           liveness probe
+//	GET  /healthz           liveness probe (legacy alias of /livez)
+//	GET  /livez             liveness probe (200 while the process serves)
 //	GET  /readyz            readiness probe (503 while draining)
 //
 // Admission control: a full queue yields 429 Too Many Requests with a
@@ -113,6 +114,16 @@ func Handler(f *Farm) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	// Liveness vs readiness: /livez answers 200 for as long as the
+	// process can serve HTTP at all — a restart-the-pod signal. /readyz
+	// answers 503 while draining so load balancers stop routing new work
+	// here without the orchestrator killing in-flight jobs. A draining
+	// farm is intentionally live-but-not-ready.
+	mux.HandleFunc("GET /livez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})

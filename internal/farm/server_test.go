@@ -255,3 +255,28 @@ func TestServerReadyz(t *testing.T) {
 		t.Errorf("submit while draining: %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestServerLivez: /livez stays 200 through a drain — liveness means
+// "don't restart me", readiness means "don't route new work to me",
+// and a draining farm is exactly the live-but-not-ready case.
+func TestServerLivez(t *testing.T) {
+	f := New(Config{Workers: 1})
+	defer f.Close()
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+
+	check := func(when string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/livez")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/livez %s: %d, want 200", when, resp.StatusCode)
+		}
+	}
+	check("before drain")
+	f.BeginDrain()
+	check("while draining")
+}

@@ -1,0 +1,90 @@
+// Command dedupfarm-router fronts a fleet of dedupfarmd worker nodes:
+// it registers nodes, probes their health over the nodes' own /livez
+// and /readyz endpoints, and routes every submitted job to a worker by
+// consistent-hashing the job's structural circuit hash × variant — so
+// jobs for the same design land where that design's Program is already
+// compiled (and lane batches actually fill), with bounded-load spill to
+// the next ring node when a design runs hot.
+//
+// Usage:
+//
+//	dedupfarm-router -addr :8080
+//	dedupfarmd -addr :8081 -join http://localhost:8080
+//	dedupfarmd -addr :8082 -join http://localhost:8080
+//
+//	curl -X POST localhost:8080/jobs -d '{"design":"Rocket-2C","scale":0.25,"cycles":2000}'
+//	curl localhost:8080/jobs/fj-1
+//	curl localhost:8080/nodes
+//	curl localhost:8080/statusz
+//
+// Failure semantics: while a node is alive the router continuously
+// pulls its newest job checkpoints and compile artifacts. When a node
+// misses -dead-after consecutive probes it is declared dead, taken off
+// the ring, and its unfinished jobs are re-submitted to their next ring
+// successor with the saved checkpoint attached — work resumes mid-run
+// instead of restarting, and the new owner warms its compile cache from
+// the router's replicated artifact store instead of recompiling.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dedupsim/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default 64)")
+	heartbeat := flag.Duration("heartbeat", 0, "node probe period (0 = default 1s)")
+	deadAfter := flag.Int("dead-after", 0, "consecutive missed probes before a node is dead and its jobs migrate (0 = default 3)")
+	loadFactor := flag.Float64("load-factor", 0, "bounded-load spill threshold factor (0 = default 1.25)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe HTTP timeout (0 = default 2s)")
+	maxJobs := flag.Int("max-jobs", 0, "non-terminal fleet jobs admitted before shedding with 429 (0 = default 4096)")
+	flag.Parse()
+
+	r := cluster.NewRouter(cluster.RouterConfig{
+		VirtualNodes:   *vnodes,
+		HeartbeatEvery: *heartbeat,
+		DeadAfter:      *deadAfter,
+		LoadFactor:     *loadFactor,
+		ProbeTimeout:   *probeTimeout,
+		MaxJobs:        *maxJobs,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: cluster.Handler(r)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("dedupfarm-router listening on %s\n", *addr)
+	exit := 0
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dedupfarm-router:", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		stop()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(sctx)
+		scancel()
+	}
+	r.Close()
+	fmt.Println("dedupfarm-router: final status")
+	r.WriteStatus(os.Stdout)
+	os.Exit(exit)
+}

@@ -29,6 +29,16 @@
 // For chaos testing, -fault-inject arms deterministic fault injection,
 // e.g. -fault-inject 'worker.crash=0.01,compile.stall=0.1' (see
 // internal/faultinject for the points).
+//
+// As a fleet member (see cmd/dedupfarm-router):
+//
+//	dedupfarmd -addr :8081 -join http://router:8080
+//
+// -join registers this node with the router (retrying until it answers)
+// under -node-id (default hostname:port) at -advertise-addr (default
+// derived from -addr), and arms the fetch-by-hash artifact hook so a
+// cold cache warms from the fleet instead of recompiling. A duplicate
+// -node-id is rejected by the router at registration with a clear error.
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"dedupsim/internal/cluster"
 	"dedupsim/internal/farm"
 	"dedupsim/internal/faultinject"
 )
@@ -66,7 +77,17 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection decision seed")
 	faultStall := flag.Duration("fault-stall", 0, "duration of injected stalls (0 = default 50ms)")
 	faultBudget := flag.Int64("fault-budget", 0, "max fires per injection point (0 = unlimited)")
+	join := flag.String("join", "", "fleet router base URL to register with (e.g. http://router:8080); empty = standalone")
+	nodeID := flag.String("node-id", "", "fleet identity for this node (default hostname:port from -addr); must be unique per fleet")
+	advertise := flag.String("advertise-addr", "", "base URL peers and the router reach this node at (default derived from -addr and the hostname)")
 	flag.Parse()
+
+	if *nodeID == "" {
+		*nodeID = cluster.DefaultNodeID(*addr)
+	}
+	if *advertise == "" {
+		*advertise = cluster.DefaultAdvertiseAddr(*addr)
+	}
 
 	faults, err := faultinject.Parse(*faultSpec, *faultSeed, *faultStall, *faultBudget)
 	if err != nil {
@@ -75,6 +96,13 @@ func main() {
 	}
 	if faults != nil {
 		fmt.Printf("dedupfarmd: FAULT INJECTION ARMED: %s\n", faults)
+	}
+
+	// Fleet mode: cold compiles consult the router's replicated artifact
+	// store before compiling locally.
+	var fetchArtifact func(ctx context.Context, hash, variant string) ([]byte, error)
+	if *join != "" {
+		fetchArtifact = cluster.RouterArtifactFetcher(nil, *join)
 	}
 
 	// Open (not New) so a broken data dir — unwritable path, journal from
@@ -92,6 +120,7 @@ func main() {
 		RetryBackoff:    *backoff,
 		StuckTimeout:    *stuck,
 		Faults:          faults,
+		FetchArtifact:   fetchArtifact,
 		DataDir:         *dataDir,
 		Fsync:           *fsync,
 		FsyncInterval:   *fsyncInterval,
@@ -119,6 +148,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *join != "" {
+		// Register after the listener is up so the router's first probe
+		// finds a live /livez. Registration retries until the router
+		// answers; a duplicate -node-id is a permanent, fatal error.
+		jctx, jcancel := context.WithTimeout(ctx, 2*time.Minute)
+		err := cluster.JoinRouter(jctx, nil, *join, *nodeID, *advertise)
+		jcancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+			f.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("dedupfarmd: joined fleet at %s as %s (advertising %s)\n", *join, *nodeID, *advertise)
+	}
 
 	fmt.Printf("dedupfarmd listening on %s\n", *addr)
 	exit := 0

@@ -4,7 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"io"
+	"strconv"
 )
 
 // Hash is a stable content address for an elaborated circuit. Two circuits
@@ -20,6 +22,22 @@ func (h Hash) String() string { return hex.EncodeToString(h[:]) }
 
 // Short returns an abbreviated hex prefix for logs and reports.
 func (h Hash) Short() string { return hex.EncodeToString(h[:6]) }
+
+// ParseHash inverts String: the full 64-char lowercase-hex form back to
+// a Hash. The persistent tiers and the fleet's fetch-by-hash protocol
+// carry hashes as strings and re-key caches with this.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Hash{}, err
+	}
+	if len(b) != len(h) {
+		return Hash{}, errors.New("circuit: hash must be " + strconv.Itoa(2*len(h)) + " hex chars")
+	}
+	copy(h[:], b)
+	return h, nil
+}
 
 // StructuralHash computes the circuit's content address. Every structural
 // field participates: the design name, all node attributes (including

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dedupsim/internal/farm"
+)
+
+// FleetStats is the router's aggregate metrics snapshot: router-side
+// counters plus sums over every node's last polled farm.Stats (dead
+// nodes' last-known stats included — work they did still happened).
+type FleetStats struct {
+	Nodes []NodeView `json:"nodes"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsLive      int   `json:"jobs_live"`
+	JobsOrphaned  int   `json:"jobs_orphaned"`
+
+	Forwarded           int64 `json:"forwarded"`
+	Spilled             int64 `json:"spilled"`
+	Failovers           int64 `json:"failovers,omitempty"`
+	Migrations          int64 `json:"migrations"`
+	NodeDeaths          int64 `json:"node_deaths"`
+	CheckpointsPulled   int64 `json:"checkpoints_pulled"`
+	ArtifactsReplicated int64 `json:"artifacts_replicated"`
+	ArtifactsServed     int64 `json:"artifacts_served"`
+
+	// Fleet-wide dedup effectiveness, summed across nodes: Compiles is
+	// the total cache misses (the "exactly one compile fleet-wide"
+	// number), WarmHits counts hits on warm-installed entries (disk or
+	// peer artifacts), ArtifactsFetched counts peer imports, and
+	// CyclesSavedByResume sums checkpoint-resume savings.
+	Compiles            int64 `json:"compiles"`
+	WarmHits            int64 `json:"warm_hits"`
+	ArtifactsFetched    int64 `json:"artifacts_fetched"`
+	CyclesSavedByResume int64 `json:"cycles_saved_by_resume"`
+
+	// NodeStats maps node ID to its last polled farm stats.
+	NodeStats map[string]*farm.Stats `json:"node_stats,omitempty"`
+}
+
+// Stats aggregates the fleet snapshot.
+func (r *Router) Stats() FleetStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := FleetStats{
+		Nodes:               r.registry.Views(),
+		JobsSubmitted:       r.nextID,
+		Forwarded:           r.forwarded,
+		Spilled:             r.spilled,
+		Failovers:           r.failovers,
+		Migrations:          r.migrations,
+		NodeDeaths:          r.deaths,
+		CheckpointsPulled:   r.ckptsPulled,
+		ArtifactsReplicated: r.artsPulled,
+		ArtifactsServed:     r.artsServed,
+		NodeStats:           map[string]*farm.Stats{},
+	}
+	for _, fj := range r.jobs {
+		if !fj.terminal {
+			st.JobsLive++
+		}
+		if fj.orphaned {
+			st.JobsOrphaned++
+		}
+	}
+	for id, m := range r.registry.members {
+		if m.stats == nil {
+			continue
+		}
+		var fs farm.Stats
+		if json.Unmarshal(m.stats, &fs) != nil {
+			continue
+		}
+		st.NodeStats[id] = &fs
+		st.Compiles += fs.Cache.Misses
+		st.WarmHits += fs.Cache.WarmHits
+		st.ArtifactsFetched += fs.ArtifactsFetched
+		st.CyclesSavedByResume += fs.CyclesSavedByResume
+	}
+	return st
+}
+
+// WriteStatus renders the fleet-wide /statusz text: membership,
+// placement counters, dedup totals, and the migration log.
+func (r *Router) WriteStatus(w io.Writer) {
+	st := r.Stats()
+	r.mu.Lock()
+	logs := append([]string(nil), r.migrationLogs...)
+	r.mu.Unlock()
+
+	fmt.Fprintf(w, "fleet: %d nodes, %d jobs submitted, %d live, %d orphaned\n",
+		len(st.Nodes), st.JobsSubmitted, st.JobsLive, st.JobsOrphaned)
+	for _, n := range st.Nodes {
+		extra := ""
+		if n.State == NodeAlive && !n.Ready {
+			extra = " (draining)"
+		}
+		fmt.Fprintf(w, "  node %s at %s: %s%s, load %d\n", n.ID, n.Addr, n.State, extra, n.Load)
+	}
+	fmt.Fprintf(w, "placement: %d forwarded (%d spilled past an overloaded primary, %d failovers)\n",
+		st.Forwarded, st.Spilled, st.Failovers)
+	fmt.Fprintf(w, "resilience: %d node deaths, %d migrations, %d checkpoints pulled\n",
+		st.NodeDeaths, st.Migrations, st.CheckpointsPulled)
+	fmt.Fprintf(w, "artifacts: %d replicated off nodes, %d served to nodes\n",
+		st.ArtifactsReplicated, st.ArtifactsServed)
+	fmt.Fprintf(w, "fleet dedup: %d compiles total, %d warm hits, %d artifacts fetched by nodes, %d cycles saved by resume\n",
+		st.Compiles, st.WarmHits, st.ArtifactsFetched, st.CyclesSavedByResume)
+	for _, line := range logs {
+		fmt.Fprintf(w, "  event: %s\n", line)
+	}
+}
+
+// registration is the POST /nodes/register body.
+type registration struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Handler returns the router's HTTP API:
+//
+//	POST /nodes/register    {"id": ..., "addr": ...} join the fleet
+//	GET  /nodes             membership table
+//	POST /jobs              submit a JobSpec; routed to a worker node
+//	GET  /jobs              fleet job list
+//	GET  /jobs/{id}         one fleet job
+//	GET  /jobs/{id}/vcd     proxied waveform fetch from the owner node
+//	GET  /artifacts/{key}   fetch-by-hash from the replicated store
+//	GET  /stats             fleet metrics (JSON)
+//	GET  /statusz           fleet metrics (text) incl. the migration log
+//	GET  /livez, /readyz    router health
+//
+// Worker rejections relay unchanged: a fleet saturated to the point
+// that every candidate node sheds returns the worker's own 429 with its
+// Retry-After header intact, so client backoff logic works identically
+// against a node or the fleet.
+func Handler(r *Router) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /nodes/register", func(w http.ResponseWriter, req *http.Request) {
+		var reg registration
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&reg); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad registration: %w", err))
+			return
+		}
+		if err := r.Register(reg.ID, reg.Addr); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "registered", "id": reg.ID})
+	})
+
+	mux.HandleFunc("GET /nodes", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Nodes())
+	})
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, req *http.Request) {
+		var spec farm.JobSpec
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+			return
+		}
+		view, err := r.Submit(req.Context(), spec)
+		if err != nil {
+			var se *statusError
+			switch {
+			case errors.As(err, &se):
+				// Relay the worker's rejection verbatim — status,
+				// Retry-After, body.
+				if se.retryAfter != "" {
+					w.Header().Set("Retry-After", se.retryAfter)
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(se.code)
+				w.Write(se.body)
+			case errors.Is(err, ErrFleetBusy):
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrNoNodes):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusBadGateway, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Jobs())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		v, ok := r.Job(req.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no fleet job %q", req.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/vcd", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		fj, ok := r.jobs[req.PathValue("id")]
+		var addr, remoteID string
+		if ok {
+			if m := r.registry.get(fj.node); m != nil {
+				addr, remoteID = m.addr, fj.remoteID
+			}
+		}
+		r.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no fleet job %q", req.PathValue("id")))
+			return
+		}
+		data := r.httpGet(req.Context(), addr+"/jobs/"+remoteID+"/vcd")
+		if data == nil {
+			httpError(w, http.StatusNotFound, errors.New("no waveform available (job captured no VCD or owner unreachable)"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(data)
+	})
+
+	mux.HandleFunc("GET /artifacts/{key}", func(w http.ResponseWriter, req *http.Request) {
+		data, ok := r.Artifact(req.PathValue("key"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no replicated artifact %q", req.PathValue("key")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Stats())
+	})
+
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteStatus(w)
+	})
+
+	health := func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}
+	mux.HandleFunc("GET /livez", health)
+	mux.HandleFunc("GET /readyz", health)
+	mux.HandleFunc("GET /healthz", health)
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

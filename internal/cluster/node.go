@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dedupsim/internal/farm"
+)
+
+// Worker-node glue: what a dedupfarmd needs to be a fleet member. A node
+// is deliberately almost cluster-unaware — it registers once, serves the
+// plain farm API, and fetches compile artifacts through the hook below;
+// liveness, placement, and migration are entirely the router's problem.
+
+// DefaultNodeID derives a node identity from the host name and listen
+// address ("host:port"), the -node-id default. Distinct ports make
+// multiple nodes per host distinct by default.
+func DefaultNodeID(listen string) string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "node"
+	}
+	_, port, found := strings.Cut(listen, ":")
+	if !found || port == "" {
+		return host
+	}
+	return host + ":" + port
+}
+
+// DefaultAdvertiseAddr derives the URL peers should reach this node at
+// from its listen address: a bare ":8080" advertises the hostname, an
+// explicit host is kept.
+func DefaultAdvertiseAddr(listen string) string {
+	host, port, found := strings.Cut(listen, ":")
+	if !found {
+		host, port = listen, "8080"
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		if h, err := os.Hostname(); err == nil && h != "" {
+			host = h
+		} else {
+			host = "localhost"
+		}
+	}
+	return "http://" + host + ":" + port
+}
+
+// JoinRouter registers a node with the fleet router, retrying transient
+// failures until ctx expires (a worker typically boots in parallel with
+// its router). A duplicate-ID rejection (HTTP 409) is permanent and
+// returned immediately — retrying an identity conflict cannot fix it.
+func JoinRouter(ctx context.Context, client *http.Client, routerAddr, id, advertiseAddr string) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	body, err := json.Marshal(registration{ID: id, Addr: advertiseAddr})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost,
+			routerAddr+"/nodes/register", bytes.NewReader(body))
+		if rerr != nil {
+			return rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, derr := client.Do(req)
+		if derr == nil {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return nil
+			case http.StatusConflict:
+				return fmt.Errorf("cluster: router rejected registration: %s", bytes.TrimSpace(data))
+			default:
+				lastErr = fmt.Errorf("cluster: register: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+			}
+		} else {
+			lastErr = derr
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: register with %s: %w (last: %v)", routerAddr, ctx.Err(), lastErr)
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+}
+
+// RouterArtifactFetcher returns a farm.Config.FetchArtifact hook that
+// asks the router's replicated store for compile artifacts by hash —
+// how a cold node warms from work a peer already paid for. Errors are
+// returned (not retried): the farm's contract is one best-effort fetch
+// per cold key, falling back to a local compile.
+func RouterArtifactFetcher(client *http.Client, routerAddr string) func(ctx context.Context, hash, variant string) ([]byte, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return func(ctx context.Context, hash, variant string) ([]byte, error) {
+		url := routerAddr + "/artifacts/" + farm.ArtifactKey(hash, variant)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return nil, fmt.Errorf("cluster: artifact fetch: HTTP %d", resp.StatusCode)
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	}
+}

@@ -1,0 +1,462 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"dedupsim/internal/farm"
+)
+
+// RouterConfig sizes the router tier.
+type RouterConfig struct {
+	// VirtualNodes per member on the placement ring (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// HeartbeatEvery is the node-probe period (default 1s).
+	HeartbeatEvery time.Duration
+	// DeadAfter is how many consecutive missed probes kill a node
+	// (default 3). Between the first miss and death a node is "suspect":
+	// no new placements, no migration yet.
+	DeadAfter int
+	// LoadFactor is the bounded-load spill threshold: a key's primary
+	// owner is skipped when its router-tracked load exceeds
+	// ceil(LoadFactor * (jobs+1) / nodes) (default 1.25, the classic
+	// consistent-hashing-with-bounded-loads constant).
+	LoadFactor float64
+	// ProbeTimeout bounds each HTTP call to a node (default 2s).
+	ProbeTimeout time.Duration
+	// MaxJobs bounds the router's fleet-job table, counting non-terminal
+	// jobs (default 4096); beyond it Submit sheds with ErrFleetBusy.
+	MaxJobs int
+	// Logf, when non-nil, receives router event logs (registrations,
+	// deaths, migrations).
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// ErrNoNodes reports a submit with no placeable node in the fleet.
+var ErrNoNodes = errors.New("cluster: no alive, ready nodes")
+
+// ErrFleetBusy reports the router's own admission bound.
+var ErrFleetBusy = errors.New("cluster: fleet job table full")
+
+// statusError carries a worker's HTTP rejection through to the client
+// unchanged (notably 429 + Retry-After).
+type statusError struct {
+	code       int
+	retryAfter string
+	body       []byte
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("node rejected job: HTTP %d: %s", e.code, bytes.TrimSpace(e.body))
+}
+
+// fleetJob is one job the router has placed somewhere, tracked for its
+// whole life so it can be re-placed if its owner dies.
+type fleetJob struct {
+	id       string // fleet-wide "fj-N"
+	spec     farm.JobSpec
+	routeKey string // StructuralHash "/" variant
+	node     string // current owner
+	remoteID string // the owner's job ID for it
+	view     farm.JobView
+	terminal bool
+
+	// checkpoint is the newest snapshot pulled from the owner while it
+	// was alive — migration insurance, since a dead node cannot be asked
+	// for anything. ckptCycle mirrors view.CheckpointCycle at pull time.
+	checkpoint []byte
+	ckptCycle  int64
+
+	migrations int
+	// orphaned marks a job whose owner died before it finished; the
+	// heartbeat loop re-places it (with the checkpoint attached) until a
+	// forward succeeds.
+	orphaned bool
+}
+
+// FleetJobView is a fleet job as served by the router API: the owner's
+// latest JobView under the fleet ID, plus placement metadata.
+type FleetJobView struct {
+	farm.JobView
+	Node string `json:"node"`
+	// RemoteID is the job's ID on its current owner node.
+	RemoteID string `json:"remote_id,omitempty"`
+	// Migrations counts re-placements after node deaths.
+	Migrations int `json:"migrations,omitempty"`
+	// Orphaned marks a job awaiting re-placement (owner died, no
+	// successor accepted it yet).
+	Orphaned bool `json:"orphaned,omitempty"`
+}
+
+// Router is the fleet's front door: it registers worker nodes, probes
+// their health, places every submitted job by consistent-hashing its
+// StructuralHash×variant (so same-design jobs meet where the Program is
+// already compiled and batches fill), spills from overloaded owners,
+// replicates compile artifacts and checkpoints off the nodes, and
+// re-places unfinished jobs when a node dies.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+
+	mu       sync.Mutex
+	registry *Registry
+	jobs     map[string]*fleetJob
+	order    []string // fleet job IDs in admission order
+	nextID   int64
+	// routeKeys memoizes design-key → routing key: elaborating a design
+	// to hash it is cheap next to compiling, but not free, and fleets see
+	// the same few designs over and over.
+	routeKeys map[string]string
+	// artifacts is the router's replicated artifact store: encoded
+	// compile artifacts pulled from nodes during heartbeats, served back
+	// to cold peers (and used to warm a migration target) even after the
+	// origin node died.
+	artifacts map[string][]byte
+
+	// counters
+	forwarded     int64 // jobs placed on a node (spills included)
+	spilled       int64 // jobs placed off their key's primary owner
+	failovers     int64 // placements that skipped an unreachable candidate
+	migrations    int64 // jobs re-placed off dead nodes
+	ckptsPulled   int64 // checkpoints replicated off nodes
+	artsPulled    int64 // artifacts replicated off nodes
+	artsServed    int64 // artifact fetches served to nodes
+	deaths        int64 // nodes declared dead
+	migrationLogs []string
+
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// NewRouter starts a router and its heartbeat prober.
+func NewRouter(cfg RouterConfig) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:       cfg,
+		client:    &http.Client{Timeout: cfg.ProbeTimeout},
+		registry:  NewRegistry(cfg.VirtualNodes),
+		jobs:      map[string]*fleetJob{},
+		routeKeys: map[string]string{},
+		artifacts: map[string][]byte{},
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+	go r.heartbeatLoop()
+	return r
+}
+
+// Close stops the heartbeat prober. Worker nodes are left running —
+// the router owns placement, not node lifecycles.
+func (r *Router) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.stopped
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Register admits a worker node (see Registry.Register for the
+// duplicate-ID rules).
+func (r *Router) Register(id, addr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.registry.Register(id, addr, time.Now()); err != nil {
+		return err
+	}
+	r.logf("cluster: node %s registered at %s", id, addr)
+	return nil
+}
+
+// Nodes snapshots the membership table.
+func (r *Router) Nodes() []NodeView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.registry.Views()
+}
+
+// routeKey computes (memoized) the placement key for a spec: the
+// design's structural hash × variant. Jobs that would share a compiled
+// Program — and could share a batch engine — get the same key, which is
+// the whole point: cache affinity is placement policy.
+func (r *Router) routeKey(spec farm.JobSpec) (string, error) {
+	designKey := fmt.Sprintf("%s|%g|%s", spec.Design, spec.Scale, spec.FIRRTL)
+	r.mu.Lock()
+	hash, ok := r.routeKeys[designKey]
+	r.mu.Unlock()
+	if !ok {
+		c, err := spec.Build()
+		if err != nil {
+			return "", err
+		}
+		hash = c.StructuralHash().String()
+		r.mu.Lock()
+		r.routeKeys[designKey] = hash
+		r.mu.Unlock()
+	}
+	return hash + "/" + spec.Variant, nil
+}
+
+// placeLocked picks the owner for key under bounded load: walk the
+// key's successor chain, take the first placeable node whose load is
+// under the threshold; if every placeable node is over (can't happen
+// with the ceiling formula, but guard anyway) take the least loaded.
+// Returns the candidate list for forwarding fallback: placement order,
+// overloaded-but-placeable nodes last.
+func (r *Router) placeLocked(key string) []*member {
+	g := r.registry
+	var placeable []*member
+	total := 0
+	for _, id := range g.ring.Members() {
+		if m := g.get(id); m != nil && m.placeable() {
+			placeable = append(placeable, m)
+			total += m.load
+		}
+	}
+	if len(placeable) == 0 {
+		return nil
+	}
+	threshold := int(math.Ceil(r.cfg.LoadFactor * float64(total+1) / float64(len(placeable))))
+	var under, over []*member
+	for _, id := range g.ring.Successors(key, g.ring.Len()) {
+		m := g.get(id)
+		if m == nil || !m.placeable() {
+			continue
+		}
+		if m.load < threshold {
+			under = append(under, m)
+		} else {
+			over = append(over, m)
+		}
+	}
+	return append(under, over...)
+}
+
+// Submit routes one job into the fleet: compute its placement key,
+// forward it to the chosen node over the plain farm API, and track it
+// as a fleet job. A worker HTTP rejection (429 load shed, 400 bad spec)
+// is returned as a *statusError so the HTTP layer can relay it — status,
+// Retry-After, and body — unchanged; an unreachable candidate is skipped
+// (failover) rather than surfaced.
+func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, error) {
+	key, err := r.routeKey(spec)
+	if err != nil {
+		return FleetJobView{}, &statusError{code: http.StatusBadRequest, body: []byte(err.Error())}
+	}
+
+	r.mu.Lock()
+	live := 0
+	for _, fj := range r.jobs {
+		if !fj.terminal {
+			live++
+		}
+	}
+	if live >= r.cfg.MaxJobs {
+		r.mu.Unlock()
+		return FleetJobView{}, ErrFleetBusy
+	}
+	candidates := r.placeLocked(key)
+	primary := r.registry.ring.Owner(key)
+	r.mu.Unlock()
+	if len(candidates) == 0 {
+		return FleetJobView{}, ErrNoNodes
+	}
+
+	var firstReject *statusError
+	for _, m := range candidates {
+		view, ferr := r.forwardSubmit(ctx, m.addr, spec)
+		if ferr != nil {
+			var se *statusError
+			if errors.As(ferr, &se) {
+				// The node answered and said no. 429 means "overloaded
+				// right now" — try the next candidate, but remember the
+				// rejection so a fully saturated fleet relays it verbatim.
+				if se.code == http.StatusTooManyRequests || se.code == http.StatusServiceUnavailable {
+					if firstReject == nil {
+						firstReject = se
+					}
+					continue
+				}
+				// Any other rejection (bad spec) is deterministic: every
+				// node would say the same, so relay it now.
+				return FleetJobView{}, se
+			}
+			// Network error: candidate unreachable, fail over. The
+			// heartbeat prober will notice and kill it properly.
+			r.mu.Lock()
+			r.failovers++
+			r.mu.Unlock()
+			continue
+		}
+
+		r.mu.Lock()
+		r.nextID++
+		fj := &fleetJob{
+			id:       fmt.Sprintf("fj-%d", r.nextID),
+			spec:     spec,
+			routeKey: key,
+			node:     m.id,
+			remoteID: view.ID,
+			view:     view,
+		}
+		r.jobs[fj.id] = fj
+		r.order = append(r.order, fj.id)
+		m.load++
+		r.forwarded++
+		// A job is "spilled" when it lands anywhere but its key's ring
+		// owner — whether because the owner was over the bounded-load
+		// threshold (placeLocked reordered it away) or rejected/unreachable.
+		if m.id != primary {
+			r.spilled++
+		}
+		out := r.fleetViewLocked(fj)
+		r.mu.Unlock()
+		return out, nil
+	}
+	if firstReject != nil {
+		return FleetJobView{}, firstReject
+	}
+	return FleetJobView{}, ErrNoNodes
+}
+
+// forwardSubmit POSTs a spec to one node's farm API.
+func (r *Router) forwardSubmit(ctx context.Context, addr string, spec farm.JobSpec) (farm.JobView, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return farm.JobView{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return farm.JobView{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return farm.JobView{}, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		return farm.JobView{}, &statusError{
+			code:       resp.StatusCode,
+			retryAfter: resp.Header.Get("Retry-After"),
+			body:       data,
+		}
+	}
+	var view farm.JobView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return farm.JobView{}, fmt.Errorf("cluster: bad job view from %s: %w", addr, err)
+	}
+	return view, nil
+}
+
+// fleetViewLocked renders a fleet job; caller holds r.mu.
+func (r *Router) fleetViewLocked(fj *fleetJob) FleetJobView {
+	v := FleetJobView{
+		JobView:    fj.view,
+		Node:       fj.node,
+		RemoteID:   fj.remoteID,
+		Migrations: fj.migrations,
+		Orphaned:   fj.orphaned,
+	}
+	v.ID = fj.id
+	if fj.orphaned {
+		// An orphan is queued-from-the-client's-view: it will run again
+		// once re-placed, whatever state the dead node last reported.
+		v.Status = farm.StatusQueued
+	}
+	return v
+}
+
+// Job returns one fleet job's view.
+func (r *Router) Job(id string) (FleetJobView, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fj, ok := r.jobs[id]
+	if !ok {
+		return FleetJobView{}, false
+	}
+	return r.fleetViewLocked(fj), true
+}
+
+// Jobs lists fleet jobs in admission order.
+func (r *Router) Jobs() []FleetJobView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	views := make([]FleetJobView, 0, len(r.order))
+	for _, id := range r.order {
+		views = append(views, r.fleetViewLocked(r.jobs[id]))
+	}
+	return views
+}
+
+// Artifact serves an encoded compile artifact from the router's
+// replicated store (the node-side FetchArtifact hook's usual source).
+func (r *Router) Artifact(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data, ok := r.artifacts[key]
+	if ok {
+		r.artsServed++
+	}
+	return data, ok
+}
+
+// WaitDone blocks until the fleet job reaches a terminal state (polling
+// the router's own table, which the heartbeat loop refreshes) or ctx
+// expires.
+func (r *Router) WaitDone(ctx context.Context, id string) (FleetJobView, error) {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		v, ok := r.Job(id)
+		if !ok {
+			return FleetJobView{}, fmt.Errorf("cluster: no fleet job %q", id)
+		}
+		if v.Status.Terminal() && !v.Orphaned {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -67,6 +67,7 @@ func ParsePolicy(s string) (FsyncPolicy, error) {
 //	<dir>/journal.wal        write-ahead job journal
 //	<dir>/checkpoints/       <job>.ckpt (+ <job>.ckpt.prev), atomic renames
 //	<dir>/cache/             <key>.json compiled-design metadata
+//	<dir>/artifacts/         <key>.bin encoded compile artifacts (fetch-by-hash)
 //
 // All methods are safe for concurrent use. After Freeze or Abandon every
 // mutating method is a silent no-op, which is how the farm makes a
@@ -97,7 +98,7 @@ func OpenStore(opts Options) (*Store, error) {
 	if _, err := ParsePolicy(string(opts.Fsync)); err != nil {
 		return nil, err
 	}
-	for _, d := range []string{opts.Dir, filepath.Join(opts.Dir, "checkpoints"), filepath.Join(opts.Dir, "cache")} {
+	for _, d := range []string{opts.Dir, filepath.Join(opts.Dir, "checkpoints"), filepath.Join(opts.Dir, "cache"), filepath.Join(opts.Dir, "artifacts")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("durable: data dir: %w", err)
 		}
@@ -432,6 +433,72 @@ func (s *Store) RemoveCacheEntry(name string) {
 	}
 	os.Remove(s.cachePath(name))
 	os.Remove(s.cachePath(name) + ".tmp")
+}
+
+// --- compile-artifact tier (fetch-by-hash) ---
+//
+// Artifacts are the serialized compiled Programs themselves, keyed by the
+// same hash-variant names as the cache tier. The cache tier's metadata is
+// the self-healing fallback (recompile from source, verify the hash); an
+// artifact is the fast path (decode, skip the compile) and the unit the
+// fleet ships between nodes. The bytes are opaque here — they carry their
+// own framing and checksum (farm.EncodeArtifact).
+
+func (s *Store) artifactPath(name string) string {
+	return filepath.Join(s.dir, "artifacts", name+".bin")
+}
+
+// SaveArtifact persists one encoded compile artifact atomically. No-op
+// once frozen.
+func (s *Store) SaveArtifact(name string, data []byte) error {
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+	if frozen {
+		return nil
+	}
+	path := s.artifactPath(name)
+	if err := writeFileAtomic(path+".tmp", path, data, s.opts.Fsync != FsyncNone); err != nil {
+		return fmt.Errorf("durable: artifact: %w", err)
+	}
+	return nil
+}
+
+// LoadArtifact returns one artifact's bytes, or false when absent.
+func (s *Store) LoadArtifact(name string) ([]byte, bool) {
+	data, err := os.ReadFile(s.artifactPath(name))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Artifacts lists the persisted artifact names.
+func (s *Store) Artifacts() []string {
+	ents, err := os.ReadDir(filepath.Join(s.dir, "artifacts"))
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".bin"); ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// RemoveArtifact deletes one artifact (recovery GC of artifacts that no
+// longer decode or whose cache metadata is gone). No-op once frozen.
+func (s *Store) RemoveArtifact(name string) {
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+	if frozen {
+		return
+	}
+	os.Remove(s.artifactPath(name))
+	os.Remove(s.artifactPath(name) + ".tmp")
 }
 
 // writeFileAtomic writes data to tmp, optionally fsyncs, and renames it

@@ -113,6 +113,55 @@ func (cc *CompileCache) Get(ctx context.Context, key CacheKey, compile func() (*
 	return e.cv, false, e.err
 }
 
+// Has reports whether key has an entry (completed, failed, or still
+// in flight). A true return means a Get will not start a new compile.
+func (cc *CompileCache) Has(key CacheKey) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	_, ok := cc.entries[key]
+	return ok
+}
+
+// Lookup returns the completed, successfully compiled entry for key
+// without blocking (in-flight and failed entries report false), plus the
+// compile time originally paid for it. The artifact exporter uses it to
+// serve peers without ever waiting on someone else's compile.
+func (cc *CompileCache) Lookup(key CacheKey) (*harness.Compiled, time.Duration, bool) {
+	cc.mu.Lock()
+	e, ok := cc.entries[key]
+	cc.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil, 0, false // still compiling
+	}
+	if e.err != nil {
+		return nil, 0, false
+	}
+	return e.cv, e.compileTime, true
+}
+
+// Keys lists the keys of completed, successfully compiled entries.
+func (cc *CompileCache) Keys() []CacheKey {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	keys := make([]CacheKey, 0, len(cc.entries))
+	for key, e := range cc.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err == nil {
+			keys = append(keys, key)
+		}
+	}
+	return keys
+}
+
 // InstallWarm installs an already-compiled Program as a completed warm
 // entry (the persistent tier's startup path). compileTime is the
 // historical compile cost, credited to CompileMsSaved when jobs hit the

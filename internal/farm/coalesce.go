@@ -70,6 +70,17 @@ func (f *Farm) runBatch(jobs []*Job) {
 		f.mu.Unlock()
 	}()
 
+	// A one-lane "batch" (the group's other jobs were canceled between
+	// claim and start, or the queue simply held one job of this key) runs
+	// on the scalar engine: BatchEngine's lane-major stepping costs ~1.6×
+	// scalar at L=1 (BENCH_batch.json: 0.61× speedup), so a single lane
+	// would pay batching overhead with nothing to amortize it over.
+	if len(live) == 1 {
+		err := f.runRetryLoop(ctxs[0], live[0], 0, nil)
+		f.finishRun(live[0], err, timeouts[0])
+		return
+	}
+
 	preempted, err := f.runBatchAttempt(live, ctxs, timeouts)
 	// Watchdog-preempted lanes were retired mid-batch with their lane
 	// context already dead; each resumes from its lane checkpoint on a

@@ -3,6 +3,7 @@ package farm
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -282,5 +283,50 @@ func TestFarmCoalesceChurn(t *testing.T) {
 		default:
 			t.Errorf("%s: %s (%s)", id, v.Status, v.Error)
 		}
+	}
+}
+
+// TestFarmBatchSingleLaneRunsScalar is the L=1 regression guard: a
+// coalesced group that degenerates to a single live lane (its other
+// members canceled between claim and start) must run on the scalar
+// engine, not a one-lane BatchEngine — lane-major stepping costs ~1.6x
+// scalar at L=1 (BENCH_batch.json reports a 0.61x "speedup"), so a
+// single lane would pay batching overhead with nothing to amortize it
+// over. The job must still finish bit-exact with a plain scalar run.
+func TestFarmBatchSingleLaneRunsScalar(t *testing.T) {
+	want := runReference(t, smallSpec())
+
+	f := New(Config{Workers: 1, MaxLanes: 4})
+	defer f.Close()
+	unblock := blockWorker(t, f)
+	defer unblock()
+
+	j, err := f.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the batch path directly with a one-job group — exactly the
+	// state runBatch sees when every other lane of a claimed batch died
+	// before the engines spun up. The farm's only worker is pinned by
+	// blockWorker, so nothing races us for the job.
+	f.runBatch([]*Job{j})
+
+	v := j.View()
+	if v.Status != StatusDone {
+		t.Fatalf("single-lane batch: %s (%s)", v.Status, v.Error)
+	}
+	if v.Stats == nil {
+		t.Fatal("single-lane batch finished without stats")
+	}
+	if v.Stats.Lanes != 0 {
+		t.Fatalf("single-lane batch ran on the batch engine (lanes=%d), want the scalar engine (lanes=0)",
+			v.Stats.Lanes)
+	}
+	if v.Stats.Cycles != want.Stats.Cycles ||
+		v.Stats.ActsExecuted != want.Stats.ActsExecuted ||
+		v.Stats.DynInstrs != want.Stats.DynInstrs ||
+		!reflect.DeepEqual(v.Stats.Outputs, want.Stats.Outputs) {
+		t.Errorf("single-lane batch diverged from scalar reference:\n got %+v\nwant %+v",
+			v.Stats, want.Stats)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"dedupsim/internal/circuit"
 	"dedupsim/internal/durable"
 	"dedupsim/internal/harness"
 	"dedupsim/internal/partition"
@@ -45,6 +46,10 @@ type RecoveryStats struct {
 	// CacheEntriesWarmed counts designs recompiled from persisted cache
 	// metadata before the farm started taking jobs.
 	CacheEntriesWarmed int64 `json:"cache_entries_warmed"`
+	// ArtifactsWarmedFromDisk counts warm entries restored by decoding a
+	// persisted compile artifact instead of recompiling — a subset of
+	// CacheEntriesWarmed that skipped the recompile entirely.
+	ArtifactsWarmedFromDisk int64 `json:"artifacts_warmed_from_disk,omitempty"`
 	// RecoveryMillis is the wall time from opening the store to workers
 	// starting (replay + re-admit + GC + warm compiles + compaction).
 	RecoveryMillis float64 `json:"recovery_millis"`
@@ -172,6 +177,15 @@ func (f *Farm) recoverFromStore() error {
 				rec.CheckpointsLoaded++
 				break
 			}
+			// A migrated-in job carries its checkpoint inline in the spec;
+			// use it when the store has nothing newer (the store checkpoint,
+			// when present, is at least as fresh — it was taken here).
+			if j.checkpoint == nil && len(spec.Checkpoint) > 0 {
+				if snap, derr := sim.DecodeSnapshot(spec.Checkpoint); derr == nil {
+					j.checkpoint = snap
+					rec.CheckpointsLoaded++
+				}
+			}
 		}
 		f.jobs[id] = j
 		f.order = append(f.order, id)
@@ -192,7 +206,21 @@ func (f *Farm) recoverFromStore() error {
 		}
 	}
 
-	rec.CacheEntriesWarmed = f.warmCompileCache()
+	rec.CacheEntriesWarmed, rec.ArtifactsWarmedFromDisk = f.warmCompileCache()
+
+	// GC artifacts whose cache metadata is gone (the metadata is the
+	// source of truth; an orphaned artifact would never be warmed).
+	if names := f.store.Artifacts(); len(names) > 0 {
+		live := map[string]struct{}{}
+		for name := range f.store.CacheEntries() {
+			live[name] = struct{}{}
+		}
+		for _, name := range names {
+			if _, ok := live[name]; !ok {
+				f.store.RemoveArtifact(name)
+			}
+		}
+	}
 
 	// Compact the journal to exactly the live jobs so it doesn't grow
 	// with the full history of every job that ever ran.
@@ -229,36 +257,66 @@ type persistedCompile struct {
 	CompileMs float64 `json:"compile_ms"`
 }
 
-// warmCompileCache recompiles every persisted cache entry before the
-// farm takes jobs, so a restarted farm serves its design zoo from cache
-// immediately. Entries that no longer decode, elaborate, hash-match, or
-// compile are removed — the persisted tier self-heals instead of
-// failing recovery.
-func (f *Farm) warmCompileCache() int64 {
-	var warmed int64
+// warmCompileCache restores every persisted cache entry before the farm
+// takes jobs, so a restarted farm serves its design zoo from cache
+// immediately. Each entry first tries the fast path — decode the
+// persisted compile artifact, skipping the recompile — then falls back
+// to recompiling from the design metadata with the structural hash
+// verified, so a drifted generator or a corrupt artifact can never
+// install a Program under a stale key. Entries that survive neither
+// path are removed — the persisted tier self-heals instead of failing
+// recovery.
+func (f *Farm) warmCompileCache() (warmed, fromArtifact int64) {
 	for name, data := range f.store.CacheEntries() {
 		var p persistedCompile
 		if json.Unmarshal(data, &p) != nil {
 			f.store.RemoveCacheEntry(name)
-			continue
-		}
-		c, err := p.DesignSpec.Build()
-		if err != nil || c.StructuralHash().String() != p.Hash {
-			f.store.RemoveCacheEntry(name)
+			f.store.RemoveArtifact(name)
 			continue
 		}
 		variant := harness.Variant(p.Variant)
+		compileTime := time.Duration(p.CompileMs * float64(time.Millisecond))
+
+		// Fast path: decode the artifact. Trustworthy without re-hashing
+		// the circuit — the frame checksum covers the Program bytes and the
+		// entry name pins the hash it was compiled under.
+		if adata, ok := f.store.LoadArtifact(name); ok {
+			if cv, at, derr := DecodeArtifact(adata); derr == nil && cv.Variant == variant {
+				if h, herr := circuit.ParseHash(p.Hash); herr == nil {
+					if f.cache.InstallWarm(CacheKey{Hash: h, Variant: variant}, cv, at) {
+						warmed++
+						fromArtifact++
+					}
+					continue
+				}
+			}
+			// Undecodable or mismatched artifact: drop it and recompile.
+			f.store.RemoveArtifact(name)
+		}
+
+		c, err := p.DesignSpec.Build()
+		if err != nil || c.StructuralHash().String() != p.Hash {
+			f.store.RemoveCacheEntry(name)
+			f.store.RemoveArtifact(name)
+			continue
+		}
 		cv, err := harness.CompileVariant(c, variant, partition.Options{})
 		if err != nil {
 			f.store.RemoveCacheEntry(name)
+			f.store.RemoveArtifact(name)
 			continue
 		}
 		key := CacheKey{Hash: c.StructuralHash(), Variant: variant}
-		if f.cache.InstallWarm(key, cv, time.Duration(p.CompileMs*float64(time.Millisecond))) {
+		if f.cache.InstallWarm(key, cv, compileTime) {
 			warmed++
+			// Re-persist the artifact so the next restart takes the fast
+			// path.
+			if adata, aerr := EncodeArtifact(cv, compileTime); aerr == nil {
+				f.persistArtifact(key, adata)
+			}
 		}
 	}
-	return warmed
+	return warmed, fromArtifact
 }
 
 // cacheEntryName keys a persisted cache file: structural hash x variant,
@@ -284,6 +342,18 @@ func (f *Farm) persistCompile(spec JobSpec, key CacheKey, compileTime time.Durat
 		return
 	}
 	if err := f.store.SaveCacheEntry(cacheEntryName(key), data); err != nil {
+		f.durableErrs.Add(1)
+	}
+}
+
+// persistArtifact writes one encoded compile artifact to the disk tier
+// (no-op without a store). Best-effort like persistCompile: losing the
+// artifact only costs a recompile on the next restart.
+func (f *Farm) persistArtifact(key CacheKey, data []byte) {
+	if f.store == nil {
+		return
+	}
+	if err := f.store.SaveArtifact(cacheEntryName(key), data); err != nil {
 		f.durableErrs.Add(1)
 	}
 }

@@ -85,6 +85,14 @@ type Config struct {
 	// default — costs a single pointer test per site.
 	Faults *faultinject.Registry
 
+	// FetchArtifact, when non-nil, is consulted once per cold compile key
+	// before compiling locally: given the structural hash and variant it
+	// returns an encoded compile artifact (EncodeArtifact), typically
+	// fetched from a peer node or the fleet router. A successful fetch
+	// installs as a warm cache entry — the job never compiles; any error
+	// or corrupt payload falls back to a local compile.
+	FetchArtifact func(ctx context.Context, hash, variant string) ([]byte, error)
+
 	// DataDir, when set, makes the farm durable: job lifecycle is
 	// journaled, checkpoints and compile-cache metadata persist under
 	// this directory, and Open recovers all of it after a crash (see
@@ -200,7 +208,28 @@ func (j *Job) View() JobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
+	if j.checkpoint != nil {
+		v.CheckpointCycle = j.checkpoint.Cycles
+	}
+	// Views travel over the API on every list/poll; the imported
+	// checkpoint blob stays server-side (the router re-ships its own copy
+	// on migration, and the journal records j.Spec directly).
+	v.Spec.Checkpoint = nil
 	return v
+}
+
+// CheckpointBytes returns the job's newest in-memory checkpoint, encoded
+// for transfer (nil when the job has none). The fleet router pulls these
+// while a node is alive so a later migration can resume the job
+// elsewhere even though the dead node can no longer be asked.
+func (j *Job) CheckpointBytes() []byte {
+	j.mu.Lock()
+	snap := j.checkpoint
+	j.mu.Unlock()
+	if snap == nil {
+		return nil
+	}
+	return snap.Encode()
 }
 
 // Done returns a channel closed when the job reaches a terminal status.
@@ -301,18 +330,19 @@ type Farm struct {
 	started time.Time
 
 	// counters (guarded by mu)
-	completed      int64
-	failed         int64
-	canceled       int64
-	retries        int64
-	retriesByCause map[string]int64
-	shed           int64 // submissions rejected at admission (queue full)
-	preempts       int64 // attempts preempted by the watchdog
-	checkpoints    int64 // snapshots taken
-	cyclesSaved    int64 // cycles skipped by checkpoint resumes
-	simCycles      int64
-	simWall        time.Duration
-	compileWall    time.Duration
+	completed        int64
+	failed           int64
+	canceled         int64
+	retries          int64
+	retriesByCause   map[string]int64
+	shed             int64 // submissions rejected at admission (queue full)
+	preempts         int64 // attempts preempted by the watchdog
+	checkpoints      int64 // snapshots taken
+	cyclesSaved      int64 // cycles skipped by checkpoint resumes
+	artifactsFetched int64 // compile artifacts imported from peers
+	simCycles        int64
+	simWall          time.Duration
+	compileWall      time.Duration
 
 	// injectFault, when set (tests), runs before each attempt and may
 	// return an error standing in for an environment failure.
@@ -453,6 +483,21 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.normalize(f.cfg); err != nil {
 		return nil, err
 	}
+	// An imported checkpoint (fleet job migration) must decode before
+	// admission: a corrupt snapshot is the submitter's error, not a
+	// mid-run surprise. Resumable jobs never batch-coalesce (lanes start
+	// at cycle 0), which resumable() already enforces.
+	var ckpt *sim.Snapshot
+	if len(spec.Checkpoint) > 0 {
+		if spec.VCD {
+			return nil, fmt.Errorf("farm: vcd jobs cannot resume from a checkpoint (the waveform must cover the whole run)")
+		}
+		snap, err := sim.DecodeSnapshot(spec.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("farm: bad checkpoint: %w", err)
+		}
+		ckpt = snap
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	// Checked under f.mu (Close sets it under f.mu before draining the
@@ -479,12 +524,13 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	}
 	f.nextID++
 	j := &Job{
-		ID:      fmt.Sprintf("job-%d", f.nextID),
-		Spec:    spec,
-		farm:    f,
-		status:  StatusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		ID:         fmt.Sprintf("job-%d", f.nextID),
+		Spec:       spec,
+		farm:       f,
+		status:     StatusQueued,
+		created:    time.Now(),
+		done:       make(chan struct{}),
+		checkpoint: ckpt,
 	}
 	f.jobs[j.ID] = j
 	f.order = append(f.order, j.ID)
@@ -839,6 +885,9 @@ func (f *Farm) compileSpec(ctx context.Context, spec JobSpec) (c *circuit.Circui
 	}
 	variant := harness.Variant(spec.Variant)
 	key := CacheKey{Hash: c.StructuralHash(), Variant: variant}
+	// Before paying a compile, ask the fleet: a peer (or the router's
+	// replicated artifact cache) may already hold this Program.
+	f.fetchArtifactWarm(ctx, spec, key)
 	faults := f.cfg.Faults
 	compileStart := time.Now()
 	cv, hit, err = f.cache.Get(ctx, key, func() (*harness.Compiled, error) {
@@ -864,9 +913,13 @@ func (f *Farm) compileSpec(ctx context.Context, spec JobSpec) (c *circuit.Circui
 		f.mu.Lock()
 		f.compileWall += compileTime
 		f.mu.Unlock()
-		// Persist the design metadata so a restarted farm recompiles it
-		// warm before taking jobs.
+		// Persist the design metadata (warm-recompile fallback) and the
+		// compiled artifact bytes (fast path: decode instead of recompile)
+		// so a restarted farm warms before taking jobs.
 		f.persistCompile(spec, key, compileTime)
+		if data, aerr := EncodeArtifact(cv, compileTime); aerr == nil {
+			f.persistArtifact(key, data)
+		}
 	}
 	return c, cv, hit, compileTime, nil
 }

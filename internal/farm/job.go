@@ -69,6 +69,11 @@ type JobSpec struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// VCD captures a register/IO waveform, fetchable from the API.
 	VCD bool `json:"vcd,omitempty"`
+	// Checkpoint, when set, is an encoded sim.Snapshot (base64 over JSON)
+	// the job resumes from instead of cycle 0. The fleet router sets it
+	// when migrating a job off a dead node; it is rejected for VCD jobs
+	// (the waveform must cover the whole run) and validated at submit.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
 }
 
 // normalize applies defaults and validates the statically checkable
@@ -155,8 +160,12 @@ type JobView struct {
 	HasVCD bool `json:"has_vcd,omitempty"`
 	// ResumedCycles is how many cycles the latest attempt skipped by
 	// resuming from a checkpoint (0 for first attempts and cold retries).
-	ResumedCycles int64     `json:"resumed_cycles,omitempty"`
-	CreatedAt     time.Time `json:"created_at"`
-	StartedAt     time.Time `json:"started_at,omitempty"`
-	FinishedAt    time.Time `json:"finished_at,omitempty"`
+	ResumedCycles int64 `json:"resumed_cycles,omitempty"`
+	// CheckpointCycle is the cycle of the job's newest in-memory
+	// checkpoint (0 when none). The fleet router watches it to decide
+	// when to pull a fresh checkpoint for migration insurance.
+	CheckpointCycle int64     `json:"checkpoint_cycle,omitempty"`
+	CreatedAt       time.Time `json:"created_at"`
+	StartedAt       time.Time `json:"started_at,omitempty"`
+	FinishedAt      time.Time `json:"finished_at,omitempty"`
 }

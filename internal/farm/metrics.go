@@ -44,6 +44,10 @@ type Stats struct {
 	Cache CacheStats `json:"cache"`
 	// CompileMsSpent is the wall time spent compiling (cache misses).
 	CompileMsSpent float64 `json:"compile_ms_spent"`
+	// ArtifactsFetched counts compile artifacts imported from peers (or
+	// the fleet router) instead of compiled locally — fleet-level compile
+	// dedup at work.
+	ArtifactsFetched int64 `json:"artifacts_fetched_from_peers,omitempty"`
 
 	// SimulatedCycles sums cycles across completed runs; AggregateSimHz
 	// divides them by the simulation wall time summed across workers —
@@ -72,6 +76,7 @@ func (f *Farm) Stats() Stats {
 		CyclesSavedByResume: f.cyclesSaved,
 		Draining:            f.draining,
 		CompileMsSpent:      float64(f.compileWall) / float64(time.Millisecond),
+		ArtifactsFetched:    f.artifactsFetched,
 		SimulatedCycles:     f.simCycles,
 		SimWallMs:           float64(f.simWall) / float64(time.Millisecond),
 	}
@@ -135,6 +140,9 @@ func (f *Farm) WriteStats(w io.Writer) {
 	fmt.Fprintf(w, "compile cache: %d programs, %d hits (%d warm) / %d misses, %.0f ms compiling, %.0f ms saved\n",
 		st.Cache.Entries, st.Cache.Hits, st.Cache.WarmHits, st.Cache.Misses,
 		st.CompileMsSpent, st.Cache.CompileMsSaved)
+	if st.ArtifactsFetched > 0 {
+		fmt.Fprintf(w, "  %d compile artifacts fetched from peers\n", st.ArtifactsFetched)
+	}
 	fmt.Fprintf(w, "simulation: %d cycles in %.0f ms of engine time (%.0f aggregate sim Hz)\n",
 		st.SimulatedCycles, st.SimWallMs, st.AggregateSimHz)
 	for _, e := range f.cache.Snapshot() {

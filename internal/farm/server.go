@@ -15,6 +15,8 @@ import (
 //	GET  /jobs/{id}         job status + results
 //	POST /jobs/{id}/cancel  cancel a queued or running job
 //	GET  /jobs/{id}/vcd     fetch the captured waveform (spec.vcd jobs)
+//	GET  /jobs/{id}/checkpoint  newest encoded checkpoint (fleet migration)
+//	GET  /artifacts/{key}   fetch-by-hash compile artifact ({hash}-{variant})
 //	GET  /stats             farm metrics (JSON)
 //	GET  /statusz           farm metrics (text dump)
 //	GET  /cache             compile-cache introspection
@@ -95,6 +97,41 @@ func Handler(f *Farm) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(vcd)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := f.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		data := j.CheckpointBytes()
+		if len(data) == 0 {
+			httpError(w, http.StatusNotFound, errors.New("job has no checkpoint"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+
+	// Fetch-by-hash: a peer (or the router) asks for a compiled Program
+	// by its fleet-wide name, {structural-hash}-{variant}. The hash is
+	// exactly 64 hex chars; variants may themselves contain '-'
+	// ("Verilator-NoDedup"), so the split is positional, not on the first
+	// dash.
+	mux.HandleFunc("GET /artifacts/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if len(key) < 66 || key[64] != '-' {
+			httpError(w, http.StatusBadRequest, errors.New("artifact key must be {64-hex-hash}-{variant}"))
+			return
+		}
+		data, ok := f.ExportArtifact(key[:64], key[65:])
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no compiled artifact %q", key))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

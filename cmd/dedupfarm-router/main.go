@@ -16,6 +16,11 @@
 //	curl localhost:8080/jobs/fj-1
 //	curl localhost:8080/nodes
 //	curl localhost:8080/statusz
+//	curl localhost:8080/metrics
+//	curl localhost:8080/jobs/fj-1/trace > trace.json   # open in Perfetto
+//
+// Logs are structured (log/slog); -log-format json switches to JSON
+// lines. -pprof-addr serves net/http/pprof on a separate listener.
 //
 // Failure semantics: while a node is alive the router continuously
 // pulls its newest job checkpoints and compile artifacts. When a node
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"dedupsim/internal/cluster"
+	"dedupsim/internal/obs"
 )
 
 func main() {
@@ -48,7 +54,27 @@ func main() {
 	loadFactor := flag.Float64("load-factor", 0, "bounded-load spill threshold factor (0 = default 1.25)")
 	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe HTTP timeout (0 = default 2s)")
 	maxJobs := flag.Int("max-jobs", 0, "non-terminal fleet jobs admitted before shedding with 429 (0 = default 4096)")
+	logFormat := flag.String("log-format", "text", "log output format: text (key=value lines) or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6061; empty = off)")
+	noObs := flag.Bool("no-obs", false, "disable latency histograms and per-job lifecycle traces")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dedupfarm-router:", err)
+		os.Exit(1)
+	}
+	logger = logger.With("node_id", "router")
+
+	if *pprofAddr != "" {
+		ps, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			logger.Error("pprof listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer ps.Close()
+		logger.Info("pprof serving", "addr", ps.Addr)
+	}
 
 	r := cluster.NewRouter(cluster.RouterConfig{
 		VirtualNodes:   *vnodes,
@@ -57,8 +83,9 @@ func main() {
 		LoadFactor:     *loadFactor,
 		ProbeTimeout:   *probeTimeout,
 		MaxJobs:        *maxJobs,
+		DisableObs:     *noObs,
 		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
+			logger.Info(fmt.Sprintf(format, args...))
 		},
 	})
 
@@ -69,12 +96,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("dedupfarm-router listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 	exit := 0
 	select {
 	case err := <-serveErr:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "dedupfarm-router:", err)
+			logger.Error("server failed", "err", err)
 			exit = 1
 		}
 	case <-ctx.Done():

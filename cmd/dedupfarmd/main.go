@@ -12,6 +12,13 @@
 //	curl localhost:8080/stats
 //	curl localhost:8080/statusz
 //	curl localhost:8080/cache
+//	curl localhost:8080/metrics
+//	curl localhost:8080/jobs/job-1/trace > trace.json   # open in Perfetto
+//
+// Logs are structured (log/slog), tagged with this node's identity;
+// -log-format json switches from key=value lines to JSON for shippers.
+// -pprof-addr serves net/http/pprof on a separate listener (off by
+// default — profiling endpoints never share the job-traffic port).
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: admission closes
 // (/readyz flips to 503, new submissions are refused), queued and
@@ -55,6 +62,7 @@ import (
 	"dedupsim/internal/cluster"
 	"dedupsim/internal/farm"
 	"dedupsim/internal/faultinject"
+	"dedupsim/internal/obs"
 )
 
 func main() {
@@ -80,6 +88,9 @@ func main() {
 	join := flag.String("join", "", "fleet router base URL to register with (e.g. http://router:8080); empty = standalone")
 	nodeID := flag.String("node-id", "", "fleet identity for this node (default hostname:port from -addr); must be unique per fleet")
 	advertise := flag.String("advertise-addr", "", "base URL peers and the router reach this node at (default derived from -addr and the hostname)")
+	logFormat := flag.String("log-format", "text", "log output format: text (key=value lines) or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+	noObs := flag.Bool("no-obs", false, "disable latency histograms and per-job lifecycle traces")
 	flag.Parse()
 
 	if *nodeID == "" {
@@ -89,13 +100,30 @@ func main() {
 		*advertise = cluster.DefaultAdvertiseAddr(*addr)
 	}
 
-	faults, err := faultinject.Parse(*faultSpec, *faultSeed, *faultStall, *faultBudget)
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
 		os.Exit(1)
 	}
+	logger = logger.With("node_id", *nodeID)
+
+	faults, err := faultinject.Parse(*faultSpec, *faultSeed, *faultStall, *faultBudget)
+	if err != nil {
+		logger.Error("bad -fault-inject", "err", err)
+		os.Exit(1)
+	}
 	if faults != nil {
-		fmt.Printf("dedupfarmd: FAULT INJECTION ARMED: %s\n", faults)
+		logger.Warn("fault injection armed", "spec", faults.String())
+	}
+
+	if *pprofAddr != "" {
+		ps, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			logger.Error("pprof listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer ps.Close()
+		logger.Info("pprof serving", "addr", ps.Addr)
 	}
 
 	// Fleet mode: cold compiles consult the router's replicated artifact
@@ -124,18 +152,23 @@ func main() {
 		DataDir:         *dataDir,
 		Fsync:           *fsync,
 		FsyncInterval:   *fsyncInterval,
+		DisableObs:      *noObs,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+		logger.Error("farm startup failed", "err", err)
 		os.Exit(1)
 	}
 	if rec := f.RecoveryStats(); rec != nil {
-		fmt.Printf("dedupfarmd: recovered %s: %d journal records replayed, %d jobs re-admitted, %d checkpoints loaded (%d corrupt dropped), %d cache entries warmed, %.0f ms\n",
-			*dataDir, rec.JournalRecordsReplayed, rec.JobsRecovered,
-			rec.CheckpointsLoaded, rec.CheckpointsCorruptDropped,
-			rec.CacheEntriesWarmed, rec.RecoveryMillis)
+		logger.Info("recovered durable state",
+			"data_dir", *dataDir,
+			"journal_records", rec.JournalRecordsReplayed,
+			"jobs_readmitted", rec.JobsRecovered,
+			"checkpoints_loaded", rec.CheckpointsLoaded,
+			"checkpoints_corrupt", rec.CheckpointsCorruptDropped,
+			"cache_entries_warmed", rec.CacheEntriesWarmed,
+			"recovery_ms", rec.RecoveryMillis)
 		if rec.JournalBytesDropped > 0 {
-			fmt.Printf("dedupfarmd: journal had %d torn/corrupt tail bytes (truncated)\n", rec.JournalBytesDropped)
+			logger.Warn("journal tail truncated", "torn_bytes", rec.JournalBytesDropped)
 		}
 	}
 
@@ -157,32 +190,32 @@ func main() {
 		err := cluster.JoinRouter(jctx, nil, *join, *nodeID, *advertise)
 		jcancel()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+			logger.Error("fleet join failed", "router", *join, "err", err)
 			f.Close()
 			os.Exit(1)
 		}
-		fmt.Printf("dedupfarmd: joined fleet at %s as %s (advertising %s)\n", *join, *nodeID, *advertise)
+		logger.Info("joined fleet", "router", *join, "advertise", *advertise)
 	}
 
-	fmt.Printf("dedupfarmd listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 	exit := 0
 	select {
 	case err := <-serveErr:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "dedupfarmd:", err)
+			logger.Error("server failed", "err", err)
 			exit = 1
 		}
 	case <-ctx.Done():
 		// Let a second signal kill the process the default way while we
 		// drain.
 		stop()
-		fmt.Printf("dedupfarmd: signal received; draining (admission closed, up to %s)\n", *drainTimeout)
+		logger.Info("signal received; draining", "drain_timeout", *drainTimeout)
 		// The server keeps answering status polls during the drain;
 		// Submit refuses with 503 and /readyz reports unready so load
 		// balancers stop routing here.
 		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
 		if err := f.Drain(dctx); err != nil {
-			fmt.Fprintln(os.Stderr, "dedupfarmd:", err, "— canceling remaining jobs")
+			logger.Error("drain incomplete; canceling remaining jobs", "err", err)
 			exit = 1
 		}
 		dcancel()

@@ -45,6 +45,9 @@ func main() {
 	batchOut := flag.String("batch-out", "", "also write the -batch results as JSON to this file (e.g. BENCH_batch.json)")
 	recovery := flag.Bool("recovery", false, "run the durable-farm recovery experiment (cold start vs warm restart vs crash resume)")
 	recoveryOut := flag.String("recovery-out", "", "also write the -recovery results as JSON to this file (e.g. BENCH_recovery.json)")
+	obs := flag.Bool("obs", false, "run the observability-overhead experiment (tracing + histograms on vs off)")
+	obsOut := flag.String("obs-out", "", "also write the -obs results as JSON to this file (e.g. BENCH_obs.json)")
+	obsTrials := flag.Int("obs-trials", 10, "trials per mode for the -obs experiment")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -87,8 +90,8 @@ func main() {
 	for _, t := range tables {
 		selected = append(selected, fmt.Sprintf("table%d", t))
 	}
-	if len(selected) == 0 && !*ablations && !*batch && !*recovery {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table N, -batch, -recovery, or -ablations")
+	if len(selected) == 0 && !*ablations && !*batch && !*recovery && !*obs {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table N, -batch, -recovery, -obs, or -ablations")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -159,6 +162,36 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *recoveryOut)
+		}
+	}
+
+	if *obs {
+		start := time.Now()
+		cyclesPerJob := 5000
+		if *quick {
+			cyclesPerJob = 1000
+		}
+		if *cycles > 0 {
+			cyclesPerJob = *cycles
+		}
+		res, err := runObsExperiment(cyclesPerJob, *obsTrials)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "observability experiment failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(renderObs(res))
+		fmt.Printf("(observability experiment generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		if *obsOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "observability experiment: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*obsOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "observability experiment: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *obsOut)
 		}
 	}
 

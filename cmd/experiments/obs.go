@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dedupsim/internal/farm"
+)
+
+// The observability experiment measures what the tracing + histogram
+// layer costs on the hot path. The same job mix runs through two
+// otherwise-identical in-memory farms — one with observability enabled
+// (the default), one opened with DisableObs — and the report compares
+// their aggregate simulation throughput. Trials alternate between the
+// two modes and each mode keeps its best trial, so a background hiccup
+// hurts one trial, not one mode.
+//
+// The layer is designed to be invisible at this granularity: histogram
+// observations are two atomic adds on job completion, and trace events
+// are appended at phase boundaries (per attempt, not per cycle), so the
+// inner simulation loop runs identical code in both modes.
+
+// obsMode is one mode's best-trial measurement.
+type obsMode struct {
+	WallMs         float64   `json:"wall_ms"`
+	SimWallMs      float64   `json:"sim_wall_ms"`
+	AggregateSimHz float64   `json:"aggregate_sim_hz"`
+	TrialHz        []float64 `json:"trial_hz"`
+	JobsDone       int64     `json:"jobs_done"`
+	Cycles         int64     `json:"simulated_cycles"`
+}
+
+// obsResult is the full report written to -obs-out.
+type obsResult struct {
+	Jobs       int     `json:"jobs"`
+	Designs    int     `json:"designs"`
+	CyclesEach int     `json:"cycles_per_job"`
+	Trials     int     `json:"trials_per_mode"`
+	Enabled    obsMode `json:"obs_enabled"`
+	Disabled   obsMode `json:"obs_disabled"`
+	// OverheadPct is (disabled - enabled) / disabled aggregate sim Hz, in
+	// percent; negative values mean the difference drowned in run noise.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+func obsSpecs(cycles int) []farm.JobSpec {
+	rocket := farm.DesignSpec{Design: "Rocket-2C", Scale: 0.1}
+	boom := farm.DesignSpec{Design: "SmallBoom-2C", Scale: 0.1}
+	var specs []farm.JobSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, farm.JobSpec{DesignSpec: rocket, Workload: "A", Cycles: cycles, Seed: uint64(i + 1)})
+	}
+	for i := 0; i < 4; i++ {
+		specs = append(specs, farm.JobSpec{DesignSpec: boom, Workload: "B", Cycles: cycles, Seed: uint64(i + 11)})
+	}
+	return specs
+}
+
+// obsTrial runs the job mix through one fresh farm and returns its
+// stats snapshot plus the wall time.
+func obsTrial(disable bool, specs []farm.JobSpec) (farm.Stats, time.Duration, error) {
+	f, err := farm.Open(farm.Config{
+		Workers:         2,
+		CheckpointEvery: 256,
+		DefaultTimeout:  5 * time.Minute,
+		DisableObs:      disable,
+	})
+	if err != nil {
+		return farm.Stats{}, 0, err
+	}
+	defer f.Close()
+	start := time.Now()
+	if _, err := runAll(f, specs); err != nil {
+		return farm.Stats{}, 0, err
+	}
+	wall := time.Since(start)
+	return f.Stats(), wall, nil
+}
+
+func runObsExperiment(cycles, trials int) (*obsResult, error) {
+	specs := obsSpecs(cycles)
+	res := &obsResult{Jobs: len(specs), Designs: 2, CyclesEach: cycles, Trials: trials}
+
+	record := func(m *obsMode, st farm.Stats, wall time.Duration) {
+		m.TrialHz = append(m.TrialHz, st.AggregateSimHz)
+		if st.AggregateSimHz > m.AggregateSimHz {
+			m.WallMs = float64(wall) / float64(time.Millisecond)
+			m.SimWallMs = st.SimWallMs
+			m.AggregateSimHz = st.AggregateSimHz
+			m.JobsDone = st.JobsCompleted
+			m.Cycles = st.SimulatedCycles
+		}
+	}
+	// Warm-up pass (discarded): page in the code and let the runtime
+	// settle before either mode is measured.
+	if _, _, err := obsTrial(false, specs); err != nil {
+		return nil, err
+	}
+	for i := 0; i < trials; i++ {
+		for _, disable := range []bool{false, true} {
+			st, wall, err := obsTrial(disable, specs)
+			if err != nil {
+				return nil, err
+			}
+			if disable {
+				record(&res.Disabled, st, wall)
+			} else {
+				record(&res.Enabled, st, wall)
+			}
+		}
+	}
+	if res.Disabled.AggregateSimHz > 0 {
+		res.OverheadPct = 100 * (res.Disabled.AggregateSimHz - res.Enabled.AggregateSimHz) /
+			res.Disabled.AggregateSimHz
+	}
+	return res, nil
+}
+
+func renderObs(res *obsResult) string {
+	return fmt.Sprintf(`Observability overhead (%d jobs, %d designs, %d cycles each, best of %d trials per mode)
+
+  mode      wall_ms  sim_wall_ms  cycles      agg_sim_hz
+  enabled   %7.0f  %11.0f  %10d  %10.0f
+  disabled  %7.0f  %11.0f  %10d  %10.0f
+
+tracing + histograms cost %.2f%% of aggregate sim Hz (negative = noise).`,
+		res.Jobs, res.Designs, res.CyclesEach, res.Trials,
+		res.Enabled.WallMs, res.Enabled.SimWallMs, res.Enabled.Cycles, res.Enabled.AggregateSimHz,
+		res.Disabled.WallMs, res.Disabled.SimWallMs, res.Disabled.Cycles, res.Disabled.AggregateSimHz,
+		res.OverheadPct)
+}

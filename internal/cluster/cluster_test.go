@@ -17,6 +17,7 @@ import (
 
 	"dedupsim/internal/farm"
 	"dedupsim/internal/faultinject"
+	"dedupsim/internal/obs"
 )
 
 // newTestRouter starts a router plus its HTTP front end. The returned
@@ -515,5 +516,53 @@ func TestClusterChaosKillNode(t *testing.T) {
 	status := buf.String()
 	if !strings.Contains(status, "dead") || !strings.Contains(status, "migrated") {
 		t.Errorf("/statusz does not report the death and migration:\n%s", status)
+	}
+
+	// Migration observability: a migrated job's router trace must record
+	// the orphaned and migrate events with the node-death cause and the
+	// actual placement move, and the job's trace ID must survive onto
+	// the new owner — the whole point of the ID living in the spec.
+	r.mu.Lock()
+	var trace *obs.Trace
+	var newOwner, remoteID, traceID string
+	for _, fj := range r.jobs {
+		if fj.migrations > 0 {
+			trace, newOwner, remoteID, traceID = fj.trace, fj.node, fj.remoteID, fj.spec.TraceID
+			break
+		}
+	}
+	r.mu.Unlock()
+	if trace == nil {
+		t.Fatal("no migrated fleet job carries a trace")
+	}
+	tv := trace.View()
+	var sawOrphaned, sawMigrate bool
+	for _, e := range tv.Events {
+		switch e.Name {
+		case "orphaned":
+			sawOrphaned = true
+			if e.Attrs["cause"] != "node-death" || e.Attrs["node"] != victim {
+				t.Errorf("orphaned event attrs = %v, want cause=node-death node=%s", e.Attrs, victim)
+			}
+		case "migrate":
+			sawMigrate = true
+			if e.Attrs["cause"] != "node-death" || e.Attrs["from"] != victim || e.Attrs["to"] != newOwner {
+				t.Errorf("migrate event attrs = %v, want cause=node-death from=%s to=%s",
+					e.Attrs, victim, newOwner)
+			}
+		}
+	}
+	if !sawOrphaned || !sawMigrate {
+		t.Errorf("migrated job's trace lacks orphaned/migrate events: %+v", tv.Events)
+	}
+	if traceID == "" || tv.TraceID != traceID {
+		t.Errorf("router trace ID %q does not match spec %q", tv.TraceID, traceID)
+	}
+	wj, ok := nodes[newOwner].farm.Job(remoteID)
+	if !ok {
+		t.Fatalf("new owner %s has no job %q", newOwner, remoteID)
+	}
+	if wj.Spec.TraceID != traceID {
+		t.Errorf("trace ID lost in migration: new owner has %q, want %q", wj.Spec.TraceID, traceID)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"dedupsim/internal/farm"
+	"dedupsim/internal/obs"
 )
 
 // FleetStats is the router's aggregate metrics snapshot: router-side
@@ -41,6 +42,11 @@ type FleetStats struct {
 
 	// NodeStats maps node ID to its last polled farm stats.
 	NodeStats map[string]*farm.Stats `json:"node_stats,omitempty"`
+
+	// Latency holds the router's own p50/p95/p99 digests (nil with
+	// DisableObs). Fixed shape — two histograms, no per-label maps — so
+	// /stats cannot grow with traffic.
+	Latency *FleetLatencySummaries `json:"latency,omitempty"`
 }
 
 // Stats aggregates the fleet snapshot.
@@ -82,6 +88,7 @@ func (r *Router) Stats() FleetStats {
 		st.ArtifactsFetched += fs.ArtifactsFetched
 		st.CyclesSavedByResume += fs.CyclesSavedByResume
 	}
+	st.Latency = r.obs.latencySummaries()
 	return st
 }
 
@@ -110,6 +117,11 @@ func (r *Router) WriteStatus(w io.Writer) {
 		st.ArtifactsReplicated, st.ArtifactsServed)
 	fmt.Fprintf(w, "fleet dedup: %d compiles total, %d warm hits, %d artifacts fetched by nodes, %d cycles saved by resume\n",
 		st.Compiles, st.WarmHits, st.ArtifactsFetched, st.CyclesSavedByResume)
+	if l := st.Latency; l != nil {
+		fmt.Fprintf(w, "latency: forward p50/p95/p99 %.1f/%.1f/%.1f ms (%d placed), e2e p50/p95/p99 %.0f/%.0f/%.0f ms (%d finished)\n",
+			l.Forward.P50Ms, l.Forward.P95Ms, l.Forward.P99Ms, l.Forward.Count,
+			l.EndToEnd.P50Ms, l.EndToEnd.P95Ms, l.EndToEnd.P99Ms, l.EndToEnd.Count)
+	}
 	for _, line := range logs {
 		fmt.Fprintf(w, "  event: %s\n", line)
 	}
@@ -129,10 +141,19 @@ type registration struct {
 //	GET  /jobs              fleet job list
 //	GET  /jobs/{id}         one fleet job
 //	GET  /jobs/{id}/vcd     proxied waveform fetch from the owner node
+//	GET  /jobs/{id}/trace   merged lifecycle trace: router placement events
+//	                        plus the owner node's job events on one Chrome
+//	                        trace timeline (?format=events for the router's
+//	                        raw event list)
+//	GET  /trace             every fleet job's router-side timeline
 //	GET  /artifacts/{key}   fetch-by-hash from the replicated store
-//	GET  /stats             fleet metrics (JSON)
+//	GET  /stats             fleet metrics (JSON, incl. latency quantiles)
 //	GET  /statusz           fleet metrics (text) incl. the migration log
+//	GET  /metrics           Prometheus text-format exposition
 //	GET  /livez, /readyz    router health
+//
+// POST /jobs accepts an X-Trace-Id header (a trace ID already in the
+// spec wins) and echoes the job's trace ID back in the same header.
 //
 // Worker rejections relay unchanged: a fleet saturated to the point
 // that every candidate node sheds returns the worker's own 429 with its
@@ -168,6 +189,9 @@ func Handler(r *Router) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 			return
 		}
+		if spec.TraceID == "" {
+			spec.TraceID = req.Header.Get("X-Trace-Id")
+		}
 		view, err := r.Submit(req.Context(), spec)
 		if err != nil {
 			var se *statusError
@@ -191,6 +215,7 @@ func Handler(r *Router) http.Handler {
 			}
 			return
 		}
+		w.Header().Set("X-Trace-Id", view.Spec.TraceID)
 		writeJSON(w, http.StatusAccepted, view)
 	})
 
@@ -228,6 +253,75 @@ func Handler(r *Router) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(data)
+	})
+
+	// Merged lifecycle trace: the router's placement timeline (submitted,
+	// forward, orphaned, migrate, done) plus the owner node's job events
+	// (queued, compile, run, checkpoint, retries), fetched live and
+	// rendered as separate threads of one Chrome trace. Both sides share
+	// the job's trace ID. If the owner is dead or unreachable the router's
+	// own events still render — exactly the case (post-mortem of a
+	// migrated job) where a trace is most wanted.
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		fj, ok := r.jobs[req.PathValue("id")]
+		var tr *obs.Trace
+		var node, addr, remoteID string
+		if ok {
+			tr = fj.trace
+			node = fj.node
+			if m := r.registry.get(fj.node); m != nil && m.state == NodeAlive {
+				addr, remoteID = m.addr, fj.remoteID
+			}
+		}
+		r.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no fleet job %q", req.PathValue("id")))
+			return
+		}
+		if tr == nil {
+			httpError(w, http.StatusNotFound, errors.New("tracing disabled on this router"))
+			return
+		}
+		routerView := tr.View()
+		routerView.Name = "router/" + routerView.Name
+		if req.URL.Query().Get("format") == "events" {
+			writeJSON(w, http.StatusOK, routerView)
+			return
+		}
+		views := []obs.TraceView{routerView}
+		if addr != "" {
+			if data := r.httpGet(req.Context(), addr+"/jobs/"+remoteID+"/trace?format=events"); data != nil {
+				var wv obs.TraceView
+				if json.Unmarshal(data, &wv) == nil {
+					wv.Name = node + "/" + wv.Name
+					views = append(views, wv)
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, views...)
+	})
+
+	// Every fleet job's router-side timeline on one trace (worker events
+	// are per-job; fetching them all here would mean a network call per
+	// job on a read path).
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		var views []obs.TraceView
+		for _, id := range r.order {
+			if tr := r.jobs[id].trace; tr != nil {
+				views = append(views, tr.View())
+			}
+		}
+		r.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, views...)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		r.WriteProm(w)
 	})
 
 	mux.HandleFunc("GET /artifacts/{key}", func(w http.ResponseWriter, req *http.Request) {

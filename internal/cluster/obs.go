@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"io"
+	"time"
+
+	"dedupsim/internal/obs"
+)
+
+// Router-side observability. The router keeps its own two histograms —
+// forward latency (one POST /jobs round trip to a worker) and fleet
+// end-to-end job latency (Submit accept to terminal, as seen from the
+// router's poll loop) — and a per-fleet-job trace ring mirroring the
+// farm's. The router trace covers what only the router can see: placement,
+// forwarding, orphaning, and migration; the worker-side events are merged
+// in at read time by the /jobs/{id}/trace handler, which fetches the
+// owner's raw event list and renders both on one Chrome trace timeline.
+//
+// Like the farm's, the whole layer is nil-safe: a router built with
+// DisableObs leaves r.obs nil and every observe call no-ops.
+
+// routerObs aggregates the router's latency histograms.
+type routerObs struct {
+	forward obs.Histogram // forwardSubmit round trip, successful placements
+	e2e     obs.Histogram // fleet job accept -> terminal observed
+}
+
+func (o *routerObs) forwardObs(d time.Duration) {
+	if o != nil {
+		o.forward.Observe(d)
+	}
+}
+
+func (o *routerObs) e2eObs(d time.Duration) {
+	if o != nil {
+		o.e2e.Observe(d)
+	}
+}
+
+// FleetLatencySummaries is the router's /stats latency block: fixed
+// shape, two histograms, no per-label maps.
+type FleetLatencySummaries struct {
+	// Forward is the round-trip latency of successful job placements.
+	Forward obs.Summary `json:"forward"`
+	// EndToEnd is fleet job latency from router accept to the poll tick
+	// that observed the terminal state (so it includes one heartbeat
+	// period of detection lag).
+	EndToEnd obs.Summary `json:"end_to_end"`
+}
+
+func (o *routerObs) latencySummaries() *FleetLatencySummaries {
+	if o == nil {
+		return nil
+	}
+	fwd, e2e := o.forward.Snapshot(), o.e2e.Snapshot()
+	return &FleetLatencySummaries{
+		Forward:  fwd.Summarize(),
+		EndToEnd: e2e.Summarize(),
+	}
+}
+
+// WriteProm renders the router's Prometheus text-format exposition:
+// placement and resilience counters, per-node health gauges, and the
+// forward/end-to-end latency histograms.
+func (r *Router) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	type nodeRow struct {
+		id    string
+		up    float64
+		ready float64
+		load  float64
+	}
+	var nodes []nodeRow
+	for _, v := range r.registry.Views() {
+		row := nodeRow{id: v.ID, load: float64(v.Load)}
+		if v.State == NodeAlive {
+			row.up = 1
+		}
+		if v.Ready {
+			row.ready = 1
+		}
+		nodes = append(nodes, row)
+	}
+	submitted := r.nextID
+	live, orphaned := 0, 0
+	for _, fj := range r.jobs {
+		if !fj.terminal {
+			live++
+		}
+		if fj.orphaned {
+			orphaned++
+		}
+	}
+	forwarded, spilled, failovers := r.forwarded, r.spilled, r.failovers
+	migrations, deaths := r.migrations, r.deaths
+	ckpts, artsIn, artsOut := r.ckptsPulled, r.artsPulled, r.artsServed
+	o := r.obs
+	r.mu.Unlock()
+
+	p := obs.NewPromWriter(w)
+	p.Counter("dedupfleet_jobs_submitted_total", "Jobs accepted by the router.", float64(submitted))
+	p.Counter("dedupfleet_jobs_forwarded_total", "Jobs placed on a worker node (spills included).", float64(forwarded))
+	p.Counter("dedupfleet_jobs_spilled_total", "Jobs placed off their key's primary ring owner.", float64(spilled))
+	p.Counter("dedupfleet_failovers_total", "Placements that skipped an unreachable candidate.", float64(failovers))
+	p.Counter("dedupfleet_migrations_total", "Jobs re-placed off dead nodes.", float64(migrations))
+	p.Counter("dedupfleet_node_deaths_total", "Nodes declared dead by the prober.", float64(deaths))
+	p.Counter("dedupfleet_checkpoints_pulled_total", "Checkpoints replicated off worker nodes.", float64(ckpts))
+	p.Counter("dedupfleet_artifacts_replicated_total", "Compile artifacts replicated off worker nodes.", float64(artsIn))
+	p.Counter("dedupfleet_artifacts_served_total", "Artifact fetches served back to nodes.", float64(artsOut))
+	p.Gauge("dedupfleet_nodes", "Registered worker nodes (any state).", float64(len(nodes)))
+	p.Gauge("dedupfleet_jobs_live", "Fleet jobs not yet terminal.", float64(live))
+	p.Gauge("dedupfleet_jobs_orphaned", "Fleet jobs awaiting re-placement.", float64(orphaned))
+	for _, n := range nodes {
+		p.Gauge("dedupfleet_node_up", "1 if the node is alive per the last probe round.", n.up, "node", n.id)
+		p.Gauge("dedupfleet_node_ready", "1 if the node accepts new placements.", n.ready, "node", n.id)
+		p.Gauge("dedupfleet_node_load", "Router-tracked live jobs on the node.", n.load, "node", n.id)
+	}
+	if o != nil {
+		p.Histogram("dedupfleet_forward_seconds", "Round-trip latency of successful job placements.", o.forward.Snapshot())
+		p.Histogram("dedupfleet_job_seconds", "Fleet job latency, router accept to observed terminal.", o.e2e.Snapshot())
+	}
+	return p.Flush()
+}

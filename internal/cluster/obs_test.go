@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dedupsim/internal/farm"
+	"dedupsim/internal/obs"
+)
+
+// TestTraceIDPropagation pins the fleet's trace-identity contract: a
+// trace ID supplied at the router's front door (X-Trace-Id) reaches the
+// worker node's job unchanged, the router echoes it on the response,
+// and both the router's and the worker's trace exports carry it.
+func TestTraceIDPropagation(t *testing.T) {
+	r, ts := newTestRouter(t, RouterConfig{HeartbeatEvery: 25 * time.Millisecond})
+	node := startNode(t, r, ts.URL, "n1", farm.Config{Workers: 2})
+
+	const traceID = "feedface00112233"
+	body, _ := json.Marshal(clusterSpec("Rocket-2C", 500, 7))
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		t.Errorf("router response X-Trace-Id = %q, want %q", got, traceID)
+	}
+	var fv FleetJobView
+	if err := json.NewDecoder(resp.Body).Decode(&fv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fv.Spec.TraceID != traceID {
+		t.Errorf("fleet view trace ID = %q, want %q", fv.Spec.TraceID, traceID)
+	}
+
+	// The worker's copy of the job carries the same ID.
+	wj, ok := node.farm.Job(fv.RemoteID)
+	if !ok {
+		t.Fatalf("worker has no job %q", fv.RemoteID)
+	}
+	if wj.Spec.TraceID != traceID {
+		t.Errorf("worker job trace ID = %q, want %q", wj.Spec.TraceID, traceID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if v, err := r.WaitDone(ctx, fv.ID); err != nil || v.Status != farm.StatusDone {
+		t.Fatalf("job: %v (%+v)", err, v)
+	}
+
+	// Router's raw trace export names the same ID and records placement.
+	resp, err = http.Get(ts.URL + "/jobs/" + fv.ID + "/trace?format=events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tv obs.TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tv.TraceID != traceID {
+		t.Errorf("router trace ID = %q, want %q", tv.TraceID, traceID)
+	}
+	names := map[string]bool{}
+	for _, e := range tv.Events {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"submitted", "forward"} {
+		if !names[want] {
+			t.Errorf("router trace missing %q event (have %v)", want, tv.Events)
+		}
+	}
+
+	// The merged Chrome trace holds two threads — router and worker —
+	// and the worker thread contributes its own lifecycle events.
+	resp, err = http.Get(ts.URL + "/jobs/" + fv.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	resp.Body.Close()
+	tids := map[int]bool{}
+	eventNames := map[string]bool{}
+	for _, e := range chrome.TraceEvents {
+		tids[e.Tid] = true
+		eventNames[e.Name] = true
+	}
+	if len(tids) != 2 {
+		t.Errorf("merged trace has %d threads, want 2 (router + worker)", len(tids))
+	}
+	for _, want := range []string{"forward", "run", "compile"} {
+		if !eventNames[want] {
+			t.Errorf("merged trace missing %q event", want)
+		}
+	}
+}
+
+// TestRouterMetricsLint scrapes the router's /metrics in-process and
+// validates it against the Prometheus text-format grammar, including
+// the per-node health gauges.
+func TestRouterMetricsLint(t *testing.T) {
+	r, ts := newTestRouter(t, RouterConfig{HeartbeatEvery: 25 * time.Millisecond})
+	startNode(t, r, ts.URL, "n1", farm.Config{Workers: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v, err := r.Submit(ctx, clusterSpec("Rocket-2C", 300, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, err := r.WaitDone(ctx, v.ID); err != nil || w.Status != farm.StatusDone {
+		t.Fatalf("job: %v (%+v)", err, w)
+	}
+	waitFor(t, 10*time.Second, "probe to mark the node alive", func() bool {
+		for _, n := range r.Nodes() {
+			if n.State == NodeAlive {
+				return true
+			}
+		}
+		return false
+	})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.LintProm(page); len(errs) > 0 {
+		t.Errorf("router /metrics fails the Prometheus lint: %v\n%s", errs, page)
+	}
+	for _, want := range []string{
+		"dedupfleet_jobs_submitted_total",
+		`dedupfleet_node_up{node="n1"} 1`,
+		`dedupfleet_node_load{node="n1"}`,
+		"dedupfleet_forward_seconds_bucket",
+		"dedupfleet_job_seconds_count",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("router /metrics missing %q", want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"dedupsim/internal/farm"
@@ -110,6 +111,10 @@ func (r *Router) pollOnce(ctx context.Context) {
 			if v.Status.Terminal() && !fj.terminal {
 				fj.terminal = true
 				m.load--
+				// End-to-end latency is router accept to this poll tick, so
+				// it includes up to one heartbeat period of detection lag.
+				fj.trace.Instant("done", "status", string(v.Status), "node", res.id)
+				r.obs.e2eObs(now.Sub(fj.created))
 			}
 			if !fj.terminal && v.CheckpointCycle > fj.ckptCycle {
 				ckptPulls = append(ckptPulls, ckptPull{fj.id, m.addr, fj.remoteID})
@@ -121,6 +126,7 @@ func (r *Router) pollOnce(ctx context.Context) {
 		for _, fj := range r.jobs {
 			if fj.node == id && !fj.terminal {
 				fj.orphaned = true
+				fj.trace.Instant("orphaned", "node", id, "cause", "node-death")
 				orphans++
 			}
 		}
@@ -252,11 +258,14 @@ func (r *Router) migrateOrphans(ctx context.Context) {
 			fj.migrations++
 			m.load++
 			r.migrations++
+			fj.trace.Instant("migrate", "from", from, "to", m.id,
+				"cause", "node-death", "resume_cycle", strconv.FormatInt(fj.ckptCycle, 10))
 			r.migrationLogs = append(r.migrationLogs,
 				fmt.Sprintf("%s job %s migrated %s -> %s (resume from cycle %d)",
 					time.Now().Format(time.RFC3339), fj.id, from, m.id, fj.ckptCycle))
 			r.mu.Unlock()
-			r.logf("cluster: job %s migrated %s -> %s at cycle %d", w.id, from, m.id, fj.ckptCycle)
+			r.logf("cluster: job %s migrated %s -> %s at cycle %d (trace %s)",
+				w.id, from, m.id, fj.ckptCycle, fj.spec.TraceID)
 			break
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dedupsim/internal/farm"
+	"dedupsim/internal/obs"
 )
 
 // RouterConfig sizes the router tier.
@@ -39,6 +40,9 @@ type RouterConfig struct {
 	// Logf, when non-nil, receives router event logs (registrations,
 	// deaths, migrations).
 	Logf func(format string, args ...any)
+	// DisableObs turns off the router's latency histograms and
+	// per-fleet-job lifecycle traces (on by default).
+	DisableObs bool
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -103,6 +107,14 @@ type fleetJob struct {
 	// heartbeat loop re-places it (with the checkpoint attached) until a
 	// forward succeeds.
 	orphaned bool
+
+	// created stamps router admission; the fleet end-to-end histogram
+	// measures from here to the poll tick that saw the terminal state.
+	created time.Time
+	// trace is the router-side lifecycle trace (nil with DisableObs).
+	// It shares the job's TraceID with the worker-side trace; the
+	// /jobs/{id}/trace handler merges both onto one timeline.
+	trace *obs.Trace
 }
 
 // FleetJobView is a fleet job as served by the router API: the owner's
@@ -155,6 +167,10 @@ type Router struct {
 	deaths        int64 // nodes declared dead
 	migrationLogs []string
 
+	// obs holds the router's latency histograms (nil with DisableObs,
+	// which also disables per-job traces).
+	obs *routerObs
+
 	stop    chan struct{}
 	stopped chan struct{}
 }
@@ -171,6 +187,9 @@ func NewRouter(cfg RouterConfig) *Router {
 		artifacts: map[string][]byte{},
 		stop:      make(chan struct{}),
 		stopped:   make(chan struct{}),
+	}
+	if !cfg.DisableObs {
+		r.obs = &routerObs{}
 	}
 	go r.heartbeatLoop()
 	return r
@@ -276,6 +295,19 @@ func (r *Router) placeLocked(key string) []*member {
 // Retry-After, and body — unchanged; an unreachable candidate is skipped
 // (failover) rather than surfaced.
 func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, error) {
+	// The trace ID is minted here, at the fleet's front door, unless the
+	// client brought its own via X-Trace-Id. It rides in the spec, so the
+	// worker adopts it on forward and it survives migration to a new
+	// owner — one ID names the job's whole story across nodes.
+	if spec.TraceID == "" {
+		spec.TraceID = obs.NewTraceID()
+	}
+	var tr *obs.Trace
+	if r.obs != nil {
+		tr = obs.NewTrace(spec.TraceID, "")
+		tr.Instant("submitted")
+	}
+
 	key, err := r.routeKey(spec)
 	if err != nil {
 		return FleetJobView{}, &statusError{code: http.StatusBadRequest, body: []byte(err.Error())}
@@ -301,6 +333,7 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 
 	var firstReject *statusError
 	for _, m := range candidates {
+		fstart := time.Now()
 		view, ferr := r.forwardSubmit(ctx, m.addr, spec)
 		if ferr != nil {
 			var se *statusError
@@ -323,8 +356,11 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 			r.mu.Lock()
 			r.failovers++
 			r.mu.Unlock()
+			tr.Instant("failover", "node", m.id)
 			continue
 		}
+		r.obs.forwardObs(time.Since(fstart))
+		tr.Span("forward", fstart, time.Since(fstart), "node", m.id)
 
 		r.mu.Lock()
 		r.nextID++
@@ -335,7 +371,10 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 			node:     m.id,
 			remoteID: view.ID,
 			view:     view,
+			created:  time.Now(),
+			trace:    tr,
 		}
+		tr.SetName(fj.id)
 		r.jobs[fj.id] = fj
 		r.order = append(r.order, fj.id)
 		m.load++
@@ -367,6 +406,12 @@ func (r *Router) forwardSubmit(ctx context.Context, addr string, spec farm.JobSp
 		return farm.JobView{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if spec.TraceID != "" {
+		// Belt and braces: the ID already rides in the spec body, but the
+		// header keeps propagation working for any intermediary that only
+		// looks at headers.
+		req.Header.Set("X-Trace-Id", spec.TraceID)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return farm.JobView{}, err

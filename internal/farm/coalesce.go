@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"dedupsim/internal/faultinject"
@@ -23,6 +24,7 @@ func (f *Farm) runBatch(jobs []*Job) {
 	// Per-job contexts: cancellation and timeout stay per lane.
 	ctxs := make([]context.Context, len(jobs))
 	timeouts := make([]time.Duration, len(jobs))
+	waits := make([]time.Duration, len(jobs))
 	live := jobs[:0]
 	for _, j := range jobs {
 		ctx, cancel := context.WithCancel(f.ctx)
@@ -49,14 +51,17 @@ func (f *Farm) runBatch(jobs []*Job) {
 		j.preempted = false
 		j.attempts = 1
 		j.mu.Unlock()
+		j.trace.Span("queued", j.created, now.Sub(j.created))
+		f.obs.queueWaitObs(now.Sub(j.created))
 		ctxs[len(live)] = ctx
 		timeouts[len(live)] = timeout
+		waits[len(live)] = now.Sub(j.created)
 		live = append(live, j)
 	}
 	if len(live) == 0 {
 		return
 	}
-	ctxs, timeouts = ctxs[:len(live)], timeouts[:len(live)]
+	ctxs, timeouts, waits = ctxs[:len(live)], timeouts[:len(live)], waits[:len(live)]
 	for _, j := range live {
 		f.journalStart(j)
 	}
@@ -81,12 +86,25 @@ func (f *Farm) runBatch(jobs []*Job) {
 		return
 	}
 
+	// These jobs run as lanes of one batch: their wait also counts as
+	// lane wait (it includes the batch-formation window).
+	for i, j := range live {
+		f.obs.laneWaitObs(waits[i])
+		j.trace.Instant("batch-join", "lanes", strconv.Itoa(len(live)))
+	}
+
+	bstart := time.Now()
 	preempted, err := f.runBatchAttempt(live, ctxs, timeouts)
 	// Watchdog-preempted lanes were retired mid-batch with their lane
 	// context already dead; each resumes from its lane checkpoint on a
 	// dedicated scalar engine with a fresh wall-clock budget, continuing
 	// the lane's attempt count under the retry policy.
 	for _, l := range preempted {
+		// The lane's stepping is covered by its retire() span; this one
+		// covers the rest of the batch run plus the wait for a scalar
+		// resume slot, so the trace timeline stays gap-free.
+		live[l].trace.Span("run", bstart, time.Since(bstart),
+			"attempt", "1", "outcome", "preempted")
 		f.retryScalarLane(live[l], timeouts[l])
 	}
 	if err == nil {
@@ -104,6 +122,13 @@ func (f *Farm) runBatch(jobs []*Job) {
 		if terminal {
 			continue
 		}
+		// Cover the failed batch attempt — including this lane's wait for
+		// its turn in the sequential fallback below (earlier lanes' scalar
+		// retries run first). Recorded here rather than inside
+		// runBatchAttempt so a panic that unwinds past the compile still
+		// leaves no hole in the timeline.
+		j.trace.Span("run", bstart, time.Since(bstart),
+			"attempt", "1", "outcome", "batch-abort")
 		if cerr := ctxs[i].Err(); cerr != nil {
 			f.finishRun(j, cerr, timeouts[i])
 			continue
@@ -166,7 +191,14 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 		return preempted, TransientCause("fault", errors.New("faultinject: transient batch failure"))
 	}
 
+	cstart := time.Now()
 	c, cv, hit, compileTime, err := f.compileSpec(ctxs[0], jobs[0].Spec)
+	// One shared compile serves every lane; each lane's trace records it
+	// so per-job timelines stay complete.
+	for _, j := range jobs {
+		j.trace.Span("compile", cstart, time.Since(cstart),
+			"hit", strconv.FormatBool(hit), "shared", "true")
+	}
 	if err != nil {
 		return preempted, err
 	}
@@ -219,10 +251,16 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 	finished := make([]bool, lanes)
 	const chunk = 256
 	ckptEvery := f.cfg.CheckpointEvery
+	lanesAttr := strconv.Itoa(lanes)
 	start := time.Now()
 	retire := func(l int) {
 		be.Deactivate(l)
 		finished[l] = true
+		// The lane's run span closes at lane exit: each job's timeline
+		// shows its own share of the lockstep run.
+		jobs[l].trace.Span("run", start, time.Since(start),
+			"attempt", "1", "lanes", lanesAttr)
+		f.obs.simRunObs(time.Since(start))
 	}
 	complete := func(l int) {
 		stats := CollectLaneStats(c, cv, be, l, 0, time.Since(start))

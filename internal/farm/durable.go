@@ -10,6 +10,7 @@ import (
 	"dedupsim/internal/circuit"
 	"dedupsim/internal/durable"
 	"dedupsim/internal/harness"
+	"dedupsim/internal/obs"
 	"dedupsim/internal/partition"
 	"dedupsim/internal/sim"
 )
@@ -76,6 +77,9 @@ func Open(cfg Config) (*Farm, error) {
 		ctx:            ctx,
 		stop:           stop,
 		started:        time.Now(),
+	}
+	if !cfg.DisableObs {
+		f.obs = &farmObs{}
 	}
 	if cfg.DataDir != "" {
 		store, err := durable.OpenStore(durable.Options{
@@ -158,6 +162,9 @@ func (f *Farm) recoverFromStore() error {
 		if nerr := spec.normalize(f.cfg); nerr != nil {
 			continue
 		}
+		if spec.TraceID == "" {
+			spec.TraceID = obs.NewTraceID()
+		}
 		j := &Job{
 			ID:      id,
 			Spec:    spec,
@@ -165,6 +172,13 @@ func (f *Farm) recoverFromStore() error {
 			status:  StatusQueued,
 			created: time.Now(),
 			done:    make(chan struct{}),
+		}
+		if f.obs != nil {
+			// The pre-crash trace ring died with the process; the recovered
+			// trace keeps the job's fleet-wide ID and starts its story at
+			// the re-admission.
+			j.trace = obs.NewTrace(spec.TraceID, id)
+			j.trace.Instant("recovered")
 		}
 		if !spec.VCD {
 			for _, data := range f.store.LoadCheckpoint(id) {
@@ -420,10 +434,14 @@ func (f *Farm) recordCheckpoint(j *Job, snap *sim.Snapshot) {
 	f.mu.Lock()
 	f.checkpoints++
 	f.mu.Unlock()
+	j.trace.Instant("checkpoint", "cycle", traceAttrCycle(snap.Cycles))
 	if f.store == nil {
 		return
 	}
-	if err := f.store.SaveCheckpoint(j.ID, snap.Encode()); err != nil {
+	wstart := time.Now()
+	err := f.store.SaveCheckpoint(j.ID, snap.Encode())
+	f.obs.ckptWriteObs(time.Since(wstart))
+	if err != nil {
 		f.durableErrs.Add(1)
 		return
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"dedupsim/internal/durable"
 	"dedupsim/internal/faultinject"
 	"dedupsim/internal/harness"
+	"dedupsim/internal/obs"
 	"dedupsim/internal/partition"
 	"dedupsim/internal/sim"
 )
@@ -84,6 +86,13 @@ type Config struct {
 	// registered points (see internal/faultinject). Nil — the production
 	// default — costs a single pointer test per site.
 	Faults *faultinject.Registry
+
+	// DisableObs turns off latency histograms and per-job lifecycle
+	// traces (see obs.go). On — the default — they cost one histogram
+	// observation or trace append per lifecycle stage, never per cycle;
+	// off, every site degenerates to a nil test (the `experiments -obs`
+	// benchmark guards the on-path overhead at <2%).
+	DisableObs bool
 
 	// FetchArtifact, when non-nil, is consulted once per cold compile key
 	// before compiling locally: given the structural hash and variant it
@@ -181,6 +190,11 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 
+	// trace is the job's lifecycle trace ring (nil with DisableObs; a
+	// nil *Trace no-ops every method). Set once before the job is
+	// visible, immutable after.
+	trace *obs.Trace
+
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -198,6 +212,7 @@ func (j *Job) View() JobView {
 		Stats:         j.stats,
 		HasVCD:        len(j.vcd) > 0,
 		ResumedCycles: j.resumedFrom,
+		TraceID:       j.Spec.TraceID,
 		CreatedAt:     j.created,
 		StartedAt:     j.started,
 		FinishedAt:    j.finished,
@@ -305,6 +320,10 @@ type Farm struct {
 	store       *durable.Store
 	recovery    *RecoveryStats
 	durableErrs atomic.Int64
+
+	// obs holds the stage-latency histograms (nil with DisableObs — see
+	// obs.go). Immutable once set in Open.
+	obs *farmObs
 
 	mu       sync.Mutex
 	closed   bool
@@ -498,6 +517,13 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 		}
 		ckpt = snap
 	}
+	// Every job carries a fleet-wide trace ID: the submitter's (via the
+	// spec field or the X-Trace-Id header) when one came in, a fresh one
+	// otherwise. It lives in the spec so it journals, recovers, and
+	// migrates with the job. Generated outside f.mu (crypto/rand read).
+	if spec.TraceID == "" {
+		spec.TraceID = obs.NewTraceID()
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	// Checked under f.mu (Close sets it under f.mu before draining the
@@ -531,6 +557,15 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 		created:    time.Now(),
 		done:       make(chan struct{}),
 		checkpoint: ckpt,
+	}
+	if f.obs != nil {
+		j.trace = obs.NewTrace(spec.TraceID, j.ID)
+	}
+	j.trace.Instant("submitted")
+	if ckpt != nil {
+		// A migrated-in job resumes mid-flight; the trace marks where its
+		// history continues from.
+		j.trace.Instant("migrate-in", "resume_cycle", traceAttrCycle(ckpt.Cycles))
 	}
 	f.jobs[j.ID] = j
 	f.order = append(f.order, j.ID)
@@ -801,6 +836,8 @@ func (f *Farm) runJob(j *Job) {
 	j.progressAt = now
 	j.cancel = cancel
 	j.mu.Unlock()
+	j.trace.Span("queued", j.created, now.Sub(j.created))
+	f.obs.queueWaitObs(now.Sub(j.created))
 	f.journalStart(j)
 
 	f.mu.Lock()
@@ -827,8 +864,8 @@ func (f *Farm) runRetryLoop(ctx context.Context, j *Job, start int, lastErr erro
 	err := lastErr
 	for attempt := start; attempt <= f.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			f.recordRetry(transientCause(err))
-			if werr := f.backoff(ctx, attempt); werr != nil {
+			f.recordRetry(j, transientCause(err))
+			if werr := f.backoff(ctx, j, attempt); werr != nil {
 				return werr
 			}
 		}
@@ -843,19 +880,27 @@ func (f *Farm) runRetryLoop(ctx context.Context, j *Job, start int, lastErr erro
 	return err
 }
 
-// recordRetry bumps the retry counters.
-func (f *Farm) recordRetry(cause string) {
+// recordRetry bumps the retry counters and marks the retry (with its
+// cause) in the job's trace. The by-cause map is bounded: causes come
+// from a small fixed vocabulary, but the label feeds /stats and
+// /metrics, so an unexpected new cause beyond maxRetryCauses lands in
+// "other" instead of growing the map without bound.
+func (f *Farm) recordRetry(j *Job, cause string) {
 	f.mu.Lock()
 	f.retries++
+	if _, known := f.retriesByCause[cause]; !known && len(f.retriesByCause) >= maxRetryCauses {
+		cause = "other"
+	}
 	f.retriesByCause[cause]++
 	f.mu.Unlock()
+	j.trace.Instant("retry", "cause", cause)
 }
 
 // backoff sleeps before retry `attempt` (1-based): RetryBackoff doubled
 // per attempt, capped at 30s, with ±50% jitter so a farm full of
 // retrying jobs doesn't thunder back in lockstep. Returns ctx's error
 // if it expires mid-sleep; a zero RetryBackoff retries immediately.
-func (f *Farm) backoff(ctx context.Context, attempt int) error {
+func (f *Farm) backoff(ctx context.Context, j *Job, attempt int) error {
 	base := f.cfg.RetryBackoff
 	if base <= 0 {
 		return ctx.Err()
@@ -865,6 +910,8 @@ func (f *Farm) backoff(ctx context.Context, attempt int) error {
 		d = max
 	}
 	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	start := time.Now()
+	defer func() { j.trace.Span("backoff", start, time.Since(start)) }()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -913,6 +960,7 @@ func (f *Farm) compileSpec(ctx context.Context, spec JobSpec) (c *circuit.Circui
 		f.mu.Lock()
 		f.compileWall += compileTime
 		f.mu.Unlock()
+		f.obs.compileObs(compileTime)
 		// Persist the design metadata (warm-recompile fallback) and the
 		// compiled artifact bytes (fast path: decode instead of recompile)
 		// so a restarted farm warms before taking jobs.
@@ -932,10 +980,11 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	// loop can run another attempt from the last checkpoint.
 	actx, acancel := context.WithCancel(ctx)
 	defer acancel()
+	attemptStart := time.Now()
 	j.mu.Lock()
 	j.preempted = false
 	j.attemptCancel = acancel
-	j.progressAt = time.Now()
+	j.progressAt = attemptStart
 	j.mu.Unlock()
 	defer func() {
 		if r := recover(); r != nil {
@@ -955,6 +1004,11 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 			err = TransientCause("preempted",
 				fmt.Errorf("preempted by watchdog: no progress for %s", f.cfg.StuckTimeout))
 		}
+		// The run span covers the whole attempt — compile included, and
+		// failed attempts too — so a job's spans account for its wall time
+		// even under chaos.
+		j.trace.Span("run", attemptStart, time.Since(attemptStart),
+			"attempt", strconv.Itoa(attempt+1), "outcome", traceOutcome(err))
 	}()
 	if f.injectFault != nil {
 		if ferr := f.injectFault(j, attempt); ferr != nil {
@@ -962,7 +1016,10 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 		}
 	}
 
+	compileStart := time.Now()
 	c, cv, hit, compileTime, err := f.compileSpec(actx, j.Spec)
+	j.trace.Span("compile", compileStart, time.Since(compileStart),
+		"hit", strconv.FormatBool(hit))
 	if c != nil {
 		j.mu.Lock()
 		j.hash, j.hashed = c.StructuralHash(), true
@@ -1013,6 +1070,7 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 		f.mu.Lock()
 		f.cyclesSaved += int64(resume)
 		f.mu.Unlock()
+		j.trace.Instant("resume", "cycle", strconv.Itoa(resume))
 	}
 	drive := wl.WithSeed(j.Spec.Seed).NewEngineDriveFrom(e, resume)
 
@@ -1082,6 +1140,7 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	f.simCycles += e.Cycles - int64(resume) // only cycles executed this attempt
 	f.simWall += wall
 	f.mu.Unlock()
+	f.obs.simRunObs(wall)
 	return nil
 }
 
@@ -1126,6 +1185,7 @@ func (f *Farm) finishLocked(j *Job, status Status, stats *SimStats, err error) b
 	// Terminal jobs are retained for the API; their checkpoint is not.
 	j.checkpoint = nil
 	j.attemptCancel = nil
+	j.trace.Instant("done", "status", string(status))
 	close(j.done)
 	return true
 }
@@ -1135,6 +1195,12 @@ func (f *Farm) finishLocked(j *Job, status Status, stats *SimStats, err error) b
 // cap so the jobs map (and its stats/VCD buffers) can't grow without
 // bound.
 func (f *Farm) accountFinish(j *Job, status Status) {
+	if status == StatusDone && f.obs != nil {
+		j.mu.Lock()
+		e2e := j.finished.Sub(j.created)
+		j.mu.Unlock()
+		f.obs.e2eObs(e2e)
+	}
 	f.mu.Lock()
 	switch status {
 	case StatusDone:

@@ -74,6 +74,12 @@ type JobSpec struct {
 	// when migrating a job off a dead node; it is rejected for VCD jobs
 	// (the waveform must cover the whole run) and validated at submit.
 	Checkpoint []byte `json:"checkpoint,omitempty"`
+	// TraceID is the fleet-wide lifecycle trace identifier. The HTTP
+	// layer fills it from the X-Trace-Id header; Submit generates one
+	// when neither is set. Living in the spec, it journals with the job
+	// and survives recovery and fleet migration, so one ID names the
+	// job's whole story across nodes.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // normalize applies defaults and validates the statically checkable
@@ -164,8 +170,11 @@ type JobView struct {
 	// CheckpointCycle is the cycle of the job's newest in-memory
 	// checkpoint (0 when none). The fleet router watches it to decide
 	// when to pull a fresh checkpoint for migration insurance.
-	CheckpointCycle int64     `json:"checkpoint_cycle,omitempty"`
-	CreatedAt       time.Time `json:"created_at"`
-	StartedAt       time.Time `json:"started_at,omitempty"`
-	FinishedAt      time.Time `json:"finished_at,omitempty"`
+	CheckpointCycle int64 `json:"checkpoint_cycle,omitempty"`
+	// TraceID mirrors Spec.TraceID at the top level for clients that
+	// only read the view envelope.
+	TraceID    string    `json:"trace_id,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
 }

@@ -55,6 +55,12 @@ type Stats struct {
 	SimulatedCycles int64   `json:"simulated_cycles"`
 	SimWallMs       float64 `json:"sim_wall_ms"`
 	AggregateSimHz  float64 `json:"aggregate_sim_hz"`
+
+	// Latency holds p50/p95/p99 digests per job stage (nil when the farm
+	// runs with observability disabled). The block has a fixed shape —
+	// six histograms, no per-label maps — so /stats cannot grow with
+	// traffic.
+	Latency *LatencySummaries `json:"latency,omitempty"`
 }
 
 // Stats snapshots the farm's counters.
@@ -96,6 +102,7 @@ func (f *Farm) Stats() Stats {
 	st.Cache = f.cache.Stats()
 	st.Recovery = f.recovery
 	st.DurableWriteErrors = f.durableErrs.Load()
+	st.Latency = f.obs.latencySummaries()
 	return st
 }
 
@@ -145,6 +152,7 @@ func (f *Farm) WriteStats(w io.Writer) {
 	}
 	fmt.Fprintf(w, "simulation: %d cycles in %.0f ms of engine time (%.0f aggregate sim Hz)\n",
 		st.SimulatedCycles, st.SimWallMs, st.AggregateSimHz)
+	writeLatencyText(w, st.Latency)
 	for _, e := range f.cache.Snapshot() {
 		status := fmt.Sprintf("%d parts, %d kernels, %d B code", e.Partitions, e.Kernels, e.CodeBytes)
 		if e.Failed {

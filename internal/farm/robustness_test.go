@@ -410,4 +410,48 @@ func TestFarmChaos(t *testing.T) {
 	t.Logf("chaos: faults=%v retries=%v checkpoints=%d cycles_saved=%d shed=%d preempted=%d",
 		st.FaultsInjected, st.RetriesByCause, st.CheckpointsTaken,
 		st.CyclesSavedByResume, st.JobsShed, st.JobsPreempted)
+
+	// Observability contract, asserted under the same chaos: every job
+	// carries a trace whose spans (queued, compile, run, backoff) cover
+	// at least 95% of its wall time, every retry left a trace event, and
+	// the event causes agree with the farm's by-cause retry counters.
+	var totalRetries, tracedRetries int64
+	for _, n := range st.RetriesByCause {
+		totalRetries += n
+	}
+	for i, id := range ids {
+		j, _ := f.Job(id)
+		tv, ok := j.TraceView()
+		if !ok {
+			t.Fatalf("job %d (%s): no trace", i, id)
+		}
+		v := j.View()
+		if tv.TraceID == "" || tv.TraceID != v.TraceID {
+			t.Errorf("job %d: trace ID %q does not match view %q", i, tv.TraceID, v.TraceID)
+		}
+		if cov := tv.SpanCoverage(v.CreatedAt, v.FinishedAt); cov < 0.95 {
+			t.Errorf("job %d (%s): trace spans cover %.1f%% of wall time, want >= 95%% (events: %+v)",
+				i, id, 100*cov, tv.Events)
+		}
+		for _, e := range tv.Events {
+			if e.Name != "retry" {
+				continue
+			}
+			tracedRetries++
+			cause := e.Attrs["cause"]
+			if cause == "" {
+				t.Errorf("job %d: retry event without a cause attr", i)
+			} else if _, known := st.RetriesByCause[cause]; !known {
+				t.Errorf("job %d: retry cause %q absent from RetriesByCause %v",
+					i, cause, st.RetriesByCause)
+			}
+		}
+	}
+	if tracedRetries != totalRetries {
+		t.Errorf("traces recorded %d retry events, farm counted %d retries",
+			tracedRetries, totalRetries)
+	}
+	if st.Latency == nil || st.Latency.EndToEnd.Count < uint64(len(ids)) {
+		t.Errorf("latency digests missing or short: %+v", st.Latency)
+	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"dedupsim/internal/obs"
 )
 
 // Handler returns the farm's HTTP/JSON API:
@@ -16,9 +18,13 @@ import (
 //	POST /jobs/{id}/cancel  cancel a queued or running job
 //	GET  /jobs/{id}/vcd     fetch the captured waveform (spec.vcd jobs)
 //	GET  /jobs/{id}/checkpoint  newest encoded checkpoint (fleet migration)
+//	GET  /jobs/{id}/trace   lifecycle trace: Chrome trace_event JSON for
+//	                        Perfetto (?format=events for the raw events)
+//	GET  /trace             every retained job on one shared timeline
 //	GET  /artifacts/{key}   fetch-by-hash compile artifact ({hash}-{variant})
-//	GET  /stats             farm metrics (JSON)
+//	GET  /stats             farm metrics (JSON, incl. latency quantiles)
 //	GET  /statusz           farm metrics (text dump)
+//	GET  /metrics           Prometheus text-format exposition
 //	GET  /cache             compile-cache introspection
 //	GET  /healthz           liveness probe (legacy alias of /livez)
 //	GET  /livez             liveness probe (200 while the process serves)
@@ -40,6 +46,12 @@ func Handler(f *Farm) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 			return
 		}
+		// X-Trace-Id propagates the submitter's trace ID (the router sets
+		// it when forwarding); an ID already in the spec wins so a
+		// migrated job keeps its original identity.
+		if spec.TraceID == "" {
+			spec.TraceID = r.Header.Get("X-Trace-Id")
+		}
 		j, err := f.Submit(spec)
 		if err != nil {
 			code := http.StatusBadRequest
@@ -54,6 +66,7 @@ func Handler(f *Farm) http.Handler {
 			httpError(w, code, err)
 			return
 		}
+		w.Header().Set("X-Trace-Id", j.Spec.TraceID)
 		writeJSON(w, http.StatusAccepted, j.View())
 	})
 
@@ -132,6 +145,46 @@ func Handler(f *Farm) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(data)
+	})
+
+	// Lifecycle traces. The default rendering is Chrome trace_event JSON
+	// (open it in Perfetto or chrome://tracing); ?format=events returns
+	// the raw event list, which the fleet router consumes when merging a
+	// worker trace into its own timeline.
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := f.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		view, ok := j.TraceView()
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("tracing disabled on this farm"))
+			return
+		}
+		if r.URL.Query().Get("format") == "events" {
+			writeJSON(w, http.StatusOK, view)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, view)
+	})
+
+	// All retained jobs on one timeline (bounded by Config.RetainJobs).
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		var views []obs.TraceView
+		for _, j := range f.Jobs() {
+			if v, ok := j.TraceView(); ok {
+				views = append(views, v)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, views...)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		f.WriteProm(w)
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

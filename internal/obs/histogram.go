@@ -1,0 +1,243 @@
+// Package obs is the farm's observability substrate: lock-cheap
+// log-linear latency histograms with exact quantile bounds, per-job
+// lifecycle traces (bounded span-event rings exportable as Chrome
+// trace_event JSON for Perfetto), a dependency-free Prometheus
+// text-format writer with a grammar linter, and opt-in pprof wiring.
+//
+// Everything here is deliberately free of third-party dependencies and
+// cheap enough to stay on in production: histogram recording is one
+// atomic add per observation, trace recording is one short critical
+// section per lifecycle event (never per simulated cycle), and a nil
+// *Trace is a recorded-nowhere no-op.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear over nanoseconds, in the style of
+// runtime/metrics. Each power-of-two octave is split into 8 linear
+// sub-buckets, so any recorded value's bucket bounds are within 12.5%
+// of each other — quantiles come back as [lo, hi] intervals with a
+// guaranteed worst-case relative error of 1/8, not point estimates of
+// unknown quality. Values below 2^histMinExp ns (~1µs) share bucket 0;
+// values at or above 2^histMaxExp ns (~2.4h) share the overflow bucket.
+//
+// The layout is fixed at compile time: every Histogram has the same
+// NumBuckets counters, two snapshots merge bucket-by-bucket, and a
+// snapshot's memory is constant regardless of what was recorded.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits // 8 linear sub-buckets per octave
+	histMinExp   = 10               // first bucketed octave starts at 2^10 ns ≈ 1µs
+	histMaxExp   = 43               // overflow at 2^43 ns ≈ 2.4h
+
+	// NumBuckets is the fixed bucket count: one underflow bucket, the
+	// log-linear body, and one overflow bucket.
+	NumBuckets = 1 + (histMaxExp-histMinExp)*histSubCount + 1
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 1<<histMinExp {
+		return 0
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	if exp >= histMaxExp {
+		return NumBuckets - 1
+	}
+	sub := (v >> uint(exp-histSubBits)) & (histSubCount - 1)
+	return 1 + (exp-histMinExp)*histSubCount + int(sub)
+}
+
+// BucketBounds returns bucket i's value range [lo, hi): every value
+// recorded into bucket i satisfies lo <= v < hi (the overflow bucket's
+// hi is MaxInt64).
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return 0, 1 << histMinExp
+	case i >= NumBuckets-1:
+		return 1 << histMaxExp, math.MaxInt64
+	}
+	i--
+	exp := histMinExp + i/histSubCount
+	sub := int64(i % histSubCount)
+	width := int64(1) << uint(exp-histSubBits)
+	lo = int64(1)<<uint(exp) + sub*width
+	return lo, lo + width
+}
+
+// Histogram is a concurrency-safe log-linear latency histogram.
+// Observe is one atomic add per counter touched (no locks, no
+// allocation); snapshots are taken bucket-by-bucket without stopping
+// writers, so a snapshot is a consistent-enough view for monitoring,
+// not a linearizable cut. The zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Since records the elapsed time from start to now.
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// Snapshot copies the histogram's counters for export and analysis.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Sum and Max
+// are in nanoseconds.
+type HistogramSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	Sum    int64
+	Max    int64
+}
+
+// Merge adds other's counts into s (fleet-level aggregation: summing
+// per-node snapshots yields exactly the histogram a single global
+// recorder would have produced).
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// QuantileBounds returns the value interval [lo, hi] containing the
+// q-quantile of the recorded population (nearest-rank definition:
+// the ceil(q*count)-th smallest observation). Every recorded value in
+// the chosen bucket lies in [lo, hi], so lo <= exact-quantile <= hi
+// always holds; the interval's relative width is at most 1/8 except in
+// the underflow and overflow buckets. The overflow bound is tightened
+// to the observed maximum. Returns (0, 0) for an empty histogram.
+func (s *HistogramSnapshot) QuantileBounds(q float64) (lo, hi time.Duration) {
+	if s.Count == 0 {
+		return 0, 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			l, h := BucketBounds(i)
+			if s.Max >= l && s.Max < h {
+				h = s.Max // tighten with the observed maximum
+			}
+			if h == math.MaxInt64 {
+				h = s.Max
+			}
+			return time.Duration(l), time.Duration(h)
+		}
+	}
+	return time.Duration(s.Max), time.Duration(s.Max)
+}
+
+// Quantile returns the conservative (upper-bound) estimate of the
+// q-quantile — the safe side for SLO reporting.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	_, hi := s.QuantileBounds(q)
+	return hi
+}
+
+// Mean returns the exact arithmetic mean of all observations.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// PromBuckets renders the snapshot as cumulative Prometheus-histogram
+// buckets at octave boundaries: ~34 `le` bounds (in seconds) instead of
+// the full 266-bucket layout, which keeps scrapes small while the
+// native layout keeps its precision for /stats quantiles. The final
+// implicit +Inf bucket is Count.
+func (s *HistogramSnapshot) PromBuckets() (les []float64, cums []uint64) {
+	les = make([]float64, 0, histMaxExp-histMinExp+1)
+	cums = make([]uint64, 0, histMaxExp-histMinExp+1)
+	var cum uint64
+	i := 0
+	for exp := histMinExp; exp <= histMaxExp; exp++ {
+		// Buckets strictly below 2^exp: bucket 0 for the first boundary,
+		// then one full octave of sub-buckets per step.
+		stop := 1
+		if exp > histMinExp {
+			stop = 1 + (exp-histMinExp)*histSubCount
+		}
+		for ; i < stop; i++ {
+			cum += s.Counts[i]
+		}
+		les = append(les, float64(int64(1)<<uint(exp))/1e9)
+		cums = append(cums, cum)
+	}
+	return les, cums
+}
+
+// Summary is the fixed-size quantile digest served in /stats: counts
+// plus conservative (upper-bound) p50/p95/p99 in milliseconds. It is
+// allocation-bounded by construction — no per-label maps.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summarize digests a snapshot.
+func (s *HistogramSnapshot) Summarize() Summary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Summary{
+		Count:  s.Count,
+		MeanMs: ms(s.Mean()),
+		P50Ms:  ms(s.Quantile(0.50)),
+		P95Ms:  ms(s.Quantile(0.95)),
+		P99Ms:  ms(s.Quantile(0.99)),
+		MaxMs:  ms(time.Duration(s.Max)),
+	}
+}

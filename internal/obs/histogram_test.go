@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every bucket's own bounds must map back to that bucket, and bounds
+	// must tile the int64 range without gaps or overlaps.
+	prevHi := int64(0)
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d: lo=%d, want %d (gap/overlap)", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d: empty range [%d,%d)", i, lo, hi)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(lo=%d)=%d, want %d", lo, got, i)
+		}
+		if hi != math.MaxInt64 {
+			if got := bucketIndex(hi - 1); got != i {
+				t.Fatalf("bucketIndex(hi-1=%d)=%d, want %d", hi-1, got, i)
+			}
+		}
+		prevHi = hi
+	}
+	if prevHi != math.MaxInt64 {
+		t.Fatalf("buckets end at %d, want MaxInt64", prevHi)
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	// Body buckets must bound quantiles within 1/8 relative error.
+	for i := 1; i < NumBuckets-1; i++ {
+		lo, hi := BucketBounds(i)
+		if rel := float64(hi-lo) / float64(lo); rel > 1.0/float64(histSubCount)+1e-12 {
+			t.Fatalf("bucket %d [%d,%d): relative width %v > 1/%d", i, lo, hi, rel, histSubCount)
+		}
+	}
+}
+
+// exactQuantile is the nearest-rank quantile of a sorted sample.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	// Property: for random populations from several distributions, the
+	// histogram's [lo, hi] quantile interval always contains the exact
+	// sorted-sample quantile, and the interval is tight (≤1/8 relative).
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() int64{
+		"uniform-ms":  func() int64 { return rng.Int63n(int64(100 * time.Millisecond)) },
+		"exponential": func() int64 { return int64(rng.ExpFloat64() * float64(5*time.Millisecond)) },
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return int64(time.Second) + rng.Int63n(int64(time.Second))
+			}
+			return int64(time.Microsecond) + rng.Int63n(int64(time.Millisecond))
+		},
+		"tiny": func() int64 { return rng.Int63n(2048) }, // exercises the underflow bucket
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			samples := make([]int64, 0, 5000)
+			for i := 0; i < 5000; i++ {
+				v := gen()
+				samples = append(samples, v)
+				h.Observe(time.Duration(v))
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			s := h.Snapshot()
+			if s.Count != uint64(len(samples)) {
+				t.Fatalf("count=%d, want %d", s.Count, len(samples))
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+				exact := exactQuantile(samples, q)
+				lo, hi := s.QuantileBounds(q)
+				if int64(lo) > exact || exact > int64(hi) {
+					t.Errorf("q=%v: exact %d outside bounds [%d, %d]", q, exact, lo, hi)
+				}
+				if lo > 0 && int64(lo) >= 1<<histMinExp && int64(hi) < 1<<histMaxExp {
+					if rel := float64(hi-lo) / float64(lo); rel > 1.0/float64(histSubCount)+1e-12 {
+						t.Errorf("q=%v: bound width %v exceeds 1/%d relative", q, rel, histSubCount)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var s HistogramSnapshot
+	if lo, hi := s.QuantileBounds(0.5); lo != 0 || hi != 0 {
+		t.Fatalf("empty histogram quantile = [%v, %v], want [0, 0]", lo, hi)
+	}
+	var h Histogram
+	h.Observe(-5 * time.Second) // clamps to zero
+	h.Observe(3 * time.Millisecond)
+	snap := h.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("count=%d, want 2", snap.Count)
+	}
+	if lo, _ := snap.QuantileBounds(0.01); lo != 0 {
+		t.Fatalf("p1 lo=%v, want 0 (clamped negative)", lo)
+	}
+	// Max beyond the table lands in overflow; bounds tighten to Max.
+	var big Histogram
+	big.Observe(10 * time.Hour)
+	bigSnap := big.Snapshot()
+	if _, hi := bigSnap.QuantileBounds(0.99); hi != 10*time.Hour {
+		t.Fatalf("overflow hi=%v, want 10h (tightened to max)", hi)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, whole Histogram
+	for i := 0; i < 2000; i++ {
+		v := time.Duration(rng.Int63n(int64(time.Second)))
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := whole.Snapshot()
+	if merged != want {
+		t.Fatalf("merged snapshot differs from single-recorder snapshot")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count=%d, want %d", s.Count, goroutines*per)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	snap := h.Snapshot()
+	sum := snap.Summarize()
+	if sum.Count != 100 {
+		t.Fatalf("count=%d", sum.Count)
+	}
+	// p50 of 1..100ms is 50ms; the upper bound may overshoot by ≤1/8.
+	if sum.P50Ms < 50 || sum.P50Ms > 50*1.13 {
+		t.Fatalf("p50=%vms, want ~50ms (≤1/8 over)", sum.P50Ms)
+	}
+	if sum.P95Ms < 95 || sum.P95Ms > 95*1.13 {
+		t.Fatalf("p95=%vms, want ~95ms", sum.P95Ms)
+	}
+	if sum.MaxMs != 100 {
+		t.Fatalf("max=%vms, want 100", sum.MaxMs)
+	}
+	if sum.MeanMs < 50 || sum.MeanMs > 51 {
+		t.Fatalf("mean=%vms, want 50.5", sum.MeanMs)
+	}
+}
+
+func TestPromBucketsCumulative(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var h Histogram
+	for i := 0; i < 3000; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(2 * time.Second))))
+	}
+	s := h.Snapshot()
+	les, cums := s.PromBuckets()
+	if len(les) != len(cums) || len(les) == 0 {
+		t.Fatalf("les=%d cums=%d", len(les), len(cums))
+	}
+	prev := uint64(0)
+	for i := range les {
+		if i > 0 && les[i] <= les[i-1] {
+			t.Fatalf("le bounds not increasing at %d: %v <= %v", i, les[i], les[i-1])
+		}
+		if cums[i] < prev {
+			t.Fatalf("cumulative counts decreased at %d: %d < %d", i, cums[i], prev)
+		}
+		prev = cums[i]
+	}
+	if cums[len(cums)-1] > s.Count {
+		t.Fatalf("last cum %d > count %d", cums[len(cums)-1], s.Count)
+	}
+	// Cross-check each le bound against a direct scan of the samples.
+	var under uint64
+	for i, c := range s.Counts {
+		lo, _ := BucketBounds(i)
+		if float64(lo)/1e9 < les[0] {
+			under += c
+		}
+	}
+	if cums[0] != under {
+		t.Fatalf("first cum %d != direct scan %d", cums[0], under)
+	}
+}

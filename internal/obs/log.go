@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a structured logger writing to w. Format is "text"
+// (the default, human-oriented key=value lines) or "json" (one object
+// per line, for log shippers). Callers tag identity once at startup —
+// logger.With("node_id", id) — so every line carries it.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (have text, json)", format)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Opt-in pprof exposition. The profiling handlers get their own mux and
+// listener instead of riding the farm's API mux: profiles can stall a
+// serving goroutine for seconds (the CPU profile blocks for its whole
+// sampling window), and keeping them off the public port means the API
+// can be exposed while profiling stays on localhost.
+
+// PprofServer is a running pprof endpoint.
+type PprofServer struct {
+	// Addr is the bound listen address (resolved, so ":0" requests come
+	// back with the real port).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060";
+// ":0" picks a free port, useful in tests). The server runs until
+// Close; accept-loop errors after Close are swallowed.
+func StartPprof(addr string) (*PprofServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close is expected
+	return &PprofServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the pprof server.
+func (p *PprofServer) Close() error {
+	if p == nil {
+		return nil
+	}
+	return p.srv.Close()
+}

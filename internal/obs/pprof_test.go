@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestPprofServer is the -pprof-addr smoke: the profiling mux comes up
+// on its own listener (":0" resolves to a real port), answers the pprof
+// index and cmdline endpoints, and shuts down cleanly.
+func TestPprofServer(t *testing.T) {
+	ps, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if ps.Addr == "" || ps.Addr == "127.0.0.1:0" {
+		t.Fatalf("unresolved pprof addr %q", ps.Addr)
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + ps.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("GET %s: HTTP %d, %d bytes", path, resp.StatusCode, len(body))
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

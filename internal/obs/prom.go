@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dependency-free Prometheus text-format (version 0.0.4) exposition.
+// The writer emits HELP/TYPE headers exactly once per metric family,
+// escapes label values, and renders HistogramSnapshots as cumulative
+// le-buckets; LintProm validates the grammar and the repo's naming
+// conventions so a test can assert any /metrics page stays scrapable.
+
+// PromContentType is the Content-Type for text-format exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromWriter streams one exposition page. Errors are sticky: the first
+// write failure is kept and returned by Flush.
+type PromWriter struct {
+	w    *bufio.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewPromWriter starts an exposition page on w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w), seen: map[string]bool{}}
+}
+
+// Flush flushes buffered output and returns the first error seen.
+func (p *PromWriter) Flush() error {
+	if ferr := p.w.Flush(); p.err == nil {
+		p.err = ferr
+	}
+	return p.err
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(p.w, format, args...); err != nil {
+		p.err = err
+	}
+}
+
+// header emits the HELP/TYPE preamble once per metric family.
+func (p *PromWriter) header(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labels renders "k1, v1, k2, v2, ..." varargs as {k1="v1",...} ("" when
+// empty). extra, when non-empty, is appended as a pre-rendered pair
+// (the histogram writer's le label).
+func labels(kvs []string, extra string) string {
+	if len(kvs) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kvs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kvs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kvs[i+1]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(kvs) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtFloat renders a sample value (integers stay integral).
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter emits one counter sample. Counter names must end in _total
+// (LintProm enforces it). Call repeatedly with different label values
+// for a labeled family; the header is emitted once.
+func (p *PromWriter) Counter(name, help string, v float64, kvs ...string) {
+	p.header(name, help, "counter")
+	p.printf("%s%s %s\n", name, labels(kvs, ""), fmtFloat(v))
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, kvs ...string) {
+	p.header(name, help, "gauge")
+	p.printf("%s%s %s\n", name, labels(kvs, ""), fmtFloat(v))
+}
+
+// Histogram emits a HistogramSnapshot as a Prometheus histogram in
+// seconds: downsampled cumulative buckets (see PromBuckets), _sum, and
+// _count.
+func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot, kvs ...string) {
+	p.header(name, help, "histogram")
+	les, cums := s.PromBuckets()
+	for i, le := range les {
+		p.printf("%s_bucket%s %d\n", name,
+			labels(kvs, `le="`+strconv.FormatFloat(le, 'g', -1, 64)+`"`), cums[i])
+	}
+	p.printf("%s_bucket%s %d\n", name, labels(kvs, `le="+Inf"`), s.Count)
+	p.printf("%s_sum%s %s\n", name, labels(kvs, ""), fmtFloat(float64(s.Sum)/1e9))
+	p.printf("%s_count%s %d\n", name, labels(kvs, ""), s.Count)
+}
+
+// --- Lint ---------------------------------------------------------------
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits a sample line into name, optional label block, and
+	// the value/timestamp remainder.
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?\s*$`)
+)
+
+// LintProm validates a text-format exposition page: grammar (HELP/TYPE
+// lines, sample syntax, float values), metric-name and label-name
+// charsets, that every sample belongs to a declared TYPE, counter
+// naming (_total suffix), and histogram shape (monotone cumulative
+// buckets ending at le="+Inf", with _sum and _count). It returns every
+// violation found, or nil for a clean page.
+func LintProm(data []byte) []error {
+	var errs []error
+	addf := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	types := map[string]string{}
+	type histState struct {
+		lastLe  map[string]float64 // label-set (le stripped) -> last le bound
+		lastCum map[string]uint64
+		hasInf  map[string]bool
+		sum     map[string]bool
+		count   map[string]bool
+	}
+	hists := map[string]*histState{}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				addf("line %d: malformed comment %q (want # HELP/# TYPE)", lineNo, line)
+				continue
+			}
+			name := fields[2]
+			if !promNameRe.MatchString(name) {
+				addf("line %d: bad metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					addf("line %d: TYPE line missing type", lineNo)
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[name]; dup {
+					addf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = fields[3]
+				if fields[3] == "counter" && !strings.HasSuffix(name, "_total") {
+					addf("line %d: counter %q does not end in _total", lineNo, name)
+				}
+				if fields[3] == "histogram" {
+					hists[name] = &histState{
+						lastLe: map[string]float64{}, lastCum: map[string]uint64{},
+						hasInf: map[string]bool{}, sum: map[string]bool{}, count: map[string]bool{},
+					}
+				}
+			}
+			continue
+		}
+
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			addf("line %d: malformed sample %q", lineNo, line)
+			continue
+		}
+		name, labelBlock, valueStr := m[1], m[2], m[3]
+		value, perr := strconv.ParseFloat(valueStr, 64)
+		if perr != nil {
+			addf("line %d: bad value %q", lineNo, valueStr)
+		}
+
+		// Resolve the sample to its family: histogram series use the
+		// base name's TYPE.
+		family := name
+		if _, ok := types[family]; !ok {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suf)
+				if base != name && types[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+		}
+		typ, declared := types[family]
+		if !declared {
+			addf("line %d: sample %q has no TYPE declaration", lineNo, name)
+			continue
+		}
+
+		var leVal string
+		labelKey := labelBlock
+		if labelBlock != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(labelBlock, "{"), "}")
+			var kept []string
+			for _, pair := range splitLabelPairs(inner) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					addf("line %d: malformed label pair %q", lineNo, pair)
+					continue
+				}
+				if !promLabelRe.MatchString(k) {
+					addf("line %d: bad label name %q", lineNo, k)
+				}
+				if k == "le" {
+					leVal = v[1 : len(v)-1]
+					continue
+				}
+				kept = append(kept, pair)
+			}
+			sort.Strings(kept)
+			labelKey = strings.Join(kept, ",")
+		}
+
+		if typ == "histogram" {
+			h := hists[family]
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if leVal == "" {
+					addf("line %d: histogram bucket without le label", lineNo)
+					continue
+				}
+				le := math.Inf(1)
+				if leVal != "+Inf" {
+					le, perr = strconv.ParseFloat(leVal, 64)
+					if perr != nil {
+						addf("line %d: bad le %q", lineNo, leVal)
+						continue
+					}
+				}
+				if last, ok := h.lastLe[labelKey]; ok && le <= last {
+					addf("line %d: %s buckets out of order (le %v after %v)", lineNo, family, le, last)
+				}
+				cum := uint64(value)
+				if last, ok := h.lastCum[labelKey]; ok && cum < last {
+					addf("line %d: %s cumulative count decreased (%d after %d)", lineNo, family, cum, last)
+				}
+				h.lastLe[labelKey] = le
+				h.lastCum[labelKey] = cum
+				if math.IsInf(le, 1) {
+					h.hasInf[labelKey] = true
+				}
+			case strings.HasSuffix(name, "_sum"):
+				h.sum[labelKey] = true
+			case strings.HasSuffix(name, "_count"):
+				h.count[labelKey] = true
+			default:
+				addf("line %d: stray sample %q in histogram family %s", lineNo, name, family)
+			}
+			continue
+		}
+		if typ == "counter" && value < 0 {
+			addf("line %d: counter %s is negative (%v)", lineNo, name, value)
+		}
+	}
+
+	for name, h := range hists {
+		for key := range h.lastLe {
+			if !h.hasInf[key] {
+				addf("histogram %s{%s} has no +Inf bucket", name, key)
+			}
+			if !h.sum[key] {
+				addf("histogram %s{%s} has no _sum", name, key)
+			}
+			if !h.count[key] {
+				addf("histogram %s{%s} has no _count", name, key)
+			}
+		}
+	}
+	return errs
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromWriterBasic(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("farm_jobs_total", "Jobs submitted.", 42)
+	p.Gauge("farm_queue_depth", "Jobs waiting.", 3)
+	p.Counter("farm_retries_total", "Retries by cause.", 2, "cause", "compile.panic")
+	p.Counter("farm_retries_total", "Retries by cause.", 1, "cause", "step.stall")
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP farm_jobs_total Jobs submitted.",
+		"# TYPE farm_jobs_total counter",
+		"farm_jobs_total 42",
+		"# TYPE farm_queue_depth gauge",
+		"farm_queue_depth 3",
+		`farm_retries_total{cause="compile.panic"} 2`,
+		`farm_retries_total{cause="step.stall"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The labeled family's header must appear exactly once.
+	if strings.Count(out, "# TYPE farm_retries_total counter") != 1 {
+		t.Fatalf("duplicate TYPE header:\n%s", out)
+	}
+	if errs := LintProm(buf.Bytes()); len(errs) > 0 {
+		t.Fatalf("lint errors: %v", errs)
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 500; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Histogram("farm_job_seconds", "End-to-end latency.", h.Snapshot())
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `farm_job_seconds_bucket{le="+Inf"} 500`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "farm_job_seconds_count 500") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+	if !strings.Contains(out, "farm_job_seconds_sum ") {
+		t.Fatalf("missing sum:\n%s", out)
+	}
+	if errs := LintProm(buf.Bytes()); len(errs) > 0 {
+		t.Fatalf("lint errors: %v", errs)
+	}
+}
+
+func TestPromWriterHistogramLabeled(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Histogram("fleet_probe_seconds", "Probe latency.", h.Snapshot(), "node", "n1")
+	p.Histogram("fleet_probe_seconds", "Probe latency.", h.Snapshot(), "node", "n2")
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if errs := LintProm(buf.Bytes()); len(errs) > 0 {
+		t.Fatalf("lint errors: %v\n%s", errs, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, `fleet_probe_seconds_bucket{node="n1",le="+Inf"} 1`) {
+		t.Fatalf("missing labeled +Inf bucket:\n%s", out)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Gauge("g", "help", 1, "k", `a"b\c`+"\n"+`d`)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `g{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping: %s", buf.String())
+	}
+	if errs := LintProm(buf.Bytes()); len(errs) > 0 {
+		t.Fatalf("lint errors: %v", errs)
+	}
+}
+
+func TestLintPromCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"counter without _total": "# HELP x_bad jobs\n# TYPE x_bad counter\nx_bad 1\n",
+		"undeclared sample":      "orphan_metric 3\n",
+		"bad value":              "# TYPE g gauge\n# HELP g h\ng not-a-number\n",
+		"malformed comment":      "# BOGUS thing\n",
+		"unknown type":           "# HELP m h\n# TYPE m widget\nm 1\n",
+		"bucket disorder": "# HELP h_s h\n# TYPE h_s histogram\n" +
+			`h_s_bucket{le="1"} 5` + "\n" + `h_s_bucket{le="0.5"} 3` + "\n" +
+			`h_s_bucket{le="+Inf"} 5` + "\nh_s_sum 1\nh_s_count 5\n",
+		"cumulative decrease": "# HELP h_s h\n# TYPE h_s histogram\n" +
+			`h_s_bucket{le="1"} 5` + "\n" + `h_s_bucket{le="2"} 3` + "\n" +
+			`h_s_bucket{le="+Inf"} 5` + "\nh_s_sum 1\nh_s_count 5\n",
+		"missing +Inf": "# HELP h_s h\n# TYPE h_s histogram\n" +
+			`h_s_bucket{le="1"} 5` + "\nh_s_sum 1\nh_s_count 5\n",
+		"missing sum": "# HELP h_s h\n# TYPE h_s histogram\n" +
+			`h_s_bucket{le="+Inf"} 5` + "\nh_s_count 5\n",
+		"negative counter": "# HELP c_total h\n# TYPE c_total counter\nc_total -1\n",
+		"bad label name":   "# HELP g h\n# TYPE g gauge\n" + `g{9bad="x"} 1` + "\n",
+	}
+	for name, page := range cases {
+		if errs := LintProm([]byte(page)); len(errs) == 0 {
+			t.Errorf("%s: lint accepted invalid page:\n%s", name, page)
+		}
+	}
+}
+
+func TestLintPromAcceptsCleanPage(t *testing.T) {
+	page := "# HELP up 1 if the node is serving.\n# TYPE up gauge\n" +
+		`up{node="n1"} 1` + "\n" + `up{node="n2"} 0` + "\n" +
+		"# HELP req_total requests\n# TYPE req_total counter\nreq_total 7\n"
+	if errs := LintProm([]byte(page)); len(errs) > 0 {
+		t.Fatalf("lint rejected clean page: %v", errs)
+	}
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-job lifecycle tracing. A Trace is a bounded ring of span events —
+// submitted, queued, compile, batch-join, run, checkpoint, retry,
+// migrate, done — identified by a trace ID that rides the X-Trace-Id
+// header from client through router to worker, so one ID names the
+// job's whole story across the fleet. Traces export as plain JSON
+// (TraceView) and as Chrome trace_event JSON (WriteChromeTrace), which
+// Perfetto and chrome://tracing open directly as a timeline.
+
+// DefaultTraceCap bounds a trace's event ring. Lifecycle events are
+// O(attempts); only checkpoint instants scale with run length, and the
+// ring drops the oldest events (counting them) rather than growing.
+const DefaultTraceCap = 256
+
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-char trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy failure: fall back to a process-unique counter so IDs
+		// stay distinct even if not unguessable.
+		return fmt.Sprintf("trace-%016x", traceFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Event is one span (Dur > 0) or instant (Dur == 0) in a trace.
+type Event struct {
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	Dur   time.Duration     `json:"dur_ns,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// End returns the event's end time (Start for instants).
+func (e Event) End() time.Time { return e.Start.Add(e.Dur) }
+
+// Trace is a bounded, concurrency-safe ring of lifecycle events.
+// A nil *Trace is valid: every method is a no-op, so callers can gate
+// tracing with a single nil field instead of branching at each site.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	name    string
+	cap     int
+	events  []Event
+	head    int // next overwrite position once the ring is full
+	full    bool
+	dropped int64
+}
+
+// NewTrace starts a trace. name labels the timeline row (typically the
+// job ID); id is the fleet-wide trace ID (NewTraceID when the caller
+// has none).
+func NewTrace(id, name string) *Trace {
+	return &Trace{id: id, name: name, cap: DefaultTraceCap}
+}
+
+// ID returns the trace ID ("" for nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetName relabels the trace (the router names a trace after its fleet
+// job ID, which is allocated after the first events are recorded).
+func (t *Trace) SetName(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.name = name
+	t.mu.Unlock()
+}
+
+// attrMap folds "k1, v1, k2, v2, ..." varargs into a map (nil when
+// empty; a trailing odd key gets "").
+func attrMap(attrs []string) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, (len(attrs)+1)/2)
+	for i := 0; i < len(attrs); i += 2 {
+		v := ""
+		if i+1 < len(attrs) {
+			v = attrs[i+1]
+		}
+		m[attrs[i]] = v
+	}
+	return m
+}
+
+// Span records a completed span with explicit start and duration.
+func (t *Trace) Span(name string, start time.Time, dur time.Duration, attrs ...string) {
+	if t == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.add(Event{Name: name, Start: start, Dur: dur, Attrs: attrMap(attrs)})
+}
+
+// Instant records a point event at time.Now.
+func (t *Trace) Instant(name string, attrs ...string) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Start: time.Now(), Attrs: attrMap(attrs)})
+}
+
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.head] = e
+	t.head = (t.head + 1) % t.cap
+	t.full = true
+	t.dropped++
+}
+
+// View snapshots the trace: events in recording order plus the count of
+// events the bounded ring dropped.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := TraceView{TraceID: t.id, Name: t.name, Dropped: t.dropped}
+	v.Events = make([]Event, 0, len(t.events))
+	if t.full {
+		v.Events = append(v.Events, t.events[t.head:]...)
+		v.Events = append(v.Events, t.events[:t.head]...)
+	} else {
+		v.Events = append(v.Events, t.events...)
+	}
+	return v
+}
+
+// TraceView is a trace snapshot as served by the JSON API
+// (GET /jobs/{id}/trace?format=events) and consumed by the router when
+// merging a worker's trace with its own.
+type TraceView struct {
+	TraceID string  `json:"trace_id"`
+	Name    string  `json:"name,omitempty"`
+	Dropped int64   `json:"dropped_events,omitempty"`
+	Events  []Event `json:"events"`
+}
+
+// SpanCoverage returns how much of the wall-clock interval [from, to]
+// is covered by the union of the view's spans (instants contribute
+// nothing). It is the acceptance metric for trace completeness: a
+// job's spans should cover ≥95% of its end-to-end latency.
+func (v TraceView) SpanCoverage(from, to time.Time) float64 {
+	total := to.Sub(from)
+	if total <= 0 {
+		return 0
+	}
+	type iv struct{ s, e time.Time }
+	var ivs []iv
+	for _, e := range v.Events {
+		if e.Dur <= 0 {
+			continue
+		}
+		s, t2 := e.Start, e.End()
+		if s.Before(from) {
+			s = from
+		}
+		if t2.After(to) {
+			t2 = to
+		}
+		if t2.After(s) {
+			ivs = append(ivs, iv{s, t2})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s.Before(ivs[j].s) })
+	var covered time.Duration
+	var curS, curE time.Time
+	for i, in := range ivs {
+		if i == 0 || in.s.After(curE) {
+			covered += curE.Sub(curS)
+			curS, curE = in.s, in.e
+			continue
+		}
+		if in.e.After(curE) {
+			curE = in.e
+		}
+	}
+	covered += curE.Sub(curS)
+	return float64(covered) / float64(total)
+}
+
+// Chrome trace_event export. The "JSON Array Format" with complete
+// ("X") and instant ("i") events is the lowest common denominator that
+// chrome://tracing, Perfetto, and speedscope all open directly.
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds, rebased to the earliest event
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders one or more trace views as a single Chrome
+// trace_event JSON document. Each view becomes one named thread on a
+// shared timeline; timestamps are rebased to the earliest event so the
+// file opens at t=0 in Perfetto.
+func WriteChromeTrace(w io.Writer, views ...TraceView) error {
+	var epoch time.Time
+	for _, v := range views {
+		for _, e := range v.Events {
+			if epoch.IsZero() || e.Start.Before(epoch) {
+				epoch = e.Start
+			}
+		}
+	}
+	us := func(t time.Time) float64 { return float64(t.Sub(epoch)) / float64(time.Microsecond) }
+
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, v := range views {
+		tid := i + 1
+		label := v.Name
+		if label == "" {
+			label = fmt.Sprintf("trace %d", tid)
+		}
+		if v.TraceID != "" {
+			label += " [" + v.TraceID + "]"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": label},
+		})
+		for _, e := range v.Events {
+			ce := chromeEvent{Name: e.Name, Ts: us(e.Start), Pid: 1, Tid: tid, Args: e.Attrs}
+			if e.Dur > 0 {
+				ce.Ph = "X"
+				ce.Dur = float64(e.Dur) / float64(time.Microsecond)
+			} else {
+				ce.Ph = "i"
+				ce.S = "t"
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

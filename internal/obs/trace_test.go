@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTraceNoop(t *testing.T) {
+	var tr *Trace
+	tr.Span("x", time.Now(), time.Second)
+	tr.Instant("y")
+	tr.SetName("z")
+	if tr.ID() != "" {
+		t.Fatal("nil trace ID should be empty")
+	}
+	v := tr.View()
+	if len(v.Events) != 0 || v.TraceID != "" {
+		t.Fatalf("nil trace view = %+v, want empty", v)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	tr := NewTrace("abc", "job-1")
+	base := time.Now()
+	for i := 0; i < DefaultTraceCap+50; i++ {
+		tr.Span("e", base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	v := tr.View()
+	if len(v.Events) != DefaultTraceCap {
+		t.Fatalf("ring holds %d events, want %d", len(v.Events), DefaultTraceCap)
+	}
+	if v.Dropped != 50 {
+		t.Fatalf("dropped=%d, want 50", v.Dropped)
+	}
+	// The survivors must be the newest events, in chronological order.
+	want := base.Add(50 * time.Millisecond)
+	if !v.Events[0].Start.Equal(want) {
+		t.Fatalf("oldest surviving event at %v, want %v", v.Events[0].Start, want)
+	}
+	for i := 1; i < len(v.Events); i++ {
+		if v.Events[i].Start.Before(v.Events[i-1].Start) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestTraceAttrs(t *testing.T) {
+	tr := NewTrace("id", "n")
+	tr.Instant("retry", "cause", "compile.panic", "attempt", "2")
+	v := tr.View()
+	if len(v.Events) != 1 {
+		t.Fatalf("events=%d", len(v.Events))
+	}
+	a := v.Events[0].Attrs
+	if a["cause"] != "compile.panic" || a["attempt"] != "2" {
+		t.Fatalf("attrs=%v", a)
+	}
+}
+
+func TestSpanCoverage(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTrace("id", "n")
+	// [0,40ms] and [30ms,60ms] overlap: union covers 60 of 100ms.
+	tr.Span("a", base, 40*time.Millisecond)
+	tr.Span("b", base.Add(30*time.Millisecond), 30*time.Millisecond)
+	tr.Instant("i") // instants contribute nothing
+	cov := tr.View().SpanCoverage(base, base.Add(100*time.Millisecond))
+	if cov < 0.599 || cov > 0.601 {
+		t.Fatalf("coverage=%v, want 0.6", cov)
+	}
+	// Spans outside the window are clipped.
+	tr2 := NewTrace("id2", "n2")
+	tr2.Span("pre", base.Add(-time.Hour), 2*time.Hour)
+	if cov := tr2.View().SpanCoverage(base, base.Add(time.Minute)); cov < 0.999 {
+		t.Fatalf("clipped coverage=%v, want 1.0", cov)
+	}
+	if cov := (TraceView{}).SpanCoverage(base, base); cov != 0 {
+		t.Fatalf("degenerate window coverage=%v, want 0", cov)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	base := time.Now()
+	tr := NewTrace("deadbeef", "job-7")
+	tr.Span("compile", base, 5*time.Millisecond, "hit", "false")
+	tr.Span("run", base.Add(5*time.Millisecond), 20*time.Millisecond)
+	tr.Instant("done")
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.View()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit=%q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 { // metadata + 2 spans + 1 instant
+		t.Fatalf("events=%d, want 4", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" {
+		t.Fatalf("first event %+v is not thread metadata", meta)
+	}
+	if !strings.Contains(meta.Args["name"], "job-7") || !strings.Contains(meta.Args["name"], "deadbeef") {
+		t.Fatalf("thread label %q missing job name or trace ID", meta.Args["name"])
+	}
+	var sawX, sawI bool
+	for _, e := range doc.TraceEvents[1:] {
+		switch e.Ph {
+		case "X":
+			sawX = true
+			if e.Dur <= 0 {
+				t.Fatalf("complete event %q has dur %v", e.Name, e.Dur)
+			}
+		case "i":
+			sawI = true
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.Ts < 0 {
+			t.Fatalf("event %q has negative ts %v (rebase broken)", e.Name, e.Ts)
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("missing span (%v) or instant (%v) events", sawX, sawI)
+	}
+	// Rebase: the earliest event must sit at ts 0.
+	if doc.TraceEvents[1].Ts != 0 {
+		t.Fatalf("first real event ts=%v, want 0", doc.TraceEvents[1].Ts)
+	}
+}
+
+func TestWriteChromeTraceMultiView(t *testing.T) {
+	base := time.Now()
+	router := NewTrace("ffee", "fleet-1")
+	router.Span("forward", base, time.Millisecond)
+	worker := NewTrace("ffee", "job-3")
+	worker.Span("run", base.Add(time.Millisecond), 10*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, router.View(), worker.View()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		tids[e.Tid] = true
+	}
+	if !tids[1] || !tids[2] {
+		t.Fatalf("expected two threads, got tids %v", tids)
+	}
+}

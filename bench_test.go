@@ -187,6 +187,78 @@ func BenchmarkStepBatch4(b *testing.B)  { benchStepBatch(b, 4) }
 func BenchmarkStepBatch8(b *testing.B)  { benchStepBatch(b, 8) }
 func BenchmarkStepBatch16(b *testing.B) { benchStepBatch(b, 16) }
 
+// --- Fusion/dispatch suite (CI smoke: -bench='BenchmarkDispatch|BenchmarkFusedStep')
+
+// compileForFusionBench compiles the step-bench design through the dedup
+// pipeline with explicit codegen options, so fused and unfused programs
+// differ ONLY in the peephole pass and 1-bit packing.
+func compileForFusionBench(b *testing.B, opt codegen.Options) *codegen.Program {
+	b.Helper()
+	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
+	g := c.SchedGraph()
+	dr, err := dedup.Deduplicate(c, g, dedup.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.LocalityAware(dr.Part.Quotient(g), dr.Class)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := codegen.Compile(c, dr, s, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchDispatchScalar(b *testing.B, opt codegen.Options) {
+	p := compileForFusionBench(b, opt)
+	e := sim.New(p, true)
+	drive := stimulus.VVAddB().NewEngineDrive(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(i)
+		e.Step()
+	}
+}
+
+// BenchmarkDispatch isolates the interpreter dispatch layer: the same
+// deduplicated design run through the unified jump-table core with
+// superinstruction fusion + 1-bit packing on (the default) vs off, on
+// the scalar engine and on a one-lane batch engine (which must match
+// scalar — the unified-engine invariant). Fused/Unfused is the per-cycle
+// win of the shorter fused instruction stream; BatchL1/Fused is the cost
+// of the L=1 batch path, expected ~1.0x.
+func BenchmarkDispatch(b *testing.B) {
+	b.Run("Fused", func(b *testing.B) {
+		benchDispatchScalar(b, codegen.Options{})
+	})
+	b.Run("Unfused", func(b *testing.B) {
+		benchDispatchScalar(b, codegen.Options{DisableFusion: true, DisablePacking: true})
+	})
+	b.Run("BatchL1", func(b *testing.B) {
+		p := compileForFusionBench(b, codegen.Options{})
+		be, err := sim.NewBatch(p, true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drive := stimulus.VVAddB().Lane(0).NewLaneDrive(be, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drive(i)
+			be.Step()
+		}
+	})
+}
+
+// BenchmarkFusedStep is the headline single-lane hot path after this
+// change: fused superinstructions + packed 1-bit state + jump-table
+// dispatch on the scalar engine, workload B. Compare against
+// BenchmarkDispatch/Unfused for the fusion win in isolation.
+func BenchmarkFusedStep(b *testing.B) {
+	benchDispatchScalar(b, codegen.Options{})
+}
+
 func BenchmarkReferenceStep(b *testing.B) {
 	c := gen.MustBuild(gen.Config(gen.SmallBoom, 4, 0.3))
 	r, err := sim.NewRef(c)

@@ -20,10 +20,12 @@ import (
 	"text/tabwriter"
 
 	"dedupsim/internal/circuit"
+	"dedupsim/internal/codegen"
 	"dedupsim/internal/dedup"
 	"dedupsim/internal/firrtl"
 	"dedupsim/internal/gen"
 	"dedupsim/internal/graph"
+	"dedupsim/internal/sched"
 )
 
 func main() {
@@ -96,6 +98,32 @@ func main() {
 			st.TemplateParts, st.KeptParts, st.DissolvedBoundary, st.DissolvedForCycles)
 	}
 	fmt.Printf("  final partitions:   %d (%d shared classes)\n", r.Part.NumParts, r.NumClasses)
+
+	// Compile and report the interpreter-lowering stats: superinstruction
+	// fusion and 1-bit cross-partition signal packing.
+	s, err := sched.LocalityAware(r.Part.Quotient(g), r.Class)
+	if err != nil {
+		fail(err)
+	}
+	p, err := codegen.Compile(c, r, s, codegen.Options{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ncodegen:\n")
+	fmt.Printf("  instructions:       %d -> %d after fusion (%.1f%% of dispatched instrs fused away)\n",
+		p.Fusion.InstrsBefore, p.Fusion.InstrsAfter, 100*p.Fusion.Frac())
+	if len(p.Fusion.FusedByKind) > 0 {
+		kinds := make([]string, 0, len(p.Fusion.FusedByKind))
+		for k := range p.Fusion.FusedByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("    %-16s %d\n", k+":", p.Fusion.FusedByKind[k])
+		}
+	}
+	fmt.Printf("  1-bit packing:      %d signals in %d words (state %d slots -> %d words)\n",
+		p.PackedSignals, p.PackedWords, p.NumSlots, p.StateWords())
 
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)

@@ -18,6 +18,12 @@ type Options struct {
 	FineGrainDedup bool
 	// FineGrainMaxInstrs bounds fine-grained sharing; default 6.
 	FineGrainMaxInstrs int
+	// DisableFusion turns off the superinstruction fusion pass (kernels
+	// keep their one-op-per-node form). Fusion is on by default.
+	DisableFusion bool
+	// DisablePacking turns off 1-bit signal packing (every slot gets its
+	// own state word). Packing is on by default.
+	DisablePacking bool
 }
 
 func (o Options) withDefaults() Options {
@@ -31,18 +37,23 @@ func (o Options) withDefaults() Options {
 // partitioning and schedule into an executable Program.
 func Compile(c *circuit.Circuit, dr *dedup.Result, s *sched.Schedule, opt Options) (*Program, error) {
 	opt = opt.withDefaults()
-	cc := &compiler{c: c, dr: dr}
+	cc := &compiler{c: c, dr: dr, packing: !opt.DisablePacking}
 	cc.assignSlots()
 
 	p := &Program{
-		NumSlots:   cc.numSlots,
-		NumParts:   dr.Part.NumParts,
-		Mems:       c.Mems,
-		Regs:       cc.regs,
-		WritePorts: cc.writePorts,
-		Inputs:     cc.inputs,
-		Outputs:    cc.outputs,
-		SlotOfNode: cc.slotOf,
+		NumSlots:      cc.numSlots,
+		NumParts:      dr.Part.NumParts,
+		Mems:          c.Mems,
+		Regs:          cc.regs,
+		WritePorts:    cc.writePorts,
+		Inputs:        cc.inputs,
+		Outputs:       cc.outputs,
+		SlotOfNode:    cc.slotOf,
+		NumWords:      cc.numWords,
+		SlotWord:      cc.slotWord,
+		SlotBit:       cc.slotBit,
+		PackedSignals: cc.packedSignals,
+		PackedWords:   cc.packedWords,
 	}
 
 	// Compile every partition in external (position-independent) form.
@@ -67,16 +78,30 @@ func Compile(c *circuit.Circuit, dr *dedup.Result, s *sched.Schedule, opt Option
 		for i := range code {
 			code[i].Mask = circuit.Mask(code[i].Width)
 		}
+		before := len(code)
+		if !opt.DisableFusion {
+			var kinds map[string]int
+			code, kinds = fuseKernel(code)
+			for kind, n := range kinds {
+				if p.Fusion.FusedByKind == nil {
+					p.Fusion.FusedByKind = map[string]int{}
+				}
+				p.Fusion.FusedByKind[kind] += n
+			}
+		}
 		k := &Kernel{
-			ID:       int32(len(p.Kernels)),
-			Code:     code,
-			NumTemps: numTemps,
-			Shared:   shared,
-			NumExt:   numExt,
-			NumMems:  numMems,
+			ID:                 int32(len(p.Kernels)),
+			Code:               code,
+			NumTemps:           numTemps,
+			Shared:             shared,
+			NumExt:             numExt,
+			NumMems:            numMems,
+			InstrsBeforeFusion: before,
 		}
 		costKernel(k)
 		p.Kernels = append(p.Kernels, k)
+		p.Fusion.InstrsBefore += before
+		p.Fusion.InstrsAfter += len(code)
 		return k
 	}
 
@@ -143,7 +168,7 @@ func Compile(c *circuit.Circuit, dr *dedup.Result, s *sched.Schedule, opt Option
 			continue
 		}
 		u := units[pid]
-		k := addKernel(inlineCode(u), u.numTemps, false, 0, 0)
+		k := addKernel(cc.inlineCode(u), u.numTemps, false, 0, 0)
 		kernelOf[pid] = k.ID
 	}
 
@@ -163,6 +188,16 @@ func Compile(c *circuit.Circuit, dr *dedup.Result, s *sched.Schedule, opt Option
 		}
 		p.Activations = append(p.Activations, act)
 		p.PartOfActivation = append(p.PartOfActivation, pid)
+	}
+
+	// Activation-weighted fusion stats: the dispatch count a full-activity
+	// cycle would execute, before vs after fusion. This is the number the
+	// interpreters feel, so Frac() reports the realized dispatch saving
+	// rather than the static (per unique kernel) one.
+	for i := range p.Activations {
+		k := p.Kernels[p.Activations[i].Kernel]
+		p.Fusion.ActInstrsBefore += int64(k.InstrsBeforeFusion)
+		p.Fusion.ActInstrsAfter += int64(len(k.Code))
 	}
 
 	// Activity fan-out maps: who reads which slot / memory. Built as
@@ -272,10 +307,11 @@ func (u *unit) touchedSlots(cc *compiler) []int32 {
 }
 
 // inlineCode rewrites a unit's external-form code into direct form:
-// KLoadExt/KStoreExt become KLoad/KStore on absolute slots and KMemRead's
-// memory operand becomes the global memory id. The unit's ext table is
-// consulted via the compiler that produced it.
-func inlineCode(u *unit) []Instr {
+// KLoadExt/KStoreExt become KLoad/KStore on absolute slots, packed-bit
+// accesses get their word/bit addresses baked in, and KMemRead's memory
+// operand becomes the global memory id. The unit's ext table is consulted
+// via the compiler that produced it.
+func (cc *compiler) inlineCode(u *unit) []Instr {
 	code := make([]Instr, len(u.code))
 	copy(code, u.code)
 	for i := range code {
@@ -286,6 +322,17 @@ func inlineCode(u *unit) []Instr {
 		case KStoreExt:
 			code[i].Op = KStore
 			code[i].Dst = u.extSlots[code[i].Dst]
+		case KLoadBitExt:
+			slot := u.extSlots[code[i].A]
+			code[i].Op = KLoadBit
+			code[i].A = cc.slotWord[slot]
+			code[i].B = int32(cc.slotBit[slot])
+		case KStoreBitExt:
+			slot := u.extSlots[code[i].Dst]
+			code[i].Op = KStoreBit
+			code[i].Dst = slot // logical slot, kept for consumer marking
+			code[i].B = cc.slotWord[slot]
+			code[i].C = int32(cc.slotBit[slot])
 		case KMemRead:
 			code[i].B = u.mems[code[i].B]
 		}
@@ -361,6 +408,56 @@ func costKernel(k *Kernel) {
 				bytes += 4
 				dyn++
 			}
+
+		// Fused superinstructions: one dispatch covering a former chain.
+		// Their dyn counts stay below the sum of their parts — that is the
+		// fusion win the cost model (and DynInstrs counters) should see.
+		case KBinI:
+			bytes += 5
+			dyn++
+		case KNotAnd:
+			bytes += 6
+			dyn += 2
+		case KCmpSel:
+			bytes += 10
+			dyn += 2
+			branches++
+		case KMuxMux:
+			bytes += 14
+			dyn += 3
+			branches += 2
+		case KBinStore:
+			bytes += 8
+			dyn += 2
+		case KBinStoreExt:
+			bytes += 12
+			dyn += 3
+		case KMuxStore:
+			bytes += 12
+			dyn += 3
+			branches++
+		case KMuxStoreExt:
+			bytes += 16
+			dyn += 4
+			branches++
+
+		case KBinBits:
+			bytes += 8
+			dyn += 2
+
+		// Packed 1-bit accesses: shift+mask on a shared word.
+		case KLoadBit:
+			bytes += 7
+			dyn += 2
+		case KLoadBitExt:
+			bytes += 13
+			dyn += 4
+		case KStoreBit:
+			bytes += 10
+			dyn += 3
+		case KStoreBitExt:
+			bytes += 16
+			dyn += 5
 		}
 	}
 	k.CodeBytes = bytes

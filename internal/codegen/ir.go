@@ -51,6 +51,73 @@ const (
 	// is the global memory index; for shared kernels B indexes the
 	// activation's Mems table.
 	KMemRead
+
+	// --- Superinstructions. The fusion pass (fuse.go) rewrites common
+	// chains in a kernel's linear code into the fused forms below, so the
+	// interpreters dispatch once where they used to dispatch two or three
+	// times. Masks are combined at fusion time; the engines never rebuild
+	// them.
+
+	// KBinI computes Dst <- BinOp(A, Val) masked to Width: a KBin whose
+	// right operand was a KConst, folded at fusion time (commutative ops
+	// are swapped so the constant lands on the right; OpCat is never
+	// folded because Val already carries its operand width).
+	KBinI
+	// KNotAnd computes Dst <- (^A & B) & Mask, fusing a single-use KNot
+	// into its consuming KBin/OpAnd. Mask is the AND of both original
+	// masks (sound by associativity of &).
+	KNotAnd
+	// KCmpSel computes Dst <- cmp(A, B) ? C : Val&0xffffffff, fusing a
+	// single-use comparison (BinOp in Eq/Neq/Lt/Geq) into its consuming
+	// KMux. The false-arm temp index is packed into Val's low 32 bits.
+	KCmpSel
+	// KMuxMux computes Dst <- A != 0 ? B : (C != 0 ? tv : fv), fusing a
+	// single-use inner KMux on the false arm (a priority-mux ladder
+	// rung). Val packs the inner arms as uint32 pair: tv = Val&0xffffffff,
+	// fv = Val>>32.
+	KMuxMux
+	// KBinStore is KBin immediately followed by a store of its result:
+	// Dst (the temp) is still written for other uses, and state slot C
+	// (absolute) receives the same value. Fused only when the store mask
+	// equals the bin mask (or the op is a comparison, whose 0/1 result
+	// any mask keeps), so the stored value is exactly t[Dst].
+	KBinStore
+	// KBinStoreExt is KBinStore for shared kernels: C indexes the
+	// activation's Ext table.
+	KBinStoreExt
+	// KMuxStore is KMux immediately followed by a store of its result to
+	// state slot Val (absolute); Mask is the store's mask.
+	KMuxStore
+	// KMuxStoreExt is KMuxStore for shared kernels: Val indexes the
+	// activation's Ext table.
+	KMuxStoreExt
+
+	// --- 1-bit packed state access. Lowering packs width-1 cross-
+	// partition signals into shared state words (Program.SlotWord /
+	// SlotBit); these opcodes read and write single bits of those words.
+
+	// KLoadBit loads one packed bit: Dst <- (state[A] >> B) & 1, with A
+	// the physical word and B the bit position (direct kernels only).
+	KLoadBit
+	// KLoadBitExt loads a packed bit through the activation's Ext table:
+	// the logical slot is Ext[A]; the word and bit come from
+	// Program.SlotWord/SlotBit.
+	KLoadBitExt
+	// KStoreBit stores temp A's low bit into bit C of state word B. Dst
+	// holds the LOGICAL slot (for consumer marking), which is distinct
+	// from the word.
+	KStoreBit
+	// KStoreBitExt is KStoreBit for shared kernels: Ext[Dst] is the
+	// logical slot, resolved to word/bit via Program.SlotWord/SlotBit.
+	KStoreBitExt
+
+	// KBinBits is KBin immediately followed by a single-use field
+	// extraction of its result: Dst <- (BinOp(A, B) & Mask) >> C, masked
+	// to the extracted field by Val. Mask is the original bin mask, C the
+	// shift count, Val the field mask (both masks are kept, so the fusion
+	// is sound for every operator; OpCat is excluded because it needs Val
+	// for its operand width).
+	KBinBits
 )
 
 // Instr is one bytecode instruction. Dst/A/B/C are temp indices except
@@ -94,6 +161,10 @@ type Kernel struct {
 	// BranchSites counts conditional-branch sites (muxes and the loop/
 	// call overhead), used by the branch-predictor model.
 	BranchSites int
+	// InstrsBeforeFusion is len(Code) before the superinstruction fusion
+	// pass ran (equal to len(Code) when fusion is disabled or found
+	// nothing); the fusion-stats report weights it by activation count.
+	InstrsBeforeFusion int
 }
 
 // Activation is one scheduled kernel invocation: partition p evaluated
@@ -196,4 +267,69 @@ type Program struct {
 	// TableBytes estimates the activation-table data footprint
 	// (per-instance structs): the data-side dedup overhead.
 	TableBytes int
+
+	// NumWords sizes the engines' state vector. Slots below
+	// NumWords-PackedWords map to words identically (slot == word);
+	// packed 1-bit slots share appended words per SlotWord/SlotBit.
+	// Without packing NumWords == NumSlots.
+	NumWords int
+	// SlotWord maps a logical slot to its physical state word; SlotBit
+	// gives the bit within that word, or -1 for full-word (unpacked)
+	// slots. Both have NumSlots entries. Nil on Programs built before
+	// packing existed (treated as identity, no packed slots).
+	SlotWord []int32
+	SlotBit  []int8
+	// PackedSignals counts 1-bit signals packed into shared words;
+	// PackedWords counts the words they share.
+	PackedSignals int
+	PackedWords   int
+
+	// Fusion reports what the superinstruction fusion pass did.
+	Fusion FusionStats
+}
+
+// WordOf resolves a logical slot to its physical state word and bit
+// (bit -1 = the slot owns the whole word). Cold-path helper for probes,
+// snapshots, and tests; the interpreters use the packed opcodes directly.
+func (p *Program) WordOf(s int32) (word int32, bit int8) {
+	if p.SlotWord == nil {
+		return s, -1
+	}
+	return p.SlotWord[s], p.SlotBit[s]
+}
+
+// StateWords returns the engine state-vector length in words, tolerating
+// Programs predating bit packing (NumWords unset).
+func (p *Program) StateWords() int {
+	if p.NumWords > 0 {
+		return p.NumWords
+	}
+	return p.NumSlots
+}
+
+// FusionStats summarizes the superinstruction fusion pass over a
+// Program. "Act"-prefixed counts weight each kernel by its activation
+// count — shared kernels count once per activation — so the ratio
+// reflects per-cycle interpreter dispatches, not static code size.
+type FusionStats struct {
+	// InstrsBefore/InstrsAfter are static instruction counts summed over
+	// kernels (each kernel once).
+	InstrsBefore int `json:"instrs_before"`
+	InstrsAfter  int `json:"instrs_after"`
+	// ActInstrsBefore/ActInstrsAfter are activation-weighted counts: the
+	// interpreter dispatches a full-activity cycle would execute.
+	ActInstrsBefore int64 `json:"act_instrs_before"`
+	ActInstrsAfter  int64 `json:"act_instrs_after"`
+	// FusedByKind counts static fusions per pattern (bin_imm, not_and,
+	// cmp_sel, mux_mux, bin_store, mux_store).
+	FusedByKind map[string]int `json:"fused_by_kind,omitempty"`
+}
+
+// Frac is the activation-weighted fraction of interpreter dispatches
+// fusion eliminated (0 when fusion did nothing or was disabled).
+func (f FusionStats) Frac() float64 {
+	if f.ActInstrsBefore == 0 {
+		return 0
+	}
+	return 1 - float64(f.ActInstrsAfter)/float64(f.ActInstrsBefore)
 }

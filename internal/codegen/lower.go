@@ -26,6 +26,18 @@ type compiler struct {
 	writePorts []WritePortSpec
 	inputs     []PortSpec
 	outputs    []PortSpec
+
+	// 1-bit signal packing. Unpacked slots map identically to state words
+	// (word == slot, bit == -1); packed slots are numbered from numWords'
+	// tail region and share words, 64 bits each. packedNode is nil when
+	// packing is disabled or found nothing to pack.
+	packing       bool
+	packedNode    []bool
+	slotWord      []int32
+	slotBit       []int8
+	numWords      int
+	packedSignals int
+	packedWords   int
 }
 
 // assignSlots decides which node values live in the state vector. A node
@@ -60,6 +72,7 @@ func (cc *compiler) assignSlots() {
 		return s
 	}
 
+	elig := cc.packEligible(cross)
 	for v := 0; v < n; v++ {
 		op := c.Ops[v]
 		switch {
@@ -87,9 +100,157 @@ func (cc *compiler) assignSlots() {
 				Mem: c.MemOf[v], Addr: s[0], Data: s[1], En: s[2],
 			})
 		case cross[v]:
+			if elig != nil && elig[v] {
+				continue // packed: allocated below, after every full word
+			}
 			cc.slotOf[v] = alloc()
 		}
 	}
+
+	// Phase 2: packed 1-bit slots. Logical slot numbers continue past the
+	// unpacked range, so slot s < numUnpacked keeps its identity mapping
+	// (word == slot) and every packed slot resolves through SlotWord /
+	// SlotBit. Bits are grouped by PRODUCING partition and each partition
+	// starts a fresh word: partitions are the unit of parallel execution
+	// (ParallelEngine) and of batch-lane dirty tracking, so two partitions
+	// never read-modify-write the same state word concurrently.
+	numUnpacked := cc.numSlots
+	type wordBit struct {
+		word int32
+		bit  int8
+	}
+	var packed []wordBit
+	if elig != nil {
+		cc.packedNode = make([]bool, n)
+		for pid := 0; pid < cc.dr.Part.NumParts; pid++ {
+			bit := 64
+			var word int32
+			for _, v := range cc.dr.Members[pid] {
+				if !elig[v] {
+					continue
+				}
+				if bit == 64 {
+					word = int32(numUnpacked + cc.packedWords)
+					cc.packedWords++
+					bit = 0
+				}
+				cc.slotOf[v] = alloc()
+				cc.packedNode[v] = true
+				cc.packedSignals++
+				packed = append(packed, wordBit{word, int8(bit)})
+				bit++
+			}
+		}
+	}
+	if cc.packedSignals == 0 {
+		cc.packedNode = nil
+		cc.numWords = cc.numSlots
+		return
+	}
+	cc.numWords = numUnpacked + cc.packedWords
+	cc.slotWord = make([]int32, cc.numSlots)
+	cc.slotBit = make([]int8, cc.numSlots)
+	for s := 0; s < numUnpacked; s++ {
+		cc.slotWord[s] = int32(s)
+		cc.slotBit[s] = -1
+	}
+	for i, wb := range packed {
+		cc.slotWord[numUnpacked+i] = wb.word
+		cc.slotBit[numUnpacked+i] = wb.bit
+	}
+}
+
+// packEligible decides which nodes pack into shared 1-bit state words: a
+// node is a candidate when it would otherwise take a plain cross-boundary
+// value slot (not a port, register, or write-port staging slot) and is
+// exactly one bit wide. Candidates are then forced to AGREE across every
+// coarse dedup class: partitions of one class must compile to identical
+// code, so corresponding members — and the corresponding ARGUMENTS their
+// loads come from — must either all pack or all stay unpacked. That
+// correspondence is transitive across classes, so it is resolved with a
+// union-find whose components take the AND of their members' eligibility.
+// Returns nil when packing is off or nothing qualifies.
+func (cc *compiler) packEligible(cross []bool) []bool {
+	if !cc.packing {
+		return nil
+	}
+	c := cc.c
+	n := c.NumNodes()
+	elig := make([]bool, n)
+	any := false
+	for v := 0; v < n; v++ {
+		op := c.Ops[v]
+		if cross[v] && c.Width[v] == 1 && op != circuit.OpInput &&
+			op != circuit.OpOutput && !op.IsState() && op != circuit.OpMemWrite {
+			elig[v] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b graph.NodeID) {
+		ra, rb := find(int32(a)), find(int32(b))
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	byClass := map[int32][]int32{}
+	for pid, cl := range cc.dr.Class {
+		if cl >= 0 {
+			byClass[cl] = append(byClass[cl], int32(pid))
+		}
+	}
+	for _, parts := range byClass {
+		tmpl := cc.dr.Members[parts[0]]
+		for _, pid := range parts[1:] {
+			m := cc.dr.Members[pid]
+			if len(m) != len(tmpl) {
+				return nil // malformed class; packing is only an optimization
+			}
+			for i := range tmpl {
+				union(tmpl[i], m[i])
+				at, am := c.Args[tmpl[i]], c.Args[m[i]]
+				if len(at) != len(am) {
+					return nil
+				}
+				for j := range at {
+					union(at[j], am[j])
+				}
+			}
+		}
+	}
+	bad := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !elig[v] {
+			bad[find(int32(v))] = true
+		}
+	}
+	any = false
+	for v := 0; v < n; v++ {
+		if bad[find(int32(v))] {
+			elig[v] = false
+		} else if elig[v] {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return elig
 }
 
 // resolveRef maps an abstract slot reference to its concrete slot.
@@ -156,7 +317,11 @@ func (cc *compiler) compilePartition(members []graph.NodeID, pid int32) (*unit, 
 			return t
 		}
 		t := newTemp()
-		u.code = append(u.code, Instr{Op: KLoadExt, Dst: t, A: extOf(r), Width: width})
+		op := KLoadExt
+		if r.kind == refValue && cc.packedNode != nil && cc.packedNode[r.node] {
+			op = KLoadBitExt
+		}
+		u.code = append(u.code, Instr{Op: op, Dst: t, A: extOf(r), Width: width})
 		u.reads = append(u.reads, r)
 		loaded[r] = t
 		return t
@@ -183,7 +348,11 @@ func (cc *compiler) compilePartition(members []graph.NodeID, pid int32) (*unit, 
 	}
 
 	storeRef := func(r slotRef, t int32, width uint8) {
-		u.code = append(u.code, Instr{Op: KStoreExt, Dst: extOf(r), A: t, Width: width})
+		op := KStoreExt
+		if r.kind == refValue && cc.packedNode != nil && cc.packedNode[r.node] {
+			op = KStoreBitExt
+		}
+		u.code = append(u.code, Instr{Op: op, Dst: extOf(r), A: t, Width: width})
 		u.writes = append(u.writes, r)
 	}
 

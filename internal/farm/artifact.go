@@ -32,7 +32,9 @@ import (
 // any change to codegen.Program's shape (or this payload): peers and
 // disk caches from other versions then fail decode and recompile locally
 // instead of running a misread Program.
-const ArtifactVersion = 1
+// Version history: 2 = superinstruction fusion + 1-bit state packing
+// (Program gained fused opcodes, SlotWord/SlotBit, FusionStats).
+const ArtifactVersion = 2
 
 var artifactMagic = [4]byte{'D', 'S', 'A', 'R'}
 

@@ -222,6 +222,14 @@ type CacheEntryView struct {
 	Kernels    int `json:"kernels,omitempty"`
 	CodeBytes  int `json:"code_bytes,omitempty"`
 	TableBytes int `json:"table_bytes,omitempty"`
+	// Superinstruction fusion: static instruction counts before/after the
+	// peephole pass, and the activation-weighted fused fraction.
+	InstrsBeforeFusion int64   `json:"instrs_before_fusion,omitempty"`
+	InstrsAfterFusion  int64   `json:"instrs_after_fusion,omitempty"`
+	FusionFrac         float64 `json:"fusion_frac,omitempty"`
+	// PackedSignals counts 1-bit cross-partition signals sharing packed
+	// state words.
+	PackedSignals int `json:"packed_signals,omitempty"`
 }
 
 // Snapshot lists every completed cache entry, most-hit first. In-flight
@@ -249,6 +257,9 @@ func (cc *CompileCache) Snapshot() []CacheEntryView {
 			p := e.cv.Program
 			v.Partitions, v.Kernels = p.NumParts, len(p.Kernels)
 			v.CodeBytes, v.TableBytes = p.UniqueCodeBytes, p.TableBytes
+			v.InstrsBeforeFusion, v.InstrsAfterFusion = int64(p.Fusion.InstrsBefore), int64(p.Fusion.InstrsAfter)
+			v.FusionFrac = p.Fusion.Frac()
+			v.PackedSignals = p.PackedSignals
 		}
 		views = append(views, v)
 	}

@@ -75,19 +75,12 @@ func (f *Farm) runBatch(jobs []*Job) {
 		f.mu.Unlock()
 	}()
 
-	// A one-lane "batch" (the group's other jobs were canceled between
-	// claim and start, or the queue simply held one job of this key) runs
-	// on the scalar engine: BatchEngine's lane-major stepping costs ~1.6×
-	// scalar at L=1 (BENCH_batch.json: 0.61× speedup), so a single lane
-	// would pay batching overhead with nothing to amortize it over.
-	if len(live) == 1 {
-		err := f.runRetryLoop(ctxs[0], live[0], 0, nil)
-		f.finishRun(live[0], err, timeouts[0])
-		return
-	}
-
-	// These jobs run as lanes of one batch: their wait also counts as
-	// lane wait (it includes the batch-formation window).
+	// These jobs run as lanes of one batch — including a one-lane "batch"
+	// (the group's other jobs were canceled between claim and start, or
+	// the queue simply held one job of this key): BatchEngine.Step at L=1
+	// dispatches to the scalar code path, so there is no batching overhead
+	// left to special-case around. Their wait also counts as lane wait (it
+	// includes the batch-formation window).
 	for i, j := range live {
 		f.obs.laneWaitObs(waits[i])
 		j.trace.Instant("batch-join", "lanes", strconv.Itoa(len(live)))

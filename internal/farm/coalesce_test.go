@@ -286,14 +286,14 @@ func TestFarmCoalesceChurn(t *testing.T) {
 	}
 }
 
-// TestFarmBatchSingleLaneRunsScalar is the L=1 regression guard: a
-// coalesced group that degenerates to a single live lane (its other
-// members canceled between claim and start) must run on the scalar
-// engine, not a one-lane BatchEngine — lane-major stepping costs ~1.6x
-// scalar at L=1 (BENCH_batch.json reports a 0.61x "speedup"), so a
-// single lane would pay batching overhead with nothing to amortize it
-// over. The job must still finish bit-exact with a plain scalar run.
-func TestFarmBatchSingleLaneRunsScalar(t *testing.T) {
+// TestFarmBatchSingleLaneStaysOnBatchEngine is the unified-engine
+// regression guard: a coalesced group that degenerates to a single live
+// lane (its other members canceled between claim and start) stays on the
+// batch path — BatchEngine.Step at L=1 dispatches to the scalar code
+// path, so the farm no longer carries a scalar special case for it. The
+// job must report Lanes=1 and finish bit-exact with a plain scalar run,
+// counters included.
+func TestFarmBatchSingleLaneStaysOnBatchEngine(t *testing.T) {
 	want := runReference(t, smallSpec())
 
 	f := New(Config{Workers: 1, MaxLanes: 4})
@@ -318,8 +318,8 @@ func TestFarmBatchSingleLaneRunsScalar(t *testing.T) {
 	if v.Stats == nil {
 		t.Fatal("single-lane batch finished without stats")
 	}
-	if v.Stats.Lanes != 0 {
-		t.Fatalf("single-lane batch ran on the batch engine (lanes=%d), want the scalar engine (lanes=0)",
+	if v.Stats.Lanes != 1 {
+		t.Fatalf("single-lane group reported lanes=%d, want 1 (unified batch engine, no scalar fallback)",
 			v.Stats.Lanes)
 	}
 	if v.Stats.Cycles != want.Stats.Cycles ||

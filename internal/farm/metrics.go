@@ -155,6 +155,13 @@ func (f *Farm) WriteStats(w io.Writer) {
 	writeLatencyText(w, st.Latency)
 	for _, e := range f.cache.Snapshot() {
 		status := fmt.Sprintf("%d parts, %d kernels, %d B code", e.Partitions, e.Kernels, e.CodeBytes)
+		if e.InstrsBeforeFusion > 0 {
+			status += fmt.Sprintf(", fused %d->%d instrs (%.0f%% dyn)",
+				e.InstrsBeforeFusion, e.InstrsAfterFusion, 100*e.FusionFrac)
+		}
+		if e.PackedSignals > 0 {
+			status += fmt.Sprintf(", %d packed 1-bit signals", e.PackedSignals)
+		}
 		if e.Failed {
 			status = "FAILED: " + e.Error
 		}

@@ -26,6 +26,10 @@ type BatchLanePoint struct {
 	// Speedup is BatchAggHz / ScalarAggHz — the dispatch-amortization
 	// win of lane batching.
 	Speedup float64 `json:"speedup"`
+	// Fusion is the activation-weighted fraction of interpreted
+	// instructions eliminated by superinstruction fusion in the program
+	// this point ran (Program.Fusion.Frac()).
+	Fusion float64 `json:"fusion"`
 }
 
 // BatchLaneResult is the machine-readable record of the batch-throughput
@@ -71,7 +75,7 @@ func (cfg Config) BatchThroughputData() (*BatchLaneResult, error) {
 			if lanes > sim.MaxBatchLanes {
 				continue
 			}
-			pt := BatchLanePoint{Variant: string(v), Lanes: lanes}
+			pt := BatchLanePoint{Variant: string(v), Lanes: lanes, Fusion: cv.Program.Fusion.Frac()}
 			// Best of two passes each, to shed scheduler noise.
 			for rep := 0; rep < 2; rep++ {
 				if hz := measureScalarRuns(cv, wl, lanes, cycles); hz > pt.ScalarAggHz {
@@ -145,10 +149,11 @@ func RenderBatchThroughput(res *BatchLaneResult) *Report {
 			fmt.Sprintf("%.0f", p.ScalarAggHz),
 			fmt.Sprintf("%.0f", p.BatchAggHz),
 			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%.0f%%", 100*p.Fusion),
 		})
 	}
 	body := fmt.Sprintf("%s @ scale %.2f, workload %s, %d cycles/lane\n%s",
 		res.Design, res.Scale, res.Workload, res.Cycles,
-		table([]string{"variant", "lanes", "scalar agg Hz", "batch agg Hz", "speedup"}, rows))
+		table([]string{"variant", "lanes", "scalar agg Hz", "batch agg Hz", "speedup", "fused"}, rows))
 	return &Report{Title: "Batch throughput — lane-batched vs sequential scalar", Body: body}
 }

@@ -39,6 +39,14 @@ type BatchEngine struct {
 	p        *codegen.Program
 	activity bool
 	lanes    int
+	// marking mirrors activity: when false the dirty masks are never read
+	// for skipping, so stores skip change detection entirely (and suppress
+	// consumer marking, keeping Dirty snapshots bit-exact with a scalar
+	// engine doing the same).
+	marking bool
+	// markL1 is the consumer hook for the single-lane fast path, bound at
+	// construction; nil when activity skipping is off.
+	markL1 func(int32)
 
 	state []uint64   // [slot*lanes + lane]
 	mems  [][]uint64 // per memory: [addr*lanes + lane]
@@ -57,6 +65,42 @@ type BatchEngine struct {
 	activeList []int32
 	// laneBuf is scratch for per-activation execution lane lists.
 	laneBuf []int32
+
+	// Store-driven register-commit skipping. A register can need a commit
+	// in lane l only if its next-state or enable slot CHANGED in lane l
+	// since its last scan: next is written solely by change-detected
+	// kernel stores, and while an unchanged enable sits at 0 the commit
+	// stays blocked (a pending cur!=next under a 0 enable is re-examined
+	// the moment the enable's slot moves). Every changed store already
+	// funnels through markConsumers, which ORs the changed-lane mask into
+	// regPending for watched slots; the commit phase skips a register
+	// whose pending mask is zero without touching its stripe at all.
+	//
+	// regOfSlot maps a slot to the register watching it (-1 almost
+	// everywhere). In the unlikely case two registers watch one slot
+	// (say, one register's next is another's enable) the extras are
+	// pinned always-scanned via regForce, which is what a scanned
+	// register's pending mask resets to (zero normally). watched[slot]
+	// folds "has consumers or feeds a register" into one load for the
+	// bulk stores' straight-store shortcut: straight stores skip change
+	// detection, which is only sound when nobody observes the change.
+	// Valid only while marking (activity on); otherwise stores don't
+	// change-detect and the commit scans every register. Reset and
+	// RestoreLane re-arm every pending mask, since restored state
+	// carries no store history.
+	regOfSlot  []int32
+	regPending []uint64
+	regForce   []uint64
+	watched    []bool
+
+	// denseActs/denseDyn accumulate the activation and dynamic-instruction
+	// counts of all-lane (dense, lanes==nil) executions within one Step;
+	// Step folds them into every lane's counters once, replacing three
+	// read-modify-writes per lane per activation. Only the all-lane gear
+	// may use them: it runs only when every lane is live and dirty, so the
+	// fold applies uniformly.
+	denseActs int64
+	denseDyn  int64
 
 	outputs map[string]codegen.PortSpec
 
@@ -89,8 +133,9 @@ func NewBatch(p *codegen.Program, activity bool, lanes int) (*BatchEngine, error
 	e := &BatchEngine{
 		p:        p,
 		activity: activity,
+		marking:  activity,
 		lanes:    lanes,
-		state:    make([]uint64, p.NumSlots*lanes),
+		state:    make([]uint64, p.StateWords()*lanes),
 		temps:    make([]uint64, maxTemps*lanes),
 		dirty:    make([]uint64, p.NumParts),
 		all:      ^uint64(0) >> (64 - uint(lanes)),
@@ -101,11 +146,15 @@ func NewBatch(p *codegen.Program, activity bool, lanes int) (*BatchEngine, error
 		ActsSkipped:  make([]int64, lanes),
 		DynInstrs:    make([]int64, lanes),
 	}
+	if activity {
+		e.markL1 = func(slot int32) { e.markConsumers(slot, 1) }
+	}
 	e.allLanes = make([]int32, lanes)
 	for l := range e.allLanes {
 		e.allLanes[l] = int32(l)
 	}
 	e.laneBuf = make([]int32, lanes)
+	e.buildRegWatch()
 	e.mems = make([][]uint64, len(p.Mems))
 	for i, m := range p.Mems {
 		e.mems[i] = make([]uint64, m.Depth*lanes)
@@ -115,6 +164,38 @@ func NewBatch(p *codegen.Program, activity bool, lanes int) (*BatchEngine, error
 	}
 	e.Reset()
 	return e, nil
+}
+
+// buildRegWatch wires each register's next-state and enable slots into
+// the store path's change notifications (see the regOfSlot field
+// comment) and precomputes the watched-slot map the bulk stores use to
+// decide whether change detection can be skipped.
+func (e *BatchEngine) buildRegWatch() {
+	p := e.p
+	e.regOfSlot = make([]int32, p.NumSlots)
+	for i := range e.regOfSlot {
+		e.regOfSlot[i] = -1
+	}
+	e.regPending = make([]uint64, len(p.Regs))
+	e.regForce = make([]uint64, len(p.Regs))
+	watch := func(slot int32, ri int) {
+		if e.regOfSlot[slot] < 0 {
+			e.regOfSlot[slot] = int32(ri)
+		} else {
+			e.regForce[ri] = e.all // slot already taken: always scan
+		}
+	}
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		watch(r.Next, i)
+		if r.En >= 0 {
+			watch(r.En, i)
+		}
+	}
+	e.watched = make([]bool, p.NumSlots)
+	for s := range e.watched {
+		e.watched[s] = p.SlotConsOff[s] != p.SlotConsOff[s+1] || e.regOfSlot[s] >= 0
+	}
 }
 
 // laneList expands a lane bitmask into a slice of lane indices, reusing
@@ -161,6 +242,9 @@ func (e *BatchEngine) Reset() {
 	}
 	e.active = e.all
 	e.activeList = e.allLanes
+	for i := range e.regPending {
+		e.regPending[i] = e.all
+	}
 	for l := 0; l < L; l++ {
 		e.Cycles[l], e.ActsExecuted[l], e.ActsSkipped[l], e.DynInstrs[l] = 0, 0, 0, 0
 	}
@@ -225,8 +309,16 @@ func (e *BatchEngine) Output(lane int, name string) (uint64, error) {
 	return e.state[int(out.Slot)*e.lanes+lane], nil
 }
 
-// Slot reads a raw state slot of one lane (tests and probes).
-func (e *BatchEngine) Slot(lane int, s int32) uint64 { return e.state[int(s)*e.lanes+lane] }
+// Slot reads a raw state slot of one lane (tests and probes), resolving
+// packed 1-bit slots through the program's word/bit map.
+func (e *BatchEngine) Slot(lane int, s int32) uint64 {
+	w, b := e.p.WordOf(s)
+	v := e.state[int(w)*e.lanes+lane]
+	if b < 0 {
+		return v
+	}
+	return (v >> uint(b)) & 1
+}
 
 // markConsumers dirties every consumer of slot in every lane of
 // changedMask — one pass over the consumer list regardless of how many
@@ -236,6 +328,9 @@ func (e *BatchEngine) markConsumers(slot int32, changedMask uint64) {
 	for _, pt := range p.SlotConsEdge[p.SlotConsOff[slot]:p.SlotConsOff[slot+1]] {
 		e.dirty[pt] |= changedMask
 	}
+	if ri := e.regOfSlot[slot]; ri >= 0 {
+		e.regPending[ri] |= changedMask
+	}
 }
 
 // Step evaluates one full cycle for every active lane: the scheduled
@@ -244,6 +339,17 @@ func (e *BatchEngine) markConsumers(slot int32, changedMask uint64) {
 func (e *BatchEngine) Step() {
 	if e.OnStep != nil {
 		e.OnStep()
+	}
+	// Unified-engine invariant: at L=1 the strided layout degenerates to
+	// the scalar layout (stride 1, lane 0), so a single-lane batch runs
+	// the EXACT scalar code path — same dispatch core, same skip logic,
+	// same commit loops. Batching is never a regression by construction,
+	// which is what let the farm drop its single-live-lane special case.
+	if e.lanes == 1 {
+		if e.active&1 != 0 {
+			e.stepL1()
+		}
+		return
 	}
 	p := e.p
 	L := e.lanes
@@ -271,16 +377,33 @@ func (e *BatchEngine) Step() {
 			continue
 		}
 		e.dirty[act.Part] &^= execMask
-		// Three interpreter gears by dirty-lane population: all lanes
+		// Four interpreter gears by dirty-lane population: all lanes
 		// (dense bounds-check-free scans), exactly one lane (no lane loop
 		// at all — with decorrelated stimuli this is the most common
-		// case), or a scanned lane list in between.
+		// case), mostly-dirty (dense compute over every lane, commits
+		// gated on the dirty list — straight-line scans beat strided
+		// per-lane indexing from about half dirty up), or a scanned
+		// lane list when only a few lanes are dirty.
 		if execMask == e.all {
-			e.execDense(act)
+			e.execDense(act, nil, 0)
 		} else if execMask&(execMask-1) == 0 {
 			e.execOne(act, bits.TrailingZeros64(execMask))
+		} else if n := bits.OnesCount64(execMask); 2*n >= L {
+			e.execDense(act, e.laneList(execMask), execMask)
 		} else {
 			e.exec(act, e.laneList(execMask))
+		}
+	}
+
+	// Flush the dense-gear counter accumulators: all-lane executions
+	// counted once each, applied to every lane here.
+	if e.denseActs != 0 {
+		na, nd := e.denseActs, e.denseDyn
+		e.denseActs, e.denseDyn = 0, 0
+		for _, l := range e.allLanes {
+			e.ActsExecuted[l] += na
+			e.ActsSkipped[l] -= na
+			e.DynInstrs[l] += nd
 		}
 	}
 
@@ -290,13 +413,33 @@ func (e *BatchEngine) Step() {
 	// loop over the contiguous lane stripe.
 	st := e.state
 	allLive := active == e.all
+	marking := e.marking
 	for i := range p.Regs {
+		// Store-driven skip: no store changed this register's next or
+		// enable slot since its last scan, so the commit is a no-op (see
+		// the regPending field comment). Only valid while stores
+		// change-detect, i.e. with activity marking on.
+		if marking && e.regPending[i] == 0 {
+			continue
+		}
+		e.regPending[i] = e.regForce[i]
 		r := &p.Regs[i]
 		curBase, nextBase := int(r.Cur)*L, int(r.Next)*L
 		var changed uint64
 		if allLive {
 			cur := st[curBase : curBase+L]
 			next := st[nextBase : nextBase+L][:L]
+			// Branchless prepass: most registers do not move on most
+			// cycles, and a pure load-xor-or scan over the stripe is
+			// cheaper (and better predicted) than a compare-and-write
+			// loop. Only stripes that actually changed pay the real pass.
+			var diff uint64
+			for l := range cur {
+				diff |= cur[l] ^ next[l]
+			}
+			if diff == 0 {
+				continue
+			}
 			if r.En >= 0 {
 				en := st[int(r.En)*L : int(r.En)*L+L][:L]
 				for l := range cur {
@@ -361,6 +504,56 @@ func (e *BatchEngine) Step() {
 	}
 }
 
+// stepL1 is Step for a one-lane batch: the scalar Engine's cycle loop
+// verbatim (state/temps collapse to the scalar layout at L=1), executed
+// through the same shared dispatch core, with the lane-0 bit of the dirty
+// masks standing in for the scalar engine's dirty booleans. Counters use
+// scalar-style accounting rather than the assume-skipped-then-reverse
+// trick, so a deactivating lane can never observe a transient.
+func (e *BatchEngine) stepL1() {
+	p := e.p
+	st := e.state
+	for i := range p.Activations {
+		act := &p.Activations[i]
+		if e.activity && e.dirty[act.Part]&1 == 0 {
+			e.ActsSkipped[0]++
+			continue
+		}
+		e.dirty[act.Part] &^= 1
+		k := p.Kernels[act.Kernel]
+		execKernel(p, k, act, st, e.temps, e.mems, e.markL1, nil)
+		e.ActsExecuted[0]++
+		e.DynInstrs[0] += int64(k.DynInstrs)
+	}
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		if r.En >= 0 && st[r.En] == 0 {
+			continue
+		}
+		next := st[r.Next]
+		if st[r.Cur] != next {
+			st[r.Cur] = next
+			e.markConsumers(r.Cur, 1)
+		}
+	}
+	for i := range p.WritePorts {
+		wp := &p.WritePorts[i]
+		if st[wp.En] == 0 {
+			continue
+		}
+		m := e.mems[wp.Mem]
+		addr := st[wp.Addr] % uint64(len(m))
+		data := st[wp.Data] & wp.Mask
+		if m[addr] != data {
+			m[addr] = data
+			for _, pt := range p.MemConsEdge[p.MemConsOff[wp.Mem]:p.MemConsOff[wp.Mem+1]] {
+				e.dirty[pt] |= 1
+			}
+		}
+	}
+	e.Cycles[0]++
+}
+
 // exec interprets one kernel activation for the listed lanes: one
 // instruction decode — and for binary ops, one operator dispatch — then a
 // tight lane loop per operation.
@@ -423,6 +616,83 @@ func (e *BatchEngine) exec(act *codegen.Activation, lanes []int32) {
 			for _, l := range lanes {
 				t[d+int(l)] = mem[int(t[a+int(l)]%depth)*L+int(l)]
 			}
+
+		case codegen.KBinI:
+			evalBinImmLanes(t, in, L, lanes)
+		case codegen.KNotAnd:
+			d, a, b, mask := int(in.Dst)*L, int(in.A)*L, int(in.B)*L, in.Mask
+			for _, l := range lanes {
+				t[d+int(l)] = ^t[a+int(l)] & t[b+int(l)] & mask
+			}
+		case codegen.KCmpSel:
+			d, a, b := int(in.Dst)*L, int(in.A)*L, int(in.B)*L
+			tv, fv := int(in.C)*L, int(int32(uint32(in.Val)))*L
+			for _, l := range lanes {
+				if cmpTrue(in.BinOp, t[a+int(l)], t[b+int(l)]) {
+					t[d+int(l)] = t[tv+int(l)]
+				} else {
+					t[d+int(l)] = t[fv+int(l)]
+				}
+			}
+		case codegen.KMuxMux:
+			d, s1, v1, s2 := int(in.Dst)*L, int(in.A)*L, int(in.B)*L, int(in.C)*L
+			tv, fv := int(int32(uint32(in.Val)))*L, int(int32(in.Val>>32))*L
+			for _, l := range lanes {
+				if t[s1+int(l)] != 0 {
+					t[d+int(l)] = t[v1+int(l)]
+				} else if t[s2+int(l)] != 0 {
+					t[d+int(l)] = t[tv+int(l)]
+				} else {
+					t[d+int(l)] = t[fv+int(l)]
+				}
+			}
+		case codegen.KBinStore, codegen.KBinStoreExt:
+			evalBinLanes(t, in, L, lanes)
+			slot := in.C
+			if in.Op == codegen.KBinStoreExt {
+				slot = act.Ext[in.C]
+			}
+			e.storeLanes(slot, int(in.Dst)*L, in.Mask, lanes)
+		case codegen.KMuxStore, codegen.KMuxStoreExt:
+			d, s1, v1, v0 := int(in.Dst)*L, int(in.A)*L, int(in.B)*L, int(in.C)*L
+			for _, l := range lanes {
+				if t[s1+int(l)] != 0 {
+					t[d+int(l)] = t[v1+int(l)]
+				} else {
+					t[d+int(l)] = t[v0+int(l)]
+				}
+			}
+			slot := int32(uint32(in.Val))
+			if in.Op == codegen.KMuxStoreExt {
+				slot = act.Ext[slot]
+			}
+			e.storeLanes(slot, d, in.Mask, lanes)
+
+		case codegen.KBinBits:
+			evalBinLanes(t, in, L, lanes) // masked bin result lands in Dst
+			d := int(in.Dst) * L
+			sh, fm := uint(in.C), in.Val
+			for _, l := range lanes {
+				t[d+int(l)] = (t[d+int(l)] >> sh) & fm
+			}
+
+		case codegen.KLoadBit:
+			d, a, sh := int(in.Dst)*L, int(in.A)*L, uint(in.B)
+			for _, l := range lanes {
+				t[d+int(l)] = (st[a+int(l)] >> sh) & 1
+			}
+		case codegen.KLoadBitExt:
+			slot := act.Ext[in.A]
+			d, a := int(in.Dst)*L, int(e.p.SlotWord[slot])*L
+			sh := uint(e.p.SlotBit[slot])
+			for _, l := range lanes {
+				t[d+int(l)] = (st[a+int(l)] >> sh) & 1
+			}
+		case codegen.KStoreBit:
+			e.storeBitLanes(in.Dst, in.B, uint(in.C), int(in.A)*L, lanes)
+		case codegen.KStoreBitExt:
+			slot := act.Ext[in.Dst]
+			e.storeBitLanes(slot, e.p.SlotWord[slot], uint(e.p.SlotBit[slot]), int(in.A)*L, lanes)
 		}
 	}
 	dyn := int64(k.DynInstrs)
@@ -433,12 +703,23 @@ func (e *BatchEngine) exec(act *codegen.Activation, lanes []int32) {
 	}
 }
 
-// execDense interprets one kernel activation with EVERY lane dirty — the
-// common case on busy designs and the whole batch when activity skipping
-// is off. Per-lane slices are carved once per instruction so the inner
-// loops are bounds-check-free range scans over contiguous memory; this is
-// where lane batching beats the scalar engine hardest.
-func (e *BatchEngine) execDense(act *codegen.Activation) {
+// execDense interprets one kernel activation with dense per-lane slices:
+// they are carved once per instruction so the inner loops are
+// bounds-check-free range scans over contiguous memory; this is where
+// lane batching beats the scalar engine hardest.
+//
+// lanes selects the dirty lanes whose effects commit. nil means EVERY
+// lane is dirty — the common case on busy designs and the whole batch
+// when activity skipping is off. A non-nil list picks the mostly-dirty
+// middle ground: temps are still COMPUTED for all lanes (sound because
+// kernels define every temp before reading it, and temp writes, state
+// reads, and memory reads are free of per-lane side effects), but
+// stores, consumer marking, and the activity counters commit only for
+// the listed lanes — a clean lane's state, dirty bits, and counters are
+// untouched, bit-exact with running the listed lanes one by one. Dense
+// straight-line compute beats per-lane strided indexing well below
+// half-dirty, so Step switches gears on the dirty popcount.
+func (e *BatchEngine) execDense(act *codegen.Activation, lanes []int32, execMask uint64) {
 	k := e.p.Kernels[act.Kernel]
 	L := e.lanes
 	t := e.temps
@@ -453,14 +734,24 @@ func (e *BatchEngine) execDense(act *codegen.Activation) {
 				d[l] = v
 			}
 		case codegen.KLoad:
-			copy(t[int(in.Dst)*L:int(in.Dst)*L+L], st[int(in.A)*L:int(in.A)*L+L])
+			// An explicit lane loop: for these short stripes (L words) the
+			// memmove call overhead costs more than the loads themselves.
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := st[int(in.A)*L : int(in.A)*L+L][:L]
+			for l := range d {
+				d[l] = a[l]
+			}
 		case codegen.KLoadExt:
-			a := int(act.Ext[in.A]) * L
-			copy(t[int(in.Dst)*L:int(in.Dst)*L+L], st[a:a+L])
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			ab := int(act.Ext[in.A]) * L
+			a := st[ab : ab+L][:L]
+			for l := range d {
+				d[l] = a[l]
+			}
 		case codegen.KStore:
-			e.storeDense(in.Dst, int(in.A)*L, in.Mask)
+			e.storeGear(in.Dst, int(in.A)*L, in.Mask, lanes)
 		case codegen.KStoreExt:
-			e.storeDense(act.Ext[in.Dst], int(in.A)*L, in.Mask)
+			e.storeGear(act.Ext[in.Dst], int(in.A)*L, in.Mask, lanes)
 		case codegen.KBin:
 			evalBinDense(t, in, L)
 		case codegen.KNot:
@@ -501,13 +792,265 @@ func (e *BatchEngine) execDense(act *codegen.Activation) {
 			for l := range d {
 				d[l] = mem[int(a[l]%depth)*L+l]
 			}
+
+		case codegen.KBinI:
+			evalBinImmDense(t, in, L)
+		case codegen.KNotAnd:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := t[int(in.A)*L : int(in.A)*L+L][:L]
+			b := t[int(in.B)*L : int(in.B)*L+L][:L]
+			mask := in.Mask
+			for l := range d {
+				d[l] = ^a[l] & b[l] & mask
+			}
+		case codegen.KCmpSel:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := t[int(in.A)*L : int(in.A)*L+L][:L]
+			b := t[int(in.B)*L : int(in.B)*L+L][:L]
+			tv := t[int(in.C)*L : int(in.C)*L+L][:L]
+			fv := t[int(int32(uint32(in.Val)))*L : int(int32(uint32(in.Val)))*L+L][:L]
+			for l := range d {
+				if cmpTrue(in.BinOp, a[l], b[l]) {
+					d[l] = tv[l]
+				} else {
+					d[l] = fv[l]
+				}
+			}
+		case codegen.KMuxMux:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			s1 := t[int(in.A)*L : int(in.A)*L+L][:L]
+			v1 := t[int(in.B)*L : int(in.B)*L+L][:L]
+			s2 := t[int(in.C)*L : int(in.C)*L+L][:L]
+			tv := t[int(int32(uint32(in.Val)))*L : int(int32(uint32(in.Val)))*L+L][:L]
+			fv := t[int(int32(in.Val>>32))*L : int(int32(in.Val>>32))*L+L][:L]
+			for l := range d {
+				if s1[l] != 0 {
+					d[l] = v1[l]
+				} else if s2[l] != 0 {
+					d[l] = tv[l]
+				} else {
+					d[l] = fv[l]
+				}
+			}
+		case codegen.KBinStore, codegen.KBinStoreExt:
+			evalBinDense(t, in, L)
+			slot := in.C
+			if in.Op == codegen.KBinStoreExt {
+				slot = act.Ext[in.C]
+			}
+			e.storeGear(slot, int(in.Dst)*L, in.Mask, lanes)
+		case codegen.KMuxStore, codegen.KMuxStoreExt:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			s1 := t[int(in.A)*L : int(in.A)*L+L][:L]
+			v1 := t[int(in.B)*L : int(in.B)*L+L][:L]
+			v0 := t[int(in.C)*L : int(in.C)*L+L][:L]
+			for l := range d {
+				if s1[l] != 0 {
+					d[l] = v1[l]
+				} else {
+					d[l] = v0[l]
+				}
+			}
+			slot := int32(uint32(in.Val))
+			if in.Op == codegen.KMuxStoreExt {
+				slot = act.Ext[slot]
+			}
+			e.storeGear(slot, int(in.Dst)*L, in.Mask, lanes)
+
+		case codegen.KBinBits:
+			evalBinDense(t, in, L) // bin result (masked by in.Mask) lands in Dst
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			sh, fm := uint(in.C), in.Val
+			for l := range d {
+				d[l] = (d[l] >> sh) & fm
+			}
+
+		case codegen.KLoadBit:
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := st[int(in.A)*L : int(in.A)*L+L][:L]
+			sh := uint(in.B)
+			for l := range d {
+				d[l] = (a[l] >> sh) & 1
+			}
+		case codegen.KLoadBitExt:
+			slot := act.Ext[in.A]
+			w := int(e.p.SlotWord[slot]) * L
+			d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+			a := st[w : w+L][:L]
+			sh := uint(e.p.SlotBit[slot])
+			for l := range d {
+				d[l] = (a[l] >> sh) & 1
+			}
+		case codegen.KStoreBit:
+			e.storeBitLanes(in.Dst, in.B, uint(in.C), int(in.A)*L, e.commitLanes(lanes))
+		case codegen.KStoreBitExt:
+			slot := act.Ext[in.Dst]
+			e.storeBitLanes(slot, e.p.SlotWord[slot], uint(e.p.SlotBit[slot]), int(in.A)*L, e.commitLanes(lanes))
 		}
 	}
+	if lanes == nil {
+		// All lanes executed: fold into the per-Step accumulators instead
+		// of 3 read-modify-writes per lane (Step flushes them once).
+		e.denseActs++
+		e.denseDyn += int64(k.DynInstrs)
+		return
+	}
 	dyn := int64(k.DynInstrs)
-	for l := 0; l < L; l++ {
+	if e.active == e.all {
+		// Mostly-dirty gear with every lane live: count all lanes via the
+		// per-Step accumulators and reverse only the clean complement —
+		// fewer than half the lanes by the gear's threshold.
+		e.denseActs++
+		e.denseDyn += dyn
+		for m := ^execMask & e.all; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			e.ActsExecuted[l]--
+			e.ActsSkipped[l]++
+			e.DynInstrs[l] -= dyn
+		}
+		return
+	}
+	for _, l := range lanes {
 		e.ActsExecuted[l]++
 		e.ActsSkipped[l]--
 		e.DynInstrs[l] += dyn
+	}
+}
+
+// commitLanes resolves execDense's lane selector: nil means every lane.
+func (e *BatchEngine) commitLanes(lanes []int32) []int32 {
+	if lanes == nil {
+		return e.allLanes
+	}
+	return lanes
+}
+
+// storeGear routes a dense-computed store to the right commit path: a
+// contiguous all-lane scan when every lane is dirty (nil), or the
+// lane-list store that leaves clean lanes' state and dirty bits alone.
+func (e *BatchEngine) storeGear(slot int32, tempBase int, mask uint64, lanes []int32) {
+	if lanes == nil {
+		e.storeDense(slot, tempBase, mask)
+	} else {
+		e.storeLanes(slot, tempBase, mask, lanes)
+	}
+}
+
+// evalBinImmDense is evalBinDense for immediate-operand (KBinI) forms:
+// the constant rides in the instruction, so each lane does one load, one
+// ALU op, one store. Cat never folds to an immediate.
+func evalBinImmDense(t []uint64, in *codegen.Instr, L int) {
+	d := t[int(in.Dst)*L : int(in.Dst)*L+L]
+	a := t[int(in.A)*L : int(in.A)*L+L][:L]
+	c, m := in.Val, in.Mask
+	switch in.BinOp {
+	case circuit.OpAnd:
+		for l := range d {
+			d[l] = a[l] & c & m
+		}
+	case circuit.OpOr:
+		for l := range d {
+			d[l] = (a[l] | c) & m
+		}
+	case circuit.OpXor:
+		for l := range d {
+			d[l] = (a[l] ^ c) & m
+		}
+	case circuit.OpAdd:
+		for l := range d {
+			d[l] = (a[l] + c) & m
+		}
+	case circuit.OpSub:
+		for l := range d {
+			d[l] = (a[l] - c) & m
+		}
+	case circuit.OpMul:
+		for l := range d {
+			d[l] = (a[l] * c) & m
+		}
+	case circuit.OpEq:
+		for l := range d {
+			var v uint64
+			if a[l] == c {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpNeq:
+		for l := range d {
+			var v uint64
+			if a[l] != c {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpLt:
+		for l := range d {
+			var v uint64
+			if a[l] < c {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpGeq:
+		for l := range d {
+			var v uint64
+			if a[l] >= c {
+				v = 1
+			}
+			d[l] = v
+		}
+	case circuit.OpShl:
+		if c >= 64 {
+			for l := range d {
+				d[l] = 0
+			}
+		} else {
+			for l := range d {
+				d[l] = (a[l] << c) & m
+			}
+		}
+	case circuit.OpShr:
+		if c >= 64 {
+			for l := range d {
+				d[l] = 0
+			}
+		} else {
+			for l := range d {
+				d[l] = (a[l] >> c) & m
+			}
+		}
+	default:
+		panic("sim: evalBinImmDense called with non-binary op " + in.BinOp.String())
+	}
+}
+
+// storeBitLanes publishes the low bit of per-lane temps into one bit of a
+// shared packed state word, marking consumers of the LOGICAL slot for the
+// changed lanes. Without marking (activity off) it is a straight
+// read-modify-write per lane.
+func (e *BatchEngine) storeBitLanes(slot, word int32, bit uint, tempBase int, lanes []int32) {
+	L := e.lanes
+	base := int(word) * L
+	t, st := e.temps, e.state
+	if !e.marking || !e.watched[slot] {
+		for _, l := range lanes {
+			v := t[tempBase+int(l)] & 1
+			st[base+int(l)] = st[base+int(l)]&^(1<<bit) | v<<bit
+		}
+		return
+	}
+	var changed uint64
+	for _, l := range lanes {
+		v := t[tempBase+int(l)] & 1
+		old := (st[base+int(l)] >> bit) & 1
+		if old != v {
+			st[base+int(l)] ^= (old ^ v) << bit
+			changed |= uint64(1) << uint(l)
+		}
+	}
+	if changed != 0 {
+		e.markConsumers(slot, changed)
 	}
 }
 
@@ -532,23 +1075,35 @@ func (e *BatchEngine) execOne(act *codegen.Activation, lane int) {
 		case codegen.KLoadExt:
 			t[int(in.Dst)*L+lane] = st[int(act.Ext[in.A])*L+lane]
 		case codegen.KStore:
-			v := t[int(in.A)*L+lane] & in.Mask
-			idx := int(in.Dst)*L + lane
-			if st[idx] != v {
-				st[idx] = v
-				e.markConsumers(in.Dst, bit)
-			}
+			e.storeOne(in.Dst, t[int(in.A)*L+lane]&in.Mask, lane, bit)
 		case codegen.KStoreExt:
-			slot := act.Ext[in.Dst]
-			v := t[int(in.A)*L+lane] & in.Mask
-			idx := int(slot)*L + lane
-			if st[idx] != v {
-				st[idx] = v
-				e.markConsumers(slot, bit)
-			}
+			e.storeOne(act.Ext[in.Dst], t[int(in.A)*L+lane]&in.Mask, lane, bit)
 		case codegen.KBin:
-			t[int(in.Dst)*L+lane] = EvalBinMask(in.BinOp, in.Mask,
-				t[int(in.A)*L+lane], t[int(in.B)*L+lane], uint8(in.Val))
+			// Hot operators inline, as in execKernel: the EvalBinMask call
+			// plus its op switch costs more than the arithmetic here.
+			a, b := t[int(in.A)*L+lane], t[int(in.B)*L+lane]
+			var v uint64
+			switch in.BinOp {
+			case circuit.OpXor:
+				v = (a ^ b) & in.Mask
+			case circuit.OpAdd:
+				v = (a + b) & in.Mask
+			case circuit.OpAnd:
+				v = a & b & in.Mask
+			case circuit.OpOr:
+				v = (a | b) & in.Mask
+			case circuit.OpShl:
+				if b < 64 {
+					v = (a << b) & in.Mask
+				}
+			case circuit.OpEq:
+				if a == b {
+					v = 1
+				}
+			default:
+				v = EvalBinMask(in.BinOp, in.Mask, a, b, uint8(in.Val))
+			}
+			t[int(in.Dst)*L+lane] = v
 		case codegen.KNot:
 			t[int(in.Dst)*L+lane] = ^t[int(in.A)*L+lane] & in.Mask
 		case codegen.KMux:
@@ -567,11 +1122,109 @@ func (e *BatchEngine) execOne(act *codegen.Activation, lane int) {
 			mem := e.mems[mi]
 			depth := uint64(len(mem) / L)
 			t[int(in.Dst)*L+lane] = mem[int(t[int(in.A)*L+lane]%depth)*L+lane]
+
+		case codegen.KBinI:
+			a, c := t[int(in.A)*L+lane], in.Val
+			var v uint64
+			switch in.BinOp {
+			case circuit.OpXor:
+				v = (a ^ c) & in.Mask
+			case circuit.OpAdd:
+				v = (a + c) & in.Mask
+			case circuit.OpAnd:
+				v = a & c & in.Mask
+			case circuit.OpOr:
+				v = (a | c) & in.Mask
+			case circuit.OpEq:
+				if a == c {
+					v = 1
+				}
+			default:
+				v = EvalBinMask(in.BinOp, in.Mask, a, c, 0)
+			}
+			t[int(in.Dst)*L+lane] = v
+		case codegen.KNotAnd:
+			t[int(in.Dst)*L+lane] = ^t[int(in.A)*L+lane] & t[int(in.B)*L+lane] & in.Mask
+		case codegen.KCmpSel:
+			if cmpTrue(in.BinOp, t[int(in.A)*L+lane], t[int(in.B)*L+lane]) {
+				t[int(in.Dst)*L+lane] = t[int(in.C)*L+lane]
+			} else {
+				t[int(in.Dst)*L+lane] = t[int(int32(uint32(in.Val)))*L+lane]
+			}
+		case codegen.KMuxMux:
+			if t[int(in.A)*L+lane] != 0 {
+				t[int(in.Dst)*L+lane] = t[int(in.B)*L+lane]
+			} else if t[int(in.C)*L+lane] != 0 {
+				t[int(in.Dst)*L+lane] = t[int(int32(uint32(in.Val)))*L+lane]
+			} else {
+				t[int(in.Dst)*L+lane] = t[int(int32(in.Val>>32))*L+lane]
+			}
+		case codegen.KBinStore, codegen.KBinStoreExt:
+			v := EvalBinMask(in.BinOp, in.Mask, t[int(in.A)*L+lane], t[int(in.B)*L+lane], uint8(in.Val))
+			t[int(in.Dst)*L+lane] = v
+			slot := in.C
+			if in.Op == codegen.KBinStoreExt {
+				slot = act.Ext[in.C]
+			}
+			e.storeOne(slot, v&in.Mask, lane, bit)
+		case codegen.KMuxStore, codegen.KMuxStoreExt:
+			v := t[int(in.C)*L+lane]
+			if t[int(in.A)*L+lane] != 0 {
+				v = t[int(in.B)*L+lane]
+			}
+			t[int(in.Dst)*L+lane] = v
+			slot := int32(uint32(in.Val))
+			if in.Op == codegen.KMuxStoreExt {
+				slot = act.Ext[slot]
+			}
+			e.storeOne(slot, v&in.Mask, lane, bit)
+
+		case codegen.KBinBits:
+			v := EvalBinMask(in.BinOp, in.Mask, t[int(in.A)*L+lane], t[int(in.B)*L+lane], 0)
+			t[int(in.Dst)*L+lane] = (v >> uint(in.C)) & in.Val
+
+		case codegen.KLoadBit:
+			t[int(in.Dst)*L+lane] = (st[int(in.A)*L+lane] >> uint(in.B)) & 1
+		case codegen.KLoadBitExt:
+			slot := act.Ext[in.A]
+			t[int(in.Dst)*L+lane] = (st[int(e.p.SlotWord[slot])*L+lane] >> uint(e.p.SlotBit[slot])) & 1
+		case codegen.KStoreBit:
+			e.storeBitOne(in.Dst, in.B, uint(in.C), t[int(in.A)*L+lane]&1, lane, bit)
+		case codegen.KStoreBitExt:
+			slot := act.Ext[in.Dst]
+			e.storeBitOne(slot, e.p.SlotWord[slot], uint(e.p.SlotBit[slot]), t[int(in.A)*L+lane]&1, lane, bit)
 		}
 	}
 	e.ActsExecuted[lane]++
 	e.ActsSkipped[lane]--
 	e.DynInstrs[lane] += int64(k.DynInstrs)
+}
+
+// storeOne publishes one lane's already-masked value to a state slot.
+func (e *BatchEngine) storeOne(slot int32, v uint64, lane int, bit uint64) {
+	idx := int(slot)*e.lanes + lane
+	if !e.marking {
+		e.state[idx] = v
+		return
+	}
+	if e.state[idx] != v {
+		e.state[idx] = v
+		e.markConsumers(slot, bit)
+	}
+}
+
+// storeBitOne publishes one lane's bit into a packed state word.
+func (e *BatchEngine) storeBitOne(slot, word int32, b uint, v uint64, lane int, laneBit uint64) {
+	idx := int(word)*e.lanes + lane
+	st := e.state
+	if !e.marking {
+		st[idx] = st[idx]&^(1<<b) | v<<b
+		return
+	}
+	if old := (st[idx] >> b) & 1; old != v {
+		st[idx] ^= (old ^ v) << b
+		e.markConsumers(slot, laneBit)
+	}
 }
 
 // storeDense is storeLanes for the all-lanes case: one bounds-check-free
@@ -580,6 +1233,12 @@ func (e *BatchEngine) storeDense(slot int32, tempBase int, mask uint64) {
 	L := e.lanes
 	src := e.temps[tempBase : tempBase+L]
 	dst := e.state[int(slot)*L : int(slot)*L+L][:L]
+	if !e.marking || !e.watched[slot] {
+		for l, v := range src {
+			dst[l] = v & mask
+		}
+		return
+	}
 	var changed uint64
 	for l, v := range src {
 		v &= mask
@@ -690,6 +1349,44 @@ func evalBinDense(t []uint64, in *codegen.Instr, L int) {
 // operator switch hoisted out of the lane loop — the scalar engine pays
 // that dispatch per (instruction, simulation); here it is paid once per
 // instruction per batch.
+// evalBinImmLanes is evalBinLanes for immediate-operand (KBinI) forms:
+// the operator switch is hoisted out of the lane loop, replacing a per-
+// lane EvalBinMask call.
+func evalBinImmLanes(t []uint64, in *codegen.Instr, L int, lanes []int32) {
+	d, a := int(in.Dst)*L, int(in.A)*L
+	c, m := in.Val, in.Mask
+	switch in.BinOp {
+	case circuit.OpAnd:
+		for _, l := range lanes {
+			t[d+int(l)] = t[a+int(l)] & c & m
+		}
+	case circuit.OpOr:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] | c) & m
+		}
+	case circuit.OpXor:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] ^ c) & m
+		}
+	case circuit.OpAdd:
+		for _, l := range lanes {
+			t[d+int(l)] = (t[a+int(l)] + c) & m
+		}
+	case circuit.OpEq:
+		for _, l := range lanes {
+			var v uint64
+			if t[a+int(l)] == c {
+				v = 1
+			}
+			t[d+int(l)] = v
+		}
+	default:
+		for _, l := range lanes {
+			t[d+int(l)] = EvalBinMask(in.BinOp, m, t[a+int(l)], c, 0)
+		}
+	}
+}
+
 func evalBinLanes(t []uint64, in *codegen.Instr, L int, lanes []int32) {
 	d, a, b := int(in.Dst)*L, int(in.A)*L, int(in.B)*L
 	m := in.Mask
@@ -785,6 +1482,15 @@ func (e *BatchEngine) storeLanes(slot int32, tempBase int, mask uint64, lanes []
 	base := int(slot) * L
 	t := e.temps
 	st := e.state
+	// Slots nothing observes (no consuming partition, no register
+	// watching them) can never wake a partition or gate a commit: skip
+	// the per-lane change detection and store straight.
+	if !e.marking || !e.watched[slot] {
+		for _, l := range lanes {
+			st[base+int(l)] = t[tempBase+int(l)] & mask
+		}
+		return
+	}
 	var changed uint64
 	for _, l := range lanes {
 		v := t[tempBase+int(l)] & mask

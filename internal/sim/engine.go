@@ -23,6 +23,15 @@ type Engine struct {
 	temps []uint64
 	dirty []bool
 
+	// markFn is the store hook execKernel calls on changed slots: the
+	// method value of markConsumers when activity skipping is on, nil when
+	// off (dirty flags are never read then, so stores go straight-line).
+	// Bound once at construction — no per-activation closure allocation.
+	markFn func(int32)
+	// memFwd forwards memory-read observations to OnMemAccess; bound once
+	// so the instrumented path does not allocate per activation either.
+	memFwd func(mem int32, addr uint64)
+
 	inputs  map[string]codegen.PortSpec
 	outputs map[string]codegen.PortSpec
 
@@ -59,12 +68,16 @@ func New(p *codegen.Program, activity bool) *Engine {
 	e := &Engine{
 		p:        p,
 		activity: activity,
-		state:    make([]uint64, p.NumSlots),
+		state:    make([]uint64, p.StateWords()),
 		temps:    make([]uint64, maxTemps),
 		dirty:    make([]bool, p.NumParts),
 		inputs:   map[string]codegen.PortSpec{},
 		outputs:  map[string]codegen.PortSpec{},
 	}
+	if activity {
+		e.markFn = e.markConsumers
+	}
+	e.memFwd = func(mem int32, addr uint64) { e.OnMemAccess(mem, addr, false) }
 	e.mems = make([][]uint64, len(p.Mems))
 	for i, m := range p.Mems {
 		e.mems[i] = make([]uint64, m.Depth)
@@ -168,8 +181,15 @@ func (e *Engine) Output(name string) (uint64, error) {
 	return e.state[out.Slot], nil
 }
 
-// Slot reads a raw state slot (tests and probes).
-func (e *Engine) Slot(s int32) uint64 { return e.state[s] }
+// Slot reads a raw state slot (tests and probes), resolving packed 1-bit
+// slots through the program's word/bit map.
+func (e *Engine) Slot(s int32) uint64 {
+	w, b := e.p.WordOf(s)
+	if b < 0 {
+		return e.state[w]
+	}
+	return (e.state[w] >> uint(b)) & 1
+}
 
 func (e *Engine) markConsumers(slot int32) {
 	p := e.p
@@ -234,57 +254,13 @@ func (e *Engine) Step() {
 	e.Cycles++
 }
 
-// exec interprets one kernel activation.
+// exec interprets one kernel activation through the shared dispatch core.
 func (e *Engine) exec(act *codegen.Activation) {
 	k := e.p.Kernels[act.Kernel]
-	t := e.temps
-	st := e.state
-	for i := range k.Code {
-		in := &k.Code[i]
-		switch in.Op {
-		case codegen.KConst:
-			t[in.Dst] = in.Val
-		case codegen.KLoad:
-			t[in.Dst] = st[in.A]
-		case codegen.KLoadExt:
-			t[in.Dst] = st[act.Ext[in.A]]
-		case codegen.KStore:
-			v := t[in.A] & in.Mask
-			if st[in.Dst] != v {
-				st[in.Dst] = v
-				e.markConsumers(in.Dst)
-			}
-		case codegen.KStoreExt:
-			slot := act.Ext[in.Dst]
-			v := t[in.A] & in.Mask
-			if st[slot] != v {
-				st[slot] = v
-				e.markConsumers(slot)
-			}
-		case codegen.KBin:
-			t[in.Dst] = EvalBinMask(in.BinOp, in.Mask, t[in.A], t[in.B], uint8(in.Val))
-		case codegen.KNot:
-			t[in.Dst] = ^t[in.A] & in.Mask
-		case codegen.KMux:
-			if t[in.A] != 0 {
-				t[in.Dst] = t[in.B]
-			} else {
-				t[in.Dst] = t[in.C]
-			}
-		case codegen.KBits:
-			t[in.Dst] = (t[in.A] >> in.Val) & in.Mask
-		case codegen.KMemRead:
-			mi := in.B
-			if k.Shared {
-				mi = act.Mems[in.B]
-			}
-			m := e.mems[mi]
-			addr := t[in.A] % uint64(len(m))
-			if e.OnMemAccess != nil {
-				e.OnMemAccess(mi, addr, false)
-			}
-			t[in.Dst] = m[addr]
-		}
+	onMem := e.memFwd
+	if e.OnMemAccess == nil {
+		onMem = nil
 	}
+	execKernel(e.p, k, act, e.state, e.temps, e.mems, e.markFn, onMem)
 	e.DynInstrs += int64(k.DynInstrs)
 }

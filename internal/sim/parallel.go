@@ -33,10 +33,11 @@ type ParallelEngine struct {
 	// topological level i of the partition graph.
 	levels [][]int32
 
-	state []uint64
-	mems  [][]uint64
-	dirty []atomic.Bool
-	temps [][]uint64 // per worker
+	state  []uint64
+	mems   [][]uint64
+	dirty  []atomic.Bool
+	temps  [][]uint64 // per worker
+	markFn func(int32)
 
 	inputs  map[string]codegen.PortSpec
 	outputs map[string]codegen.PortSpec
@@ -69,10 +70,18 @@ func NewParallel(p *codegen.Program, q *graph.Graph, threads int) (*ParallelEngi
 		p:       p,
 		threads: threads,
 		levels:  make([][]int32, maxLvl+1),
-		state:   make([]uint64, p.NumSlots),
+		state:   make([]uint64, p.StateWords()),
 		dirty:   make([]atomic.Bool, p.NumParts),
 		inputs:  map[string]codegen.PortSpec{},
 		outputs: map[string]codegen.PortSpec{},
+	}
+	// The one mark closure all workers share: consumer flags are atomic,
+	// so concurrent producers may wake the same partition safely. Bound
+	// here so the hot path never allocates.
+	e.markFn = func(slot int32) {
+		for _, pt := range e.p.ConsumersOfSlot[slot] {
+			e.dirty[pt].Store(true)
+		}
 	}
 	for i := range p.Activations {
 		lvl := levels[p.Activations[i].Part]
@@ -224,10 +233,13 @@ func (e *ParallelEngine) Step() {
 	e.ActsSkipped += skipped
 }
 
-// runChunk executes a slice of same-level activations on worker w.
+// runChunk executes a slice of same-level activations on worker w
+// through the shared dispatch core. Plain stores to state are race-free —
+// each slot (and, under 1-bit packing, each state WORD: packed bits are
+// grouped by producing partition) has exactly one producing partition —
+// while consumer wakes go through the atomic markFn.
 func (e *ParallelEngine) runChunk(acts []int32, w int) (executed, skipped int64) {
 	t := e.temps[w]
-	st := e.state
 	p := e.p
 	for _, ai := range acts {
 		act := &p.Activations[ai]
@@ -237,53 +249,7 @@ func (e *ParallelEngine) runChunk(acts []int32, w int) (executed, skipped int64)
 		}
 		e.dirty[act.Part].Store(false)
 		executed++
-		k := p.Kernels[act.Kernel]
-		for i := range k.Code {
-			in := &k.Code[i]
-			switch in.Op {
-			case codegen.KConst:
-				t[in.Dst] = in.Val
-			case codegen.KLoad:
-				t[in.Dst] = st[in.A]
-			case codegen.KLoadExt:
-				t[in.Dst] = st[act.Ext[in.A]]
-			case codegen.KStore:
-				e.store(in.Dst, t[in.A]&in.Mask)
-			case codegen.KStoreExt:
-				e.store(act.Ext[in.Dst], t[in.A]&in.Mask)
-			case codegen.KBin:
-				t[in.Dst] = EvalBinMask(in.BinOp, in.Mask, t[in.A], t[in.B], uint8(in.Val))
-			case codegen.KNot:
-				t[in.Dst] = ^t[in.A] & in.Mask
-			case codegen.KMux:
-				if t[in.A] != 0 {
-					t[in.Dst] = t[in.B]
-				} else {
-					t[in.Dst] = t[in.C]
-				}
-			case codegen.KBits:
-				t[in.Dst] = (t[in.A] >> in.Val) & in.Mask
-			case codegen.KMemRead:
-				mi := in.B
-				if k.Shared {
-					mi = act.Mems[in.B]
-				}
-				m := e.mems[mi]
-				t[in.Dst] = m[t[in.A]%uint64(len(m))]
-			}
-		}
+		execKernel(p, p.Kernels[act.Kernel], act, e.state, t, e.mems, e.markFn, nil)
 	}
 	return executed, skipped
-}
-
-// store publishes a slot value and wakes consumers; each slot has exactly
-// one producing partition, so plain stores to state are race-free, while
-// the consumer flags may be set concurrently and are atomic.
-func (e *ParallelEngine) store(slot int32, v uint64) {
-	if e.state[slot] != v {
-		e.state[slot] = v
-		for _, pt := range e.p.ConsumersOfSlot[slot] {
-			e.dirty[pt].Store(true)
-		}
-	}
 }

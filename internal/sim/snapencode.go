@@ -13,7 +13,7 @@ import (
 // half-trusted:
 //
 //	"DSNP" magic (4 bytes)
-//	u32 version (currently 1)
+//	u32 version (currently 2)
 //	u64 Cycles, ActsExecuted, ActsSkipped, DynInstrs
 //	u32 len(State); len(State) x u64
 //	u32 len(Mems);  per memory: u32 depth, depth x u64
@@ -23,14 +23,27 @@ import (
 // All integers little-endian. Decode validates magic, version, every
 // length against the remaining input (a flipped length bit cannot force
 // a huge allocation), and finally the checksum. Structural compatibility
-// with a Program (slot count, memory depths) is checked by Restore, not
-// here: the same bytes may be restored into a scalar Engine or a batch
-// lane of any engine running that Program.
+// with a Program (state-word count, memory depths) is checked by
+// Restore, not here: the same bytes may be restored into a scalar Engine
+// or a batch lane of any engine running that Program.
+//
+// Version history: v1 wrote one word per logical slot; v2 writes the
+// program's state WORDS, which differ from slots only when 1-bit packing
+// is active. The byte layout is identical, so v1 snapshots still decode
+// — a v1 snapshot restores exactly into an unpacked program (words ==
+// slots) and fails checkShape's word-count check against a packed one,
+// never restoring silently-wrong state.
 
 var snapshotMagic = [4]byte{'D', 'S', 'N', 'P'}
 
-// SnapshotVersion is the current snapshot wire-format version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current snapshot wire-format version. Version 1
+// (pre-packing, State indexed by slot) shares the byte layout and is
+// still accepted by DecodeSnapshot.
+const SnapshotVersion = 2
+
+// snapshotMinVersion is the oldest wire-format version DecodeSnapshot
+// accepts.
+const snapshotMinVersion = 1
 
 // Snapshot decode errors. ErrSnapshotVersion distinguishes "written by
 // another build" from plain corruption (ErrSnapshotCorrupt) so callers
@@ -130,8 +143,9 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if len(data) < 8 || [4]byte(data[0:4]) != snapshotMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != SnapshotVersion {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrSnapshotVersion, v, SnapshotVersion)
+	if v := binary.LittleEndian.Uint32(data[4:8]); v < snapshotMinVersion || v > SnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d..%d",
+			ErrSnapshotVersion, v, snapshotMinVersion, SnapshotVersion)
 	}
 	if len(data) < 12 {
 		return nil, fmt.Errorf("%w: truncated", ErrSnapshotCorrupt)

@@ -2,7 +2,7 @@ package sim
 
 import "fmt"
 
-// Snapshot is a saved simulation state: every state slot, every memory,
+// Snapshot is a saved simulation state: every state word, every memory,
 // the cycle counter, and (for exact resume) the per-partition activity
 // flags and activation counters. Industrial RTL simulations run for days
 // (paper Section 6.6); checkpointing makes long runs resumable — the
@@ -79,11 +79,14 @@ func (e *Engine) Restore(s *Snapshot) error {
 	return nil
 }
 
-// checkShape validates a snapshot against an engine's slot count and
-// per-memory depths (memory slices carry lane-collapsed depths).
-func checkShape(s *Snapshot, slots int, mems [][]uint64) error {
-	if len(s.State) != slots {
-		return fmt.Errorf("sim: snapshot has %d slots, engine has %d", len(s.State), slots)
+// checkShape validates a snapshot against an engine's state-word count
+// and per-memory depths (memory slices carry lane-collapsed depths). The
+// word count depends on the program's 1-bit packing layout, so a
+// snapshot from a differently-compiled program (e.g. packing disabled)
+// fails fast here instead of restoring silently-wrong state.
+func checkShape(s *Snapshot, words int, mems [][]uint64) error {
+	if len(s.State) != words {
+		return fmt.Errorf("sim: snapshot has %d state words, engine has %d", len(s.State), words)
 	}
 	if len(s.Mems) != len(mems) {
 		return fmt.Errorf("sim: snapshot has %d memories, engine has %d", len(s.Mems), len(mems))
@@ -107,7 +110,7 @@ func (e *BatchEngine) SaveLane(lane int) (*Snapshot, error) {
 	}
 	L := e.lanes
 	s := &Snapshot{
-		State:        make([]uint64, e.p.NumSlots),
+		State:        make([]uint64, len(e.state)/L),
 		Mems:         make([][]uint64, len(e.mems)),
 		Cycles:       e.Cycles[lane],
 		Dirty:        make([]bool, len(e.dirty)),
@@ -115,8 +118,8 @@ func (e *BatchEngine) SaveLane(lane int) (*Snapshot, error) {
 		ActsSkipped:  e.ActsSkipped[lane],
 		DynInstrs:    e.DynInstrs[lane],
 	}
-	for slot := range s.State {
-		s.State[slot] = e.state[slot*L+lane]
+	for w := range s.State {
+		s.State[w] = e.state[w*L+lane]
 	}
 	for i, m := range e.mems {
 		depth := len(m) / L
@@ -145,11 +148,11 @@ func (e *BatchEngine) RestoreLane(lane int, s *Snapshot) error {
 	for i, m := range e.mems {
 		laneMems[i] = m[:len(m)/L] // depth carrier for shape checking only
 	}
-	if err := checkShape(s, e.p.NumSlots, laneMems); err != nil {
+	if err := checkShape(s, len(e.state)/L, laneMems); err != nil {
 		return err
 	}
-	for slot, v := range s.State {
-		e.state[slot*L+lane] = v
+	for w, v := range s.State {
+		e.state[w*L+lane] = v
 	}
 	for i, lm := range s.Mems {
 		m := e.mems[i]
@@ -175,5 +178,10 @@ func (e *BatchEngine) RestoreLane(lane int, s *Snapshot) error {
 	e.ActsExecuted[lane] = s.ActsExecuted
 	e.ActsSkipped[lane] = s.ActsSkipped
 	e.DynInstrs[lane] = s.DynInstrs
+	// Restored state carries no store history: re-arm every register's
+	// pending mask so the next commit phase scans them all once.
+	for i := range e.regPending {
+		e.regPending[i] = e.all
+	}
 	return nil
 }

@@ -93,7 +93,7 @@ func (p *EngineProber) Probe(name string) (uint64, uint8, bool) {
 	if !ok {
 		return 0, 0, false
 	}
-	return p.e.state[s.slot], s.width, true
+	return p.e.Slot(s.slot), s.width, true
 }
 
 // NewVCDWriter starts a VCD dump of the named signals. Signal widths are

@@ -29,6 +29,16 @@
 // successor with the saved checkpoint attached — work resumes mid-run
 // instead of restarting, and the new owner warms its compile cache from
 // the router's replicated artifact store instead of recompiling.
+//
+// With -data-dir the router itself is durable: node registrations and
+// every placement are journaled, replicated checkpoints and artifacts
+// are persisted, and a restarted router replays the journal, re-adopts
+// still-live nodes, and migrates the jobs of any node that died while
+// it was down. With -router-id and one or more -peer flags, two or
+// more routers front the same node set: each pulls the others'
+// placement deltas so any router can serve any job, and orphan
+// migration is owned by the lowest live router ID so a dead node's
+// jobs are never migrated twice.
 package main
 
 import (
@@ -39,12 +49,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dedupsim/internal/cluster"
+	"dedupsim/internal/durable"
 	"dedupsim/internal/obs"
 )
+
+// peerList collects repeatable -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty peer URL")
+	}
+	*p = append(*p, v)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -57,6 +82,12 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text (key=value lines) or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6061; empty = off)")
 	noObs := flag.Bool("no-obs", false, "disable latency histograms and per-job lifecycle traces")
+	dataDir := flag.String("data-dir", "", "durable data directory: journal node registrations and placements, persist replicated checkpoints and artifacts, and recover all of it on restart (empty = in-memory only)")
+	fsync := flag.String("fsync", "", "placement journal fsync policy with -data-dir: always, interval, none (default interval)")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "group-commit period for -fsync interval (0 = default 100ms)")
+	routerID := flag.String("router-id", "", "this router's ID in a multi-router deployment; prefixes fleet job IDs and feeds migration ownership (empty = single router)")
+	var peers peerList
+	flag.Var(&peers, "peer", "peer router base URL (repeatable) for HA placement sync")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat)
@@ -76,7 +107,12 @@ func main() {
 		logger.Info("pprof serving", "addr", ps.Addr)
 	}
 
-	r := cluster.NewRouter(cluster.RouterConfig{
+	policy, err := durable.ParsePolicy(*fsync)
+	if err != nil {
+		logger.Error("bad -fsync", "err", err)
+		os.Exit(1)
+	}
+	r, err := cluster.OpenRouter(cluster.RouterConfig{
 		VirtualNodes:   *vnodes,
 		HeartbeatEvery: *heartbeat,
 		DeadAfter:      *deadAfter,
@@ -84,10 +120,29 @@ func main() {
 		ProbeTimeout:   *probeTimeout,
 		MaxJobs:        *maxJobs,
 		DisableObs:     *noObs,
+		DataDir:        *dataDir,
+		Fsync:          policy,
+		FsyncInterval:  *fsyncInterval,
+		RouterID:       *routerID,
+		Peers:          peers,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
 	})
+	if err != nil {
+		logger.Error("router open failed", "err", err)
+		os.Exit(1)
+	}
+	if rec := r.RecoveryStats(); rec != nil {
+		logger.Info("router recovered",
+			"placements_replayed", rec.PlacementsReplayed,
+			"jobs_recovered", rec.JobsRecovered,
+			"nodes_readopted", rec.NodesReadopted,
+			"nodes_lost_while_down", rec.NodesLostWhileDown,
+			"artifacts_reloaded", rec.ArtifactsReloaded,
+			"journal_bytes_dropped", rec.JournalBytesDropped,
+			"recovery_millis", rec.RecoveryMillis)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: cluster.Handler(r)}
 	serveErr := make(chan error, 1)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"dedupsim/internal/farm"
 	"dedupsim/internal/obs"
@@ -29,6 +30,23 @@ type FleetStats struct {
 	CheckpointsPulled   int64 `json:"checkpoints_pulled"`
 	ArtifactsReplicated int64 `json:"artifacts_replicated"`
 	ArtifactsServed     int64 `json:"artifacts_served"`
+
+	// Bounded-cache pressure: evictions from the in-memory artifact and
+	// route-key LRUs, and artifact serves satisfied from the disk tier
+	// after a memory miss.
+	ArtifactEvictions int64 `json:"artifact_evictions,omitempty"`
+	RouteKeyEvictions int64 `json:"routekey_evictions,omitempty"`
+	ArtifactDiskHits  int64 `json:"artifact_disk_hits,omitempty"`
+
+	// HA: peer routers, jobs adopted from them, and sync outcomes.
+	Peers            []PeerView `json:"peers,omitempty"`
+	JobsAdopted      int64      `json:"jobs_adopted,omitempty"`
+	PeerSyncs        int64      `json:"peer_syncs,omitempty"`
+	PeerSyncFailures int64      `json:"peer_sync_failures,omitempty"`
+
+	// Recovery reports the last OpenRouter replay (nil for a fresh or
+	// in-memory router).
+	Recovery *RouterRecoveryStats `json:"recovery,omitempty"`
 
 	// Fleet-wide dedup effectiveness, summed across nodes: Compiles is
 	// the total cache misses (the "exactly one compile fleet-wide"
@@ -64,7 +82,17 @@ func (r *Router) Stats() FleetStats {
 		CheckpointsPulled:   r.ckptsPulled,
 		ArtifactsReplicated: r.artsPulled,
 		ArtifactsServed:     r.artsServed,
+		ArtifactEvictions:   r.artifacts.evictions,
+		RouteKeyEvictions:   r.routeKeys.evictions,
+		ArtifactDiskHits:    r.artsDiskHits,
+		JobsAdopted:         r.jobsAdopted,
+		PeerSyncs:           r.peerSyncs,
+		PeerSyncFailures:    r.peerSyncFails,
+		Recovery:            r.recovery,
 		NodeStats:           map[string]*farm.Stats{},
+	}
+	for _, p := range r.peers {
+		st.Peers = append(st.Peers, PeerView{ID: p.id, Addr: p.addr, Up: p.up, LastSeq: p.lastSeq})
 	}
 	for _, fj := range r.jobs {
 		if !fj.terminal {
@@ -97,7 +125,7 @@ func (r *Router) Stats() FleetStats {
 func (r *Router) WriteStatus(w io.Writer) {
 	st := r.Stats()
 	r.mu.Lock()
-	logs := append([]string(nil), r.migrationLogs...)
+	logs, logTotal := r.migrationLogs.snapshot()
 	r.mu.Unlock()
 
 	fmt.Fprintf(w, "fleet: %d nodes, %d jobs submitted, %d live, %d orphaned\n",
@@ -113,14 +141,32 @@ func (r *Router) WriteStatus(w io.Writer) {
 		st.Forwarded, st.Spilled, st.Failovers)
 	fmt.Fprintf(w, "resilience: %d node deaths, %d migrations, %d checkpoints pulled\n",
 		st.NodeDeaths, st.Migrations, st.CheckpointsPulled)
-	fmt.Fprintf(w, "artifacts: %d replicated off nodes, %d served to nodes\n",
-		st.ArtifactsReplicated, st.ArtifactsServed)
+	fmt.Fprintf(w, "artifacts: %d replicated off nodes, %d served to nodes (%d from disk, %d memory evictions)\n",
+		st.ArtifactsReplicated, st.ArtifactsServed, st.ArtifactDiskHits, st.ArtifactEvictions)
+	if rec := st.Recovery; rec != nil {
+		fmt.Fprintf(w, "recovery: %d placements replayed, %d jobs recovered, %d nodes re-adopted, %d artifacts reloaded (%.1fms)\n",
+			rec.PlacementsReplayed, rec.JobsRecovered, rec.NodesReadopted, rec.ArtifactsReloaded, rec.RecoveryMillis)
+	}
+	for _, p := range st.Peers {
+		state := "down"
+		if p.Up {
+			state = "up"
+		}
+		fmt.Fprintf(w, "peer: router %s at %s: %s, synced through seq %d\n", p.ID, p.Addr, state, p.LastSeq)
+	}
+	if st.JobsAdopted > 0 || st.PeerSyncs > 0 {
+		fmt.Fprintf(w, "ha: %d jobs adopted from peers, %d syncs (%d failed)\n",
+			st.JobsAdopted, st.PeerSyncs, st.PeerSyncFailures)
+	}
 	fmt.Fprintf(w, "fleet dedup: %d compiles total, %d warm hits, %d artifacts fetched by nodes, %d cycles saved by resume\n",
 		st.Compiles, st.WarmHits, st.ArtifactsFetched, st.CyclesSavedByResume)
 	if l := st.Latency; l != nil {
 		fmt.Fprintf(w, "latency: forward p50/p95/p99 %.1f/%.1f/%.1f ms (%d placed), e2e p50/p95/p99 %.0f/%.0f/%.0f ms (%d finished)\n",
 			l.Forward.P50Ms, l.Forward.P95Ms, l.Forward.P99Ms, l.Forward.Count,
 			l.EndToEnd.P50Ms, l.EndToEnd.P95Ms, l.EndToEnd.P99Ms, l.EndToEnd.Count)
+	}
+	if logTotal > 0 {
+		fmt.Fprintf(w, "recent_migrations (last %d of %d):\n", len(logs), logTotal)
 	}
 	for _, line := range logs {
 		fmt.Fprintf(w, "  event: %s\n", line)
@@ -147,8 +193,10 @@ type registration struct {
 //	                        raw event list)
 //	GET  /trace             every fleet job's router-side timeline
 //	GET  /artifacts/{key}   fetch-by-hash from the replicated store
+//	GET  /fleet/placements  placement delta for peer routers (?after=seq)
 //	GET  /stats             fleet metrics (JSON, incl. latency quantiles)
-//	GET  /statusz           fleet metrics (text) incl. the migration log
+//	GET  /statusz           fleet metrics (text) incl. recovery stats and
+//	                        the bounded recent-migrations log
 //	GET  /metrics           Prometheus text-format exposition
 //	GET  /livez, /readyz    router health
 //
@@ -332,6 +380,19 @@ func Handler(r *Router) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(data)
+	})
+
+	mux.HandleFunc("GET /fleet/placements", func(w http.ResponseWriter, req *http.Request) {
+		var after int64
+		if s := req.URL.Query().Get("after"); s != "" {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad after cursor %q", s))
+				return
+			}
+			after = n
+		}
+		writeJSON(w, http.StatusOK, r.PlacementDelta(after))
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {

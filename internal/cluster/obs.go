@@ -94,6 +94,24 @@ func (r *Router) WriteProm(w io.Writer) error {
 	forwarded, spilled, failovers := r.forwarded, r.spilled, r.failovers
 	migrations, deaths := r.migrations, r.deaths
 	ckpts, artsIn, artsOut := r.ckptsPulled, r.artsPulled, r.artsServed
+	artEvict, keyEvict, diskHits := r.artifacts.evictions, r.routeKeys.evictions, r.artsDiskHits
+	adopted, syncs, syncFails := r.jobsAdopted, r.peerSyncs, r.peerSyncFails
+	type peerRow struct {
+		id string
+		up float64
+	}
+	var peerRows []peerRow
+	for _, pr := range r.peers {
+		row := peerRow{id: pr.id}
+		if row.id == "" {
+			row.id = pr.addr
+		}
+		if pr.up {
+			row.up = 1
+		}
+		peerRows = append(peerRows, row)
+	}
+	recovery := r.recovery
 	o := r.obs
 	r.mu.Unlock()
 
@@ -107,6 +125,12 @@ func (r *Router) WriteProm(w io.Writer) error {
 	p.Counter("dedupfleet_checkpoints_pulled_total", "Checkpoints replicated off worker nodes.", float64(ckpts))
 	p.Counter("dedupfleet_artifacts_replicated_total", "Compile artifacts replicated off worker nodes.", float64(artsIn))
 	p.Counter("dedupfleet_artifacts_served_total", "Artifact fetches served back to nodes.", float64(artsOut))
+	p.Counter("dedupfleet_artifact_evictions_total", "Artifacts evicted from the bounded in-memory cache.", float64(artEvict))
+	p.Counter("dedupfleet_routekey_evictions_total", "Route-key memo entries evicted from the bounded cache.", float64(keyEvict))
+	p.Counter("dedupfleet_artifact_disk_hits_total", "Artifact serves satisfied from the disk tier after a memory miss.", float64(diskHits))
+	p.Counter("dedupfleet_jobs_adopted_total", "Fleet jobs adopted from peer routers.", float64(adopted))
+	p.Counter("dedupfleet_peer_syncs_total", "Successful peer placement-delta pulls.", float64(syncs))
+	p.Counter("dedupfleet_peer_sync_failures_total", "Failed peer placement-delta pulls.", float64(syncFails))
 	p.Gauge("dedupfleet_nodes", "Registered worker nodes (any state).", float64(len(nodes)))
 	p.Gauge("dedupfleet_jobs_live", "Fleet jobs not yet terminal.", float64(live))
 	p.Gauge("dedupfleet_jobs_orphaned", "Fleet jobs awaiting re-placement.", float64(orphaned))
@@ -114,6 +138,16 @@ func (r *Router) WriteProm(w io.Writer) error {
 		p.Gauge("dedupfleet_node_up", "1 if the node is alive per the last probe round.", n.up, "node", n.id)
 		p.Gauge("dedupfleet_node_ready", "1 if the node accepts new placements.", n.ready, "node", n.id)
 		p.Gauge("dedupfleet_node_load", "Router-tracked live jobs on the node.", n.load, "node", n.id)
+	}
+	for _, pr := range peerRows {
+		p.Gauge("dedupfleet_peer_up", "1 if the peer router answered its last delta pull.", pr.up, "peer", pr.id)
+	}
+	if recovery != nil {
+		p.Gauge("dedupfleet_recovery_placements_replayed", "Job-lifecycle journal records folded by the last recovery.", float64(recovery.PlacementsReplayed))
+		p.Gauge("dedupfleet_recovery_jobs_recovered", "Unfinished fleet jobs re-tracked by the last recovery.", float64(recovery.JobsRecovered))
+		p.Gauge("dedupfleet_recovery_nodes_readopted", "Journaled nodes re-adopted live by the last recovery.", float64(recovery.NodesReadopted))
+		p.Gauge("dedupfleet_recovery_artifacts_reloaded", "Replicated artifacts reloaded from disk by the last recovery.", float64(recovery.ArtifactsReloaded))
+		p.Gauge("dedupfleet_recovery_millis", "Wall time of the last recovery, milliseconds.", recovery.RecoveryMillis)
 	}
 	if o != nil {
 		p.Histogram("dedupfleet_forward_seconds", "Round-trip latency of successful job placements.", o.forward.Snapshot())

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"dedupsim/internal/durable"
 	"dedupsim/internal/farm"
 	"dedupsim/internal/sim"
 )
@@ -33,6 +34,7 @@ func (r *Router) heartbeatLoop() {
 			return
 		case <-t.C:
 			r.pollOnce(context.Background())
+			r.syncPeers(context.Background())
 		}
 	}
 }
@@ -111,6 +113,16 @@ func (r *Router) pollOnce(ctx context.Context) {
 			if v.Status.Terminal() && !fj.terminal {
 				fj.terminal = true
 				m.load--
+				fj.rev++
+				fj.seq = r.bumpSeqLocked()
+				r.journalLocked(durable.PlacementRecord{
+					Type: durable.PRecFinish, Job: fj.id, Status: string(v.Status),
+				})
+				if r.store != nil {
+					// A finished job's checkpoint is dead weight: drop it so the
+					// data dir tracks live state only.
+					r.store.RemoveCheckpoint(fj.id)
+				}
 				// End-to-end latency is router accept to this poll tick, so
 				// it includes up to one heartbeat period of detection lag.
 				fj.trace.Instant("done", "status", string(v.Status), "node", res.id)
@@ -122,17 +134,20 @@ func (r *Router) pollOnce(ctx context.Context) {
 		}
 	}
 	for _, id := range newlyDead {
+		r.journalLocked(durable.PlacementRecord{Type: durable.PRecNodeDead, Node: id})
 		orphans := 0
 		for _, fj := range r.jobs {
 			if fj.node == id && !fj.terminal {
 				fj.orphaned = true
+				fj.rev++
+				fj.seq = r.bumpSeqLocked()
+				r.journalLocked(durable.PlacementRecord{Type: durable.PRecOrphan, Job: fj.id, Node: id})
 				fj.trace.Instant("orphaned", "node", id, "cause", "node-death")
 				orphans++
 			}
 		}
-		r.migrationLogs = append(r.migrationLogs,
-			fmt.Sprintf("%s node %s dead (%d missed probes), %d jobs orphaned",
-				now.Format(time.RFC3339), id, r.cfg.DeadAfter, orphans))
+		r.migrationLogs.add(fmt.Sprintf("%s node %s dead (%d missed probes), %d jobs orphaned",
+			now.Format(time.RFC3339), id, r.cfg.DeadAfter, orphans))
 		r.logf("cluster: node %s dead, %d jobs to migrate", id, orphans)
 	}
 	r.mu.Unlock()
@@ -148,12 +163,25 @@ func (r *Router) pollOnce(ctx context.Context) {
 			continue // torn mid-write read; next tick retries
 		}
 		r.mu.Lock()
+		installed := false
 		if fj, ok := r.jobs[p.fleetID]; ok && snap.Cycles > fj.ckptCycle {
 			fj.checkpoint = data
 			fj.ckptCycle = snap.Cycles
+			// seq only, no rev bump: peers learn fresh checkpoints through
+			// the cycle-compare merge, not last-writer-wins (both routers
+			// pull checkpoints independently and the newest must win).
+			fj.seq = r.bumpSeqLocked()
 			r.ckptsPulled++
+			installed = true
 		}
 		r.mu.Unlock()
+		if installed && r.store != nil {
+			// Persist outside r.mu — migration insurance must survive the
+			// router too, not just the node.
+			if err := r.store.SaveCheckpoint(p.fleetID, data); err != nil {
+				r.logf("cluster: persist checkpoint %s: %v", p.fleetID, err)
+			}
+		}
 	}
 
 	r.replicateArtifacts(ctx, results, targets)
@@ -191,8 +219,15 @@ func (r *Router) replicateArtifacts(ctx context.Context, results []probeResult, 
 			}
 			key := farm.ArtifactKey(e.CircuitHash, e.Variant)
 			r.mu.Lock()
-			_, have := r.artifacts[key]
+			_, have := r.artifacts.get(key)
 			r.mu.Unlock()
+			if !have && r.store != nil {
+				// Evicted from memory but persisted: no need to re-pull it
+				// off a node; Artifact falls through to disk on demand.
+				if _, ok := r.store.LoadArtifact(key); ok {
+					have = true
+				}
+			}
 			if have {
 				continue
 			}
@@ -204,11 +239,16 @@ func (r *Router) replicateArtifacts(ctx context.Context, results []probeResult, 
 				continue
 			}
 			r.mu.Lock()
-			if _, have := r.artifacts[key]; !have {
-				r.artifacts[key] = art
+			if _, have := r.artifacts.get(key); !have {
+				r.artifacts.put(key, art)
 				r.artsPulled++
 			}
 			r.mu.Unlock()
+			if r.store != nil {
+				if err := r.store.SaveArtifact(key, art); err != nil {
+					r.logf("cluster: persist artifact %s: %v", key[:12], err)
+				}
+			}
 			r.logf("cluster: replicated artifact %s from %s", key[:12], res.id)
 		}
 	}
@@ -220,6 +260,13 @@ func (r *Router) replicateArtifacts(ctx context.Context, results []probeResult, 
 // orphaned and retry next tick.
 func (r *Router) migrateOrphans(ctx context.Context) {
 	r.mu.Lock()
+	if len(r.peers) > 0 && r.migrationOwnerLocked() != r.routerID {
+		// Another live router owns migration duty; double-migrating a
+		// dead node's jobs would run them twice. We keep tracking the
+		// orphans and adopt the owner's re-placements via peer sync.
+		r.mu.Unlock()
+		return
+	}
 	type pending struct {
 		id         string
 		spec       farm.JobSpec
@@ -256,13 +303,18 @@ func (r *Router) migrateOrphans(ctx context.Context) {
 			fj.orphaned = false
 			fj.terminal = false
 			fj.migrations++
+			fj.rev++
+			fj.seq = r.bumpSeqLocked()
 			m.load++
 			r.migrations++
+			r.journalLocked(durable.PlacementRecord{
+				Type: durable.PRecMigrate, Job: fj.id, Node: m.id, From: from,
+				Remote: view.ID, Cycle: fj.ckptCycle,
+			})
 			fj.trace.Instant("migrate", "from", from, "to", m.id,
 				"cause", "node-death", "resume_cycle", strconv.FormatInt(fj.ckptCycle, 10))
-			r.migrationLogs = append(r.migrationLogs,
-				fmt.Sprintf("%s job %s migrated %s -> %s (resume from cycle %d)",
-					time.Now().Format(time.RFC3339), fj.id, from, m.id, fj.ckptCycle))
+			r.migrationLogs.add(fmt.Sprintf("%s job %s migrated %s -> %s (resume from cycle %d)",
+				time.Now().Format(time.RFC3339), fj.id, from, m.id, fj.ckptCycle))
 			r.mu.Unlock()
 			r.logf("cluster: job %s migrated %s -> %s at cycle %d (trace %s)",
 				w.id, from, m.id, fj.ckptCycle, fj.spec.TraceID)

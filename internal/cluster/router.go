@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"dedupsim/internal/durable"
 	"dedupsim/internal/farm"
 	"dedupsim/internal/obs"
 )
@@ -43,6 +44,45 @@ type RouterConfig struct {
 	// DisableObs turns off the router's latency histograms and
 	// per-fleet-job lifecycle traces (on by default).
 	DisableObs bool
+
+	// DataDir, when set, makes the router crash-safe: node registrations
+	// and every fleet job's placement lifecycle are journaled to a
+	// write-ahead log under DataDir, and replicated checkpoints and
+	// artifacts are persisted there too. A restarted router replays the
+	// journal, re-adopts still-live nodes, and resumes migration duty for
+	// jobs orphaned while it was down. Empty means in-memory only (the
+	// pre-durability behaviour).
+	DataDir string
+	// Fsync is the journal durability policy (durable.FsyncAlways /
+	// FsyncInterval / FsyncNone; default FsyncInterval). Only meaningful
+	// with DataDir.
+	Fsync durable.FsyncPolicy
+	// FsyncInterval is the flush period under FsyncInterval (default
+	// 100ms).
+	FsyncInterval time.Duration
+
+	// RouterID names this router in a multi-router deployment. It
+	// prefixes fleet job IDs ("<RouterID>-fj-N") so two routers fronting
+	// one node set never mint colliding IDs, and it feeds the migration
+	// ownership rule. Empty (single-router) keeps plain "fj-N" IDs.
+	RouterID string
+	// Peers lists the other routers' base URLs. When non-empty the
+	// heartbeat loop also pulls each peer's placement delta
+	// (GET /fleet/placements) so every router tracks every fleet job, and
+	// orphan migration is restricted to the lowest live RouterID — two
+	// routers never double-migrate the same dead node's jobs.
+	Peers []string
+
+	// MaxArtifacts bounds the in-memory replicated-artifact cache
+	// (default 128 entries, LRU). With DataDir set, evicted artifacts
+	// remain on disk and are reloaded on demand; without it they are
+	// re-replicated from nodes.
+	MaxArtifacts int
+	// MaxRouteKeys bounds the design→route-key memo (default 4096, LRU).
+	MaxRouteKeys int
+	// MaxMigrationLog bounds the retained migration event log (default
+	// 64, drop-oldest).
+	MaxMigrationLog int
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -63,6 +103,18 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.MaxArtifacts <= 0 {
+		c.MaxArtifacts = 128
+	}
+	if c.MaxRouteKeys <= 0 {
+		c.MaxRouteKeys = 4096
+	}
+	if c.MaxMigrationLog <= 0 {
+		c.MaxMigrationLog = 64
 	}
 	return c
 }
@@ -108,6 +160,15 @@ type fleetJob struct {
 	// forward succeeds.
 	orphaned bool
 
+	// rev counts placement-relevant mutations (place, orphan, migrate,
+	// finish). Peer routers merge a synced job only when its rev is
+	// higher than their copy's — last-writer-wins per job.
+	rev int64
+	// seq is the router-local sequence number of the job's last mutation;
+	// the /fleet/placements delta sends jobs with seq > the peer's
+	// high-water mark.
+	seq int64
+
 	// created stamps router admission; the fleet end-to-end histogram
 	// measures from here to the poll tick that saw the terminal state.
 	created time.Time
@@ -148,13 +209,31 @@ type Router struct {
 	nextID   int64
 	// routeKeys memoizes design-key → routing key: elaborating a design
 	// to hash it is cheap next to compiling, but not free, and fleets see
-	// the same few designs over and over.
-	routeKeys map[string]string
+	// the same few designs over and over. Bounded (MaxRouteKeys, LRU);
+	// an evicted key is simply recomputed.
+	routeKeys *lruCache[string]
 	// artifacts is the router's replicated artifact store: encoded
 	// compile artifacts pulled from nodes during heartbeats, served back
 	// to cold peers (and used to warm a migration target) even after the
-	// origin node died.
-	artifacts map[string][]byte
+	// origin node died. The in-memory tier is bounded (MaxArtifacts,
+	// LRU); with a store, evicted entries stay on disk and reload on
+	// demand.
+	artifacts *lruCache[[]byte]
+
+	// store is the durable tier (nil without DataDir): the placement
+	// journal plus persisted checkpoints and artifacts.
+	store *durable.Store
+	// recovery reports what the last OpenRouter replayed (nil for a
+	// fresh or in-memory router).
+	recovery *RouterRecoveryStats
+
+	// HA state (single-router deployments leave all of this idle).
+	routerID string
+	// seq is the router-local mutation sequence; bumped only on
+	// placement-relevant changes so peer delta pulls stay quiet on an
+	// idle fleet.
+	seq   int64
+	peers []*peerState
 
 	// counters
 	forwarded     int64 // jobs placed on a node (spills included)
@@ -164,8 +243,12 @@ type Router struct {
 	ckptsPulled   int64 // checkpoints replicated off nodes
 	artsPulled    int64 // artifacts replicated off nodes
 	artsServed    int64 // artifact fetches served to nodes
+	artsDiskHits  int64 // artifact serves satisfied from the disk tier
 	deaths        int64 // nodes declared dead
-	migrationLogs []string
+	jobsAdopted   int64 // fleet jobs learned from peer routers
+	peerSyncs     int64 // successful peer delta pulls
+	peerSyncFails int64 // failed peer delta pulls
+	migrationLogs *ringLog
 
 	// obs holds the router's latency histograms (nil with DisableObs,
 	// which also disables per-job traces).
@@ -175,28 +258,70 @@ type Router struct {
 	stopped chan struct{}
 }
 
-// NewRouter starts a router and its heartbeat prober.
+// NewRouter starts an in-memory router and its heartbeat prober. For a
+// crash-safe router (DataDir set) use OpenRouter, which can fail;
+// NewRouter panics on a durable-open error so existing in-memory
+// callers keep their error-free constructor.
 func NewRouter(cfg RouterConfig) *Router {
+	r, err := OpenRouter(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: NewRouter: %v", err))
+	}
+	return r
+}
+
+// OpenRouter starts a router and its heartbeat prober. With
+// cfg.DataDir set it opens the placement journal, replays it (torn
+// tails tolerated, per the WAL contract), probes journaled nodes to
+// re-adopt the still-live ones, re-tracks unfinished fleet jobs with
+// their persisted checkpoints, reloads replicated artifacts, and
+// compacts the journal — then resumes normal duty, including migrating
+// jobs whose owner died while the router was down.
+func OpenRouter(cfg RouterConfig) (*Router, error) {
 	cfg = cfg.withDefaults()
 	r := &Router{
-		cfg:       cfg,
-		client:    &http.Client{Timeout: cfg.ProbeTimeout},
-		registry:  NewRegistry(cfg.VirtualNodes),
-		jobs:      map[string]*fleetJob{},
-		routeKeys: map[string]string{},
-		artifacts: map[string][]byte{},
-		stop:      make(chan struct{}),
-		stopped:   make(chan struct{}),
+		cfg:           cfg,
+		client:        &http.Client{Timeout: cfg.ProbeTimeout},
+		registry:      NewRegistry(cfg.VirtualNodes),
+		jobs:          map[string]*fleetJob{},
+		routeKeys:     newLRU[string](cfg.MaxRouteKeys),
+		artifacts:     newLRU[[]byte](cfg.MaxArtifacts),
+		routerID:      cfg.RouterID,
+		migrationLogs: newRingLog(cfg.MaxMigrationLog),
+		stop:          make(chan struct{}),
+		stopped:       make(chan struct{}),
 	}
 	if !cfg.DisableObs {
 		r.obs = &routerObs{}
 	}
+	for _, addr := range cfg.Peers {
+		r.peers = append(r.peers, &peerState{addr: addr})
+	}
+	if cfg.DataDir != "" {
+		store, err := durable.OpenRouterStore(durable.Options{
+			Dir:           cfg.DataDir,
+			Fsync:         cfg.Fsync,
+			FsyncInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.store = store
+		if err := r.recoverFromStore(); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	go r.heartbeatLoop()
-	return r
+	return r, nil
 }
 
-// Close stops the heartbeat prober. Worker nodes are left running —
-// the router owns placement, not node lifecycles.
+// Close stops the heartbeat prober and, for a durable router, shuts
+// the store down cleanly: the journal is compacted to live state and
+// frozen (flushed, fsynced) rather than abandoned, so a restart after
+// Close replays only current state — zero records when the fleet was
+// quiescent. Worker nodes are left running — the router owns
+// placement, not node lifecycles.
 func (r *Router) Close() {
 	select {
 	case <-r.stop:
@@ -204,6 +329,31 @@ func (r *Router) Close() {
 		close(r.stop)
 	}
 	<-r.stopped
+	if r.store != nil {
+		// The loop is stopped, so no journal appends race the compaction.
+		if err := r.compactJournal(); err != nil {
+			r.logf("cluster: router close: compact: %v", err)
+		}
+		r.store.Freeze()
+		r.store.Close()
+	}
+}
+
+// Kill tears the router down the way a crash would: loops stop, but
+// the store is abandoned — no compaction, no final flush beyond what
+// the fsync policy already guaranteed. Tests use it to exercise
+// recovery; production crashes get the same on-disk state for free.
+func (r *Router) Kill() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.stopped
+	if r.store != nil {
+		r.store.Abandon()
+		r.store.Close()
+	}
 }
 
 func (r *Router) logf(format string, args ...any) {
@@ -220,6 +370,7 @@ func (r *Router) Register(id, addr string) error {
 	if err := r.registry.Register(id, addr, time.Now()); err != nil {
 		return err
 	}
+	r.journalLocked(durable.PlacementRecord{Type: durable.PRecNode, Node: id, Addr: addr})
 	r.logf("cluster: node %s registered at %s", id, addr)
 	return nil
 }
@@ -238,7 +389,7 @@ func (r *Router) Nodes() []NodeView {
 func (r *Router) routeKey(spec farm.JobSpec) (string, error) {
 	designKey := fmt.Sprintf("%s|%g|%s", spec.Design, spec.Scale, spec.FIRRTL)
 	r.mu.Lock()
-	hash, ok := r.routeKeys[designKey]
+	hash, ok := r.routeKeys.get(designKey)
 	r.mu.Unlock()
 	if !ok {
 		c, err := spec.Build()
@@ -247,10 +398,21 @@ func (r *Router) routeKey(spec farm.JobSpec) (string, error) {
 		}
 		hash = c.StructuralHash().String()
 		r.mu.Lock()
-		r.routeKeys[designKey] = hash
+		r.routeKeys.put(designKey, hash)
 		r.mu.Unlock()
 	}
 	return hash + "/" + spec.Variant, nil
+}
+
+// mintIDLocked names the next fleet job. Single-router deployments
+// keep the historical "fj-N"; with a RouterID the ID is namespaced so
+// two routers fronting one node set never collide.
+func (r *Router) mintIDLocked() string {
+	r.nextID++
+	if r.routerID == "" {
+		return fmt.Sprintf("fj-%d", r.nextID)
+	}
+	return fmt.Sprintf("%s-fj-%d", r.routerID, r.nextID)
 }
 
 // placeLocked picks the owner for key under bounded load: walk the
@@ -363,9 +525,8 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 		tr.Span("forward", fstart, time.Since(fstart), "node", m.id)
 
 		r.mu.Lock()
-		r.nextID++
 		fj := &fleetJob{
-			id:       fmt.Sprintf("fj-%d", r.nextID),
+			id:       r.mintIDLocked(),
 			spec:     spec,
 			routeKey: key,
 			node:     m.id,
@@ -373,7 +534,9 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 			view:     view,
 			created:  time.Now(),
 			trace:    tr,
+			rev:      1,
 		}
+		fj.seq = r.bumpSeqLocked()
 		tr.SetName(fj.id)
 		r.jobs[fj.id] = fj
 		r.order = append(r.order, fj.id)
@@ -382,9 +545,11 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 		// A job is "spilled" when it lands anywhere but its key's ring
 		// owner — whether because the owner was over the bounded-load
 		// threshold (placeLocked reordered it away) or rejected/unreachable.
-		if m.id != primary {
+		spill := m.id != primary
+		if spill {
 			r.spilled++
 		}
+		r.journalAdmitLocked(fj, spill)
 		out := r.fleetViewLocked(fj)
 		r.mu.Unlock()
 		return out, nil
@@ -474,14 +639,24 @@ func (r *Router) Jobs() []FleetJobView {
 
 // Artifact serves an encoded compile artifact from the router's
 // replicated store (the node-side FetchArtifact hook's usual source).
+// A miss in the bounded memory cache falls through to the disk tier
+// when the router is durable, reinstalling the artifact in memory.
 func (r *Router) Artifact(key string) ([]byte, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	data, ok := r.artifacts[key]
-	if ok {
+	if data, ok := r.artifacts.get(key); ok {
 		r.artsServed++
+		return data, true
 	}
-	return data, ok
+	if r.store != nil {
+		if data, ok := r.store.LoadArtifact(key); ok {
+			r.artifacts.put(key, data)
+			r.artsServed++
+			r.artsDiskHits++
+			return data, true
+		}
+	}
+	return nil, false
 }
 
 // WaitDone blocks until the fleet job reaches a terminal state (polling

@@ -75,7 +75,7 @@ func TestStoreOpensOnFuzzedBodies(t *testing.T) {
 	for i, data := range cases {
 		want, _ := DecodeRecords(data)
 		dir := t.TempDir()
-		file := append(encodeHeader(), data...)
+		file := append(encodeHeader(jobJournal), data...)
 		if err := os.WriteFile(filepath.Join(dir, "journal.wal"), file, 0o644); err != nil {
 			t.Fatal(err)
 		}

@@ -111,6 +111,11 @@ func encodeRecord(r Record) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("durable: encode record: %w", err)
 	}
+	return encodePayload(payload)
+}
+
+// encodePayload frames an already-marshaled payload.
+func encodePayload(payload []byte) ([]byte, error) {
 	if len(payload) > MaxRecordLen {
 		return nil, fmt.Errorf("durable: record payload %d bytes exceeds max %d", len(payload), MaxRecordLen)
 	}
@@ -121,14 +126,13 @@ func encodeRecord(r Record) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeRecords scans framed records from data (the journal body, after
-// the file header). It decodes the longest valid prefix and stops at the
-// first frame that is truncated (a torn tail) or fails its CRC or JSON
-// decode (corruption); everything after that point is reported in
-// DroppedBytes, never returned as phantom records, and never panics
-// regardless of input.
-func DecodeRecords(data []byte) ([]Record, ReplayInfo) {
-	var recs []Record
+// scanFrames walks framed payloads in data, calling accept for each
+// CRC-valid payload. accept returns false when the payload does not
+// decode as a record of the expected vocabulary; the scan stops there,
+// exactly as it stops at a torn or corrupt frame. Shared by the job and
+// placement journals — the framing is identical, only the payload
+// vocabulary differs.
+func scanFrames(data []byte, accept func(payload []byte) bool) ReplayInfo {
 	var info ReplayInfo
 	off := 0
 	for {
@@ -151,41 +155,73 @@ func DecodeRecords(data []byte) ([]Record, ReplayInfo) {
 		if crc32.Checksum(payload, castagnoli) != want {
 			break // bit flip
 		}
-		var r Record
-		if err := json.Unmarshal(payload, &r); err != nil || r.Type == "" {
+		if !accept(payload) {
 			break // CRC-valid but not a record we understand
 		}
-		recs = append(recs, r)
 		off += frameSize + int(n)
 		info.Records++
 	}
 	info.ValidBytes = int64(off)
 	info.DroppedBytes = int64(len(data) - off)
+	return info
+}
+
+// DecodeRecords scans framed records from data (the journal body, after
+// the file header). It decodes the longest valid prefix and stops at the
+// first frame that is truncated (a torn tail) or fails its CRC or JSON
+// decode (corruption); everything after that point is reported in
+// DroppedBytes, never returned as phantom records, and never panics
+// regardless of input.
+func DecodeRecords(data []byte) ([]Record, ReplayInfo) {
+	var recs []Record
+	info := scanFrames(data, func(payload []byte) bool {
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil || r.Type == "" {
+			return false
+		}
+		recs = append(recs, r)
+		return true
+	})
 	return recs, info
 }
 
-// encodeHeader renders the journal file header.
-func encodeHeader() []byte {
+// encodeHeader renders a journal file header for the given kind.
+func encodeHeader(k journalKind) []byte {
 	buf := make([]byte, headerSize)
-	copy(buf[0:4], journalMagic[:])
-	binary.LittleEndian.PutUint32(buf[4:8], JournalVersion)
+	copy(buf[0:4], k.magic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], k.version)
 	return buf
 }
 
-// checkHeader validates a journal file header.
-func checkHeader(buf []byte) error {
+// checkHeader validates a journal file header against the given kind.
+func checkHeader(k journalKind, buf []byte) error {
 	if len(buf) < headerSize {
 		// A header torn mid-write: the journal never held a record, so
 		// treating it as empty (rewritten by the caller) would also be
 		// sound, but a short header more often means the file is not ours.
 		return fmt.Errorf("%w: %d-byte header", ErrNotJournal, len(buf))
 	}
-	if [4]byte(buf[0:4]) != journalMagic {
+	if [4]byte(buf[0:4]) != k.magic {
 		return fmt.Errorf("%w: bad magic %q", ErrNotJournal, buf[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:8]); v != JournalVersion {
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != k.version {
 		return fmt.Errorf("%w: journal is version %d, this build reads version %d",
-			ErrIncompatibleVersion, v, JournalVersion)
+			ErrIncompatibleVersion, v, k.version)
 	}
 	return nil
 }
+
+// journalKind distinguishes the journal vocabularies sharing this
+// package's framing: the farm's job journal and the router's placement
+// journal. Distinct magics and file names mean a data directory can
+// never be opened as the wrong tier and misread.
+type journalKind struct {
+	file    string
+	magic   [4]byte
+	version uint32
+}
+
+var (
+	jobJournal       = journalKind{file: "journal.wal", magic: journalMagic, version: JournalVersion}
+	placementJournal = journalKind{file: "placements.wal", magic: placementMagic, version: PlacementJournalVersion}
+)

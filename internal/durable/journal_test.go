@@ -181,7 +181,7 @@ func TestJournalCorruptRecord(t *testing.T) {
 // partial replay), and garbage refuses with ErrNotJournal.
 func TestJournalIncompatibleVersion(t *testing.T) {
 	dir := t.TempDir()
-	hdr := encodeHeader()
+	hdr := encodeHeader(jobJournal)
 	binary.LittleEndian.PutUint32(hdr[4:8], JournalVersion+7)
 	if err := os.WriteFile(filepath.Join(dir, "journal.wal"), hdr, 0o644); err != nil {
 		t.Fatal(err)

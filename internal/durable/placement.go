@@ -1,0 +1,113 @@
+package durable
+
+import "encoding/json"
+
+// The placement journal: the fleet router's write-ahead log. Where the
+// job journal records what a single farm promised to run, the placement
+// journal records what the router promised to track — which nodes are
+// members and where every fleet job currently lives — so a restarted
+// router re-adopts its node set and resumes migration duty instead of
+// forgetting every in-flight job. It shares the job journal's framing
+// (length + CRC32C per record, longest-valid-prefix replay) under its
+// own magic and version, so the two logs can never be misread as each
+// other.
+
+// PlacementJournalVersion is the placement journal's format version.
+// Bump on any incompatible layout change; OpenRouterStore refuses
+// journals from other versions (ErrIncompatibleVersion).
+const PlacementJournalVersion = 1
+
+// placementMagic opens every placement journal ("DSPL": DedupSim
+// PLacements).
+var placementMagic = [4]byte{'D', 'S', 'P', 'L'}
+
+// PRecType labels a placement-journal record.
+type PRecType string
+
+// The placement journal's record vocabulary: node membership plus a
+// fleet job's placement lifecycle. A job whose newest records leave it
+// non-terminal is re-tracked on recovery; a job placed on a node that
+// died while the router was down is orphaned and re-migrated.
+const (
+	// PRecNode journals a node registration (Node, Addr).
+	PRecNode PRecType = "node"
+	// PRecNodeDead journals a node death (Node). Its unfinished jobs
+	// orphan; replay folds the two so a re-registered incarnation wins.
+	PRecNodeDead PRecType = "node-dead"
+	// PRecAdmit journals a fleet job's admission: Job, the JobSpec JSON,
+	// and its routing Key.
+	PRecAdmit PRecType = "admit"
+	// PRecPlace journals a placement: Job landed on Node as Remote
+	// (Spilled when it landed off its key's primary ring owner).
+	PRecPlace PRecType = "place"
+	// PRecOrphan journals an orphaning: Job's owner Node died before the
+	// job finished.
+	PRecOrphan PRecType = "orphan"
+	// PRecMigrate journals a re-placement: Job moved From a dead node to
+	// Node as Remote, resuming from checkpoint Cycle.
+	PRecMigrate PRecType = "migrate"
+	// PRecFinish journals a terminal transition (Status).
+	PRecFinish PRecType = "finish"
+)
+
+// PlacementRecord is one placement-journal entry. Like Record, the
+// payload is JSON (self-describing, unknown fields ignored on replay)
+// inside the binary length+CRC frame.
+type PlacementRecord struct {
+	Type PRecType `json:"t"`
+	// Job is the fleet job ID (all job-lifecycle records).
+	Job string `json:"job,omitempty"`
+	// Spec is the admitted farm JobSpec (PRecAdmit only), kept as raw
+	// JSON so this package does not depend on the farm's types.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Key is the job's placement routing key (PRecAdmit only).
+	Key string `json:"key,omitempty"`
+	// Node is the node the record concerns: the registrant (PRecNode,
+	// PRecNodeDead), the placement target (PRecPlace, PRecMigrate), or
+	// the dead owner (PRecOrphan).
+	Node string `json:"node,omitempty"`
+	// Addr is the node's base URL (PRecNode only).
+	Addr string `json:"addr,omitempty"`
+	// Remote is the job's ID on its owner node (PRecPlace, PRecMigrate).
+	Remote string `json:"remote,omitempty"`
+	// From is the previous owner (PRecMigrate only).
+	From string `json:"from,omitempty"`
+	// Cycle is the checkpoint cycle a migration resumed from
+	// (PRecMigrate only).
+	Cycle int64 `json:"cycle,omitempty"`
+	// Migrations carries a job's accumulated re-placement count through
+	// journal compaction, which folds its PRecMigrate history into one
+	// PRecPlace.
+	Migrations int `json:"migs,omitempty"`
+	// Status is the terminal state (PRecFinish only).
+	Status string `json:"status,omitempty"`
+	// Spilled marks a placement off the key's primary ring owner
+	// (PRecPlace only).
+	Spilled bool `json:"spilled,omitempty"`
+}
+
+// encodePlacementRecord frames one placement record exactly as
+// encodeRecord frames a job record.
+func encodePlacementRecord(r PlacementRecord) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return encodePayload(payload)
+}
+
+// DecodePlacementRecords scans framed placement records from data (the
+// journal body, after the file header), with the same contract as
+// DecodeRecords: longest valid prefix, no phantom records, no panics.
+func DecodePlacementRecords(data []byte) ([]PlacementRecord, ReplayInfo) {
+	var recs []PlacementRecord
+	info := scanFrames(data, func(payload []byte) bool {
+		var r PlacementRecord
+		if err := json.Unmarshal(payload, &r); err != nil || r.Type == "" {
+			return false
+		}
+		recs = append(recs, r)
+		return true
+	})
+	return recs, info
+}

@@ -1,0 +1,184 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func samplePlacementRecords() []PlacementRecord {
+	spec, _ := json.Marshal(map[string]any{"design": "Rocket-2C", "cycles": 2000})
+	return []PlacementRecord{
+		{Type: PRecNode, Node: "n1", Addr: "http://127.0.0.1:8081"},
+		{Type: PRecNode, Node: "n2", Addr: "http://127.0.0.1:8082"},
+		{Type: PRecAdmit, Job: "fj-1", Spec: spec, Key: "abcd1234/Dedup"},
+		{Type: PRecPlace, Job: "fj-1", Node: "n1", Remote: "job-1"},
+		{Type: PRecPlace, Job: "fj-2", Node: "n2", Remote: "job-1", Spilled: true},
+		{Type: PRecNodeDead, Node: "n1"},
+		{Type: PRecOrphan, Job: "fj-1", Node: "n1"},
+		{Type: PRecMigrate, Job: "fj-1", Node: "n2", From: "n1", Remote: "job-2", Cycle: 1024},
+		{Type: PRecFinish, Job: "fj-1", Status: "done"},
+	}
+}
+
+func encodedPlacementBody(t testing.TB) []byte {
+	t.Helper()
+	var body []byte
+	for _, r := range samplePlacementRecords() {
+		buf, err := encodePlacementRecord(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = append(body, buf...)
+	}
+	return body
+}
+
+// FuzzPlacementDecode feeds arbitrary bytes to the placement-record
+// scanner with the same contract as FuzzJournalDecode: never panic,
+// never loop, never return a record whose frame did not check out, and
+// always account every input byte as valid prefix or dropped tail.
+func FuzzPlacementDecode(f *testing.F) {
+	var body []byte
+	for _, r := range samplePlacementRecords() {
+		buf, err := encodePlacementRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		body = append(body, buf...)
+	}
+	f.Add(body)
+	f.Add(body[:len(body)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, info := DecodePlacementRecords(data)
+		if int64(len(recs)) != info.Records {
+			t.Fatalf("returned %d records but Records = %d", len(recs), info.Records)
+		}
+		if info.ValidBytes+info.DroppedBytes != int64(len(data)) {
+			t.Fatalf("ValidBytes %d + DroppedBytes %d != input %d",
+				info.ValidBytes, info.DroppedBytes, len(data))
+		}
+		again, info2 := DecodePlacementRecords(data[:info.ValidBytes])
+		if len(again) != len(recs) || info2.DroppedBytes != 0 {
+			t.Fatalf("valid prefix re-decode: %d records (%d dropped), want %d (0)",
+				len(again), info2.DroppedBytes, len(recs))
+		}
+		for _, r := range recs {
+			if r.Type == "" {
+				t.Fatal("decoded placement record with empty type")
+			}
+		}
+	})
+}
+
+// TestPlacementRoundTrip pins the full vocabulary through encode+decode.
+func TestPlacementRoundTrip(t *testing.T) {
+	want := samplePlacementRecords()
+	recs, info := DecodePlacementRecords(encodedPlacementBody(t))
+	if info.DroppedBytes != 0 || len(recs) != len(want) {
+		t.Fatalf("decoded %d records (%d dropped), want %d (0)", len(recs), info.DroppedBytes, len(want))
+	}
+	for i, r := range recs {
+		w := want[i]
+		if r.Type != w.Type || r.Job != w.Job || r.Node != w.Node || r.Addr != w.Addr ||
+			r.Remote != w.Remote || r.From != w.From || r.Cycle != w.Cycle ||
+			r.Status != w.Status || r.Spilled != w.Spilled || r.Key != w.Key {
+			t.Errorf("record %d: %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+// TestPlacementTornTailReplay: a placement journal whose last record is
+// torn mid-write replays the longest valid prefix, truncates the tail,
+// and keeps appending from there — the PR 5 recovery contract, on the
+// router's journal.
+func TestPlacementTornTailReplay(t *testing.T) {
+	dir := t.TempDir()
+	body := encodedPlacementBody(t)
+	torn := append(encodeHeader(placementJournal), body[:len(body)-5]...)
+	if err := os.WriteFile(filepath.Join(dir, "placements.wal"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenRouterStore(Options{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []PlacementRecord
+	info, err := s.ReplayPlacements(func(r PlacementRecord) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samplePlacementRecords()
+	if len(got) != len(want)-1 {
+		t.Fatalf("torn replay decoded %d records, want %d (tail dropped)", len(got), len(want)-1)
+	}
+	if info.DroppedBytes == 0 {
+		t.Error("torn replay reported no dropped bytes")
+	}
+	// Appends after the truncate extend good data: a reopen replays the
+	// prefix plus the new record, cleanly.
+	if err := s.AppendPlacement(PlacementRecord{Type: PRecFinish, Job: "fj-2", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenRouterStore(Options{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var again []PlacementRecord
+	info2, err := s2.ReplayPlacements(func(r PlacementRecord) { again = append(again, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.DroppedBytes != 0 {
+		t.Errorf("reopened journal dropped %d bytes, want a clean tail", info2.DroppedBytes)
+	}
+	if len(again) != len(want) || again[len(again)-1].Job != "fj-2" {
+		t.Errorf("reopened journal replayed %d records (last %+v), want %d ending in the fj-2 finish",
+			len(again), again[len(again)-1], len(want))
+	}
+}
+
+// TestPlacementVersionMismatch: a placement journal from another format
+// version (or a job journal, or garbage) refuses to open — never a
+// silent misread of records the build would misinterpret.
+func TestPlacementVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	hdr := encodeHeader(placementJournal)
+	binary.LittleEndian.PutUint32(hdr[4:8], PlacementJournalVersion+3)
+	if err := os.WriteFile(filepath.Join(dir, "placements.wal"), hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRouterStore(Options{Dir: dir}); !errors.Is(err, ErrIncompatibleVersion) {
+		t.Errorf("OpenRouterStore on future-version journal: %v, want ErrIncompatibleVersion", err)
+	}
+
+	// A job journal's magic in the placement slot is "not a journal" of
+	// this kind — the router must not replay a farm's records.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "placements.wal"), encodeHeader(jobJournal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRouterStore(Options{Dir: dir2}); !errors.Is(err, ErrNotJournal) {
+		t.Errorf("OpenRouterStore on a job journal: %v, want ErrNotJournal", err)
+	}
+
+	dir3 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir3, "placements.wal"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRouterStore(Options{Dir: dir3}); !errors.Is(err, ErrNotJournal) {
+		t.Errorf("OpenRouterStore on garbage: %v, want ErrNotJournal", err)
+	}
+}

@@ -76,6 +76,7 @@ func ParsePolicy(s string) (FsyncPolicy, error) {
 type Store struct {
 	dir  string
 	opts Options
+	kind journalKind
 
 	mu     sync.Mutex
 	f      *os.File
@@ -94,6 +95,20 @@ type Store struct {
 // incompatible format version (ErrIncompatibleVersion) or is not a
 // journal at all (ErrNotJournal). It does not replay; call Replay next.
 func OpenStore(opts Options) (*Store, error) {
+	return openStore(opts, jobJournal)
+}
+
+// OpenRouterStore opens a data directory whose journal holds fleet
+// placement records (PlacementRecord) instead of job records — the
+// router tier's store. Checkpoint, cache, and artifact tiers are
+// identical to OpenStore's; only the journal vocabulary (and its file
+// name and magic, so the two can never be misread) differs. Use
+// ReplayPlacements/AppendPlacement/CompactPlacements with it.
+func OpenRouterStore(opts Options) (*Store, error) {
+	return openStore(opts, placementJournal)
+}
+
+func openStore(opts Options, kind journalKind) (*Store, error) {
 	opts = opts.withDefaults()
 	if _, err := ParsePolicy(string(opts.Fsync)); err != nil {
 		return nil, err
@@ -103,7 +118,7 @@ func OpenStore(opts Options) (*Store, error) {
 			return nil, fmt.Errorf("durable: data dir: %w", err)
 		}
 	}
-	path := filepath.Join(opts.Dir, "journal.wal")
+	path := filepath.Join(opts.Dir, kind.file)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("durable: journal: %w", err)
@@ -114,7 +129,7 @@ func OpenStore(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("durable: journal: %w", err)
 	}
 	if st.Size() == 0 {
-		if _, err := f.Write(encodeHeader()); err != nil {
+		if _, err := f.Write(encodeHeader(kind)); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("durable: journal: %w", err)
 		}
@@ -125,12 +140,12 @@ func OpenStore(opts Options) (*Store, error) {
 	} else {
 		hdr := make([]byte, headerSize)
 		n, _ := f.ReadAt(hdr, 0)
-		if err := checkHeader(hdr[:n]); err != nil {
+		if err := checkHeader(kind, hdr[:n]); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("durable: %s: %w", path, err)
 		}
 	}
-	s := &Store{dir: opts.Dir, opts: opts, f: f, w: bufio.NewWriter(f)}
+	s := &Store{dir: opts.Dir, opts: opts, kind: kind, f: f, w: bufio.NewWriter(f)}
 	if opts.Fsync == FsyncInterval {
 		s.flushStop = make(chan struct{})
 		s.flushDone = make(chan struct{})
@@ -150,28 +165,64 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Replay(fn func(Record)) (ReplayInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, err := s.f.Stat()
+	body, err := s.readBodyLocked()
 	if err != nil {
-		return ReplayInfo{}, fmt.Errorf("durable: replay: %w", err)
-	}
-	body := make([]byte, st.Size()-headerSize)
-	if _, err := s.f.ReadAt(body, headerSize); err != nil && len(body) > 0 {
-		return ReplayInfo{}, fmt.Errorf("durable: replay: %w", err)
+		return ReplayInfo{}, err
 	}
 	recs, info := DecodeRecords(body)
-	if info.DroppedBytes > 0 {
-		if err := s.f.Truncate(headerSize + info.ValidBytes); err != nil {
-			return info, fmt.Errorf("durable: truncate torn tail: %w", err)
-		}
+	if err := s.rewindLocked(info); err != nil {
+		return info, err
 	}
-	if _, err := s.f.Seek(headerSize+info.ValidBytes, 0); err != nil {
-		return info, fmt.Errorf("durable: replay: %w", err)
-	}
-	s.w.Reset(s.f)
 	for _, r := range recs {
 		fn(r)
 	}
 	return info, nil
+}
+
+// ReplayPlacements is Replay for a placement journal (OpenRouterStore).
+func (s *Store) ReplayPlacements(fn func(PlacementRecord)) (ReplayInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, err := s.readBodyLocked()
+	if err != nil {
+		return ReplayInfo{}, err
+	}
+	recs, info := DecodePlacementRecords(body)
+	if err := s.rewindLocked(info); err != nil {
+		return info, err
+	}
+	for _, r := range recs {
+		fn(r)
+	}
+	return info, nil
+}
+
+// readBodyLocked returns the journal body after the file header.
+func (s *Store) readBodyLocked() ([]byte, error) {
+	st, err := s.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("durable: replay: %w", err)
+	}
+	body := make([]byte, st.Size()-headerSize)
+	if _, err := s.f.ReadAt(body, headerSize); err != nil && len(body) > 0 {
+		return nil, fmt.Errorf("durable: replay: %w", err)
+	}
+	return body, nil
+}
+
+// rewindLocked truncates a torn tail and positions appends at the end of
+// the valid prefix.
+func (s *Store) rewindLocked(info ReplayInfo) error {
+	if info.DroppedBytes > 0 {
+		if err := s.f.Truncate(headerSize + info.ValidBytes); err != nil {
+			return fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := s.f.Seek(headerSize+info.ValidBytes, 0); err != nil {
+		return fmt.Errorf("durable: replay: %w", err)
+	}
+	s.w.Reset(s.f)
+	return nil
 }
 
 // Append journals one record under the configured fsync policy. Errors
@@ -182,6 +233,19 @@ func (s *Store) Append(r Record) error {
 	if err != nil {
 		return err
 	}
+	return s.appendBuf(buf)
+}
+
+// AppendPlacement is Append for a placement journal (OpenRouterStore).
+func (s *Store) AppendPlacement(r PlacementRecord) error {
+	buf, err := encodePlacementRecord(r)
+	if err != nil {
+		return err
+	}
+	return s.appendBuf(buf)
+}
+
+func (s *Store) appendBuf(buf []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.frozen {
@@ -212,19 +276,40 @@ func (s *Store) Append(r Record) error {
 // checkpoint) record per live job instead of the full history of every
 // job that ever ran.
 func (s *Store) Compact(live []Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.frozen {
-		return nil
-	}
-	path := filepath.Join(s.dir, "journal.wal")
-	tmp := path + ".tmp"
-	buf := encodeHeader()
+	encoded := make([][]byte, 0, len(live))
 	for _, r := range live {
 		rec, err := encodeRecord(r)
 		if err != nil {
 			return err
 		}
+		encoded = append(encoded, rec)
+	}
+	return s.compactEncoded(encoded)
+}
+
+// CompactPlacements is Compact for a placement journal (OpenRouterStore).
+func (s *Store) CompactPlacements(live []PlacementRecord) error {
+	encoded := make([][]byte, 0, len(live))
+	for _, r := range live {
+		rec, err := encodePlacementRecord(r)
+		if err != nil {
+			return err
+		}
+		encoded = append(encoded, rec)
+	}
+	return s.compactEncoded(encoded)
+}
+
+func (s *Store) compactEncoded(encoded [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return nil
+	}
+	path := filepath.Join(s.dir, s.kind.file)
+	tmp := path + ".tmp"
+	buf := encodeHeader(s.kind)
+	for _, rec := range encoded {
 		buf = append(buf, rec...)
 	}
 	if err := writeFileAtomic(tmp, path, buf, true); err != nil {

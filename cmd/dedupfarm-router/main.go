@@ -46,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -56,6 +57,7 @@ import (
 	"dedupsim/internal/cluster"
 	"dedupsim/internal/durable"
 	"dedupsim/internal/obs"
+	"dedupsim/internal/tenant"
 )
 
 // peerList collects repeatable -peer flags.
@@ -86,6 +88,7 @@ func main() {
 	fsync := flag.String("fsync", "", "placement journal fsync policy with -data-dir: always, interval, none (default interval)")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "group-commit period for -fsync interval (0 = default 100ms)")
 	routerID := flag.String("router-id", "", "this router's ID in a multi-router deployment; prefixes fleet job IDs and feeds migration ownership (empty = single router)")
+	tenantCfg := flag.String("tenant-config", "", "per-tenant QoS config file (JSON) enforced at the fleet front door; reloaded live on SIGHUP (empty = every tenant unlimited)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer router base URL (repeatable) for HA placement sync")
 	flag.Parse()
@@ -112,6 +115,11 @@ func main() {
 		logger.Error("bad -fsync", "err", err)
 		os.Exit(1)
 	}
+	tenants, err := openTenants(*tenantCfg, logger)
+	if err != nil {
+		logger.Error("bad -tenant-config", "path", *tenantCfg, "err", err)
+		os.Exit(1)
+	}
 	r, err := cluster.OpenRouter(cluster.RouterConfig{
 		VirtualNodes:   *vnodes,
 		HeartbeatEvery: *heartbeat,
@@ -125,6 +133,7 @@ func main() {
 		FsyncInterval:  *fsyncInterval,
 		RouterID:       *routerID,
 		Peers:          peers,
+		Tenants:        tenants,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -169,4 +178,31 @@ func main() {
 	fmt.Println("dedupfarm-router: final status")
 	r.WriteStatus(os.Stdout)
 	os.Exit(exit)
+}
+
+// openTenants loads the fleet QoS registry from -tenant-config and arms
+// SIGHUP live reload; a failed reload keeps the previous limits.
+func openTenants(path string, logger *slog.Logger) (*tenant.Registry, error) {
+	if path == "" {
+		return tenant.NewRegistry(tenant.Config{}), nil
+	}
+	cfg, err := tenant.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reg := tenant.NewRegistry(cfg)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			cfg, err := tenant.LoadFile(path)
+			if err != nil {
+				logger.Error("tenant config reload failed; keeping previous limits", "path", path, "err", err)
+				continue
+			}
+			reg.SetConfig(cfg)
+			logger.Info("tenant config reloaded", "path", path)
+		}
+	}()
+	return reg, nil
 }

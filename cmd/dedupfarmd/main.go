@@ -53,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +64,7 @@ import (
 	"dedupsim/internal/farm"
 	"dedupsim/internal/faultinject"
 	"dedupsim/internal/obs"
+	"dedupsim/internal/tenant"
 )
 
 func main() {
@@ -91,6 +93,7 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text (key=value lines) or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	noObs := flag.Bool("no-obs", false, "disable latency histograms and per-job lifecycle traces")
+	tenantCfg := flag.String("tenant-config", "", "per-tenant QoS config file (JSON: default limits plus a tenants map of weight/rate_per_sec/burst/priority/parks_per_min); reloaded live on SIGHUP (empty = every tenant unlimited, weight 1)")
 	flag.Parse()
 
 	if *nodeID == "" {
@@ -114,6 +117,12 @@ func main() {
 	}
 	if faults != nil {
 		logger.Warn("fault injection armed", "spec", faults.String())
+	}
+
+	tenants, err := openTenants(*tenantCfg, logger)
+	if err != nil {
+		logger.Error("bad -tenant-config", "path", *tenantCfg, "err", err)
+		os.Exit(1)
 	}
 
 	if *pprofAddr != "" {
@@ -153,6 +162,7 @@ func main() {
 		Fsync:           *fsync,
 		FsyncInterval:   *fsyncInterval,
 		DisableObs:      *noObs,
+		Tenants:         tenants,
 	})
 	if err != nil {
 		logger.Error("farm startup failed", "err", err)
@@ -227,6 +237,36 @@ func main() {
 	fmt.Println("dedupfarmd: final stats")
 	f.WriteStats(os.Stdout)
 	os.Exit(exit)
+}
+
+// openTenants loads the QoS registry from -tenant-config and arms the
+// SIGHUP live-reload loop: a reload that fails to parse keeps the
+// previous limits (a bad config push must not strip quotas), and
+// existing tenants keep their counters and fair-share clock positions
+// across reloads.
+func openTenants(path string, logger *slog.Logger) (*tenant.Registry, error) {
+	if path == "" {
+		return tenant.NewRegistry(tenant.Config{}), nil
+	}
+	cfg, err := tenant.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reg := tenant.NewRegistry(cfg)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			cfg, err := tenant.LoadFile(path)
+			if err != nil {
+				logger.Error("tenant config reload failed; keeping previous limits", "path", path, "err", err)
+				continue
+			}
+			reg.SetConfig(cfg)
+			logger.Info("tenant config reloaded", "path", path)
+		}
+	}()
+	return reg, nil
 }
 
 func faultPoints() string {

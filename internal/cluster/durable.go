@@ -11,6 +11,7 @@ import (
 	"dedupsim/internal/farm"
 	"dedupsim/internal/obs"
 	"dedupsim/internal/sim"
+	"dedupsim/internal/tenant"
 )
 
 // Router durability. The router's hard state is small — which nodes are
@@ -255,6 +256,11 @@ func (r *Router) recoverFromStore() error {
 		}
 		if spec.TraceID == "" {
 			spec.TraceID = obs.NewTraceID()
+		}
+		// Journals written before multi-tenancy carry no tenant field;
+		// replayed jobs belong to the default tenant — no flag-day.
+		if spec.Tenant == "" {
+			spec.Tenant = tenant.Default
 		}
 		fj := &fleetJob{
 			id:         id,

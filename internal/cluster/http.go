@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"dedupsim/internal/farm"
 	"dedupsim/internal/obs"
+	"dedupsim/internal/tenant"
 )
 
 // FleetStats is the router's aggregate metrics snapshot: router-side
@@ -58,6 +60,12 @@ type FleetStats struct {
 	ArtifactsFetched    int64 `json:"artifacts_fetched"`
 	CyclesSavedByResume int64 `json:"cycles_saved_by_resume"`
 
+	// Tenants is the fleet-wide per-tenant QoS block: router-side
+	// admission counters (submitted, shed) merged with execution stats
+	// summed over every node's last polled farm stats (cycles, parks,
+	// compiles, live queued/running).
+	Tenants map[string]tenant.View `json:"tenants,omitempty"`
+
 	// NodeStats maps node ID to its last polled farm stats.
 	NodeStats map[string]*farm.Stats `json:"node_stats,omitempty"`
 
@@ -90,6 +98,7 @@ func (r *Router) Stats() FleetStats {
 		PeerSyncFailures:    r.peerSyncFails,
 		Recovery:            r.recovery,
 		NodeStats:           map[string]*farm.Stats{},
+		Tenants:             r.cfg.Tenants.Views(),
 	}
 	for _, p := range r.peers {
 		st.Peers = append(st.Peers, PeerView{ID: p.id, Addr: p.addr, Up: p.up, LastSeq: p.lastSeq})
@@ -115,6 +124,25 @@ func (r *Router) Stats() FleetStats {
 		st.WarmHits += fs.Cache.WarmHits
 		st.ArtifactsFetched += fs.ArtifactsFetched
 		st.CyclesSavedByResume += fs.CyclesSavedByResume
+		// Merge node-side execution stats into the fleet tenant block.
+		// Router-side Submitted/Shed stay authoritative for admission
+		// (summing node submissions would double-count forwarded jobs);
+		// everything that happens on workers is summed across nodes.
+		for name, nv := range fs.Tenants {
+			v, known := st.Tenants[name]
+			if !known {
+				v.Weight, v.Priority = nv.Weight, nv.Priority
+			}
+			v.Completed += nv.Completed
+			v.Failed += nv.Failed
+			v.Canceled += nv.Canceled
+			v.Parked += nv.Parked
+			v.Compiles += nv.Compiles
+			v.Cycles += nv.Cycles
+			v.Queued += nv.Queued
+			v.Running += nv.Running
+			st.Tenants[name] = v
+		}
 	}
 	st.Latency = r.obs.latencySummaries()
 	return st
@@ -160,6 +188,15 @@ func (r *Router) WriteStatus(w io.Writer) {
 	}
 	fmt.Fprintf(w, "fleet dedup: %d compiles total, %d warm hits, %d artifacts fetched by nodes, %d cycles saved by resume\n",
 		st.Compiles, st.WarmHits, st.ArtifactsFetched, st.CyclesSavedByResume)
+	if len(st.Tenants) > 0 {
+		fmt.Fprintln(w, "tenants (fleet-wide):")
+		for _, name := range sortedTenantNames(st.Tenants) {
+			v := st.Tenants[name]
+			fmt.Fprintf(w, "  %-16s w=%d prio=%d submitted=%d shed=%d queued=%d running=%d done=%d parked=%d cycles=%d\n",
+				name, v.Weight, v.Priority, v.Submitted, v.Shed,
+				v.Queued, v.Running, v.Completed, v.Parked, v.Cycles)
+		}
+	}
 	if l := st.Latency; l != nil {
 		fmt.Fprintf(w, "latency: forward p50/p95/p99 %.1f/%.1f/%.1f ms (%d placed), e2e p50/p95/p99 %.0f/%.0f/%.0f ms (%d finished)\n",
 			l.Forward.P50Ms, l.Forward.P95Ms, l.Forward.P99Ms, l.Forward.Count,
@@ -239,6 +276,12 @@ func Handler(r *Router) http.Handler {
 		}
 		if spec.TraceID == "" {
 			spec.TraceID = req.Header.Get("X-Trace-Id")
+		}
+		// The fleet front door mints tenant identity the same way a lone
+		// node does: a tenant already in the spec wins, the X-Tenant
+		// header fills the gap, and Submit canonicalizes.
+		if spec.Tenant == "" {
+			spec.Tenant = req.Header.Get("X-Tenant")
 		}
 		view, err := r.Submit(req.Context(), spec)
 		if err != nil {
@@ -425,4 +468,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// sortedTenantNames returns a tenant view map's keys in stable order.
+func sortedTenantNames(m map[string]tenant.View) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

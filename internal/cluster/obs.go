@@ -60,9 +60,12 @@ func (o *routerObs) latencySummaries() *FleetLatencySummaries {
 }
 
 // WriteProm renders the router's Prometheus text-format exposition:
-// placement and resilience counters, per-node health gauges, and the
-// forward/end-to-end latency histograms.
+// placement and resilience counters, per-node health gauges, per-tenant
+// fleet QoS series, and the forward/end-to-end latency histograms.
 func (r *Router) WriteProm(w io.Writer) error {
+	// The fleet tenant block needs the node-stats merge Stats already
+	// does; snapshot it before taking r.mu (Stats locks internally).
+	tenants := r.Stats().Tenants
 	r.mu.Lock()
 	type nodeRow struct {
 		id    string
@@ -148,6 +151,34 @@ func (r *Router) WriteProm(w io.Writer) error {
 		p.Gauge("dedupfleet_recovery_nodes_readopted", "Journaled nodes re-adopted live by the last recovery.", float64(recovery.NodesReadopted))
 		p.Gauge("dedupfleet_recovery_artifacts_reloaded", "Replicated artifacts reloaded from disk by the last recovery.", float64(recovery.ArtifactsReloaded))
 		p.Gauge("dedupfleet_recovery_millis", "Wall time of the last recovery, milliseconds.", recovery.RecoveryMillis)
+	}
+	// Per-tenant fleet series: router-side admission counters plus
+	// node-summed execution stats, one label per tenant, emitted
+	// per-metric so the exposition stays one HELP/TYPE block per name.
+	tnames := sortedTenantNames(tenants)
+	for _, n := range tnames {
+		p.Counter("dedupfleet_tenant_jobs_submitted_total", "Jobs accepted by the router per tenant.",
+			float64(tenants[n].Submitted), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Counter("dedupfleet_tenant_jobs_shed_total", "Submissions the router rejected per tenant (quota or fleet busy).",
+			float64(tenants[n].Shed), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Counter("dedupfleet_tenant_jobs_parked_total", "Attempts parked by priority preemption per tenant, fleet-wide.",
+			float64(tenants[n].Parked), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Counter("dedupfleet_tenant_sim_cycles_total", "Simulated cycles consumed per tenant, summed over nodes.",
+			float64(tenants[n].Cycles), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Gauge("dedupfleet_tenant_jobs_queued", "Jobs waiting per tenant, summed over nodes.",
+			float64(tenants[n].Queued), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Gauge("dedupfleet_tenant_jobs_running", "Jobs executing per tenant, summed over nodes.",
+			float64(tenants[n].Running), "tenant", n)
 	}
 	if o != nil {
 		p.Histogram("dedupfleet_forward_seconds", "Round-trip latency of successful job placements.", o.forward.Snapshot())

@@ -15,6 +15,7 @@ import (
 	"dedupsim/internal/durable"
 	"dedupsim/internal/farm"
 	"dedupsim/internal/obs"
+	"dedupsim/internal/tenant"
 )
 
 // RouterConfig sizes the router tier.
@@ -83,6 +84,14 @@ type RouterConfig struct {
 	// MaxMigrationLog bounds the retained migration event log (default
 	// 64, drop-oldest).
 	MaxMigrationLog int
+
+	// Tenants is the fleet-wide QoS registry: per-tenant admission
+	// buckets enforced at the front door, so spilling a job to another
+	// node can never launder quota a tenant has already exhausted. Nil
+	// gets a default registry (every tenant unlimited, weight 1). In a
+	// fleet deployment put the tenant config here — node-local buckets
+	// see only their share of the traffic.
+	Tenants *tenant.Registry
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -115,6 +124,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.MaxMigrationLog <= 0 {
 		c.MaxMigrationLog = 64
+	}
+	if c.Tenants == nil {
+		c.Tenants = tenant.NewRegistry(tenant.Config{})
 	}
 	return c
 }
@@ -464,6 +476,24 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 	if spec.TraceID == "" {
 		spec.TraceID = obs.NewTraceID()
 	}
+	// Tenant identity is minted here too: the canonical name rides in the
+	// spec so workers, the placement journal, and any migration target all
+	// agree on who the job belongs to. The fleet-wide admission bucket is
+	// charged before placement — a tenant over its rate gets its own 429 +
+	// Retry-After without touching a node, and spilling past an overloaded
+	// primary can never launder quota.
+	tname, terr := tenant.Normalize(spec.Tenant)
+	if terr != nil {
+		return FleetJobView{}, &statusError{code: http.StatusBadRequest, body: []byte(terr.Error())}
+	}
+	spec.Tenant = tname
+	if ra, ok := r.cfg.Tenants.Admit(spec.Tenant); !ok {
+		return FleetJobView{}, &statusError{
+			code:       http.StatusTooManyRequests,
+			retryAfter: retryAfterHeader(ra),
+			body:       []byte(fmt.Sprintf("cluster: tenant %q over submission rate", spec.Tenant)),
+		}
+	}
 	var tr *obs.Trace
 	if r.obs != nil {
 		tr = obs.NewTrace(spec.TraceID, "")
@@ -484,6 +514,7 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 	}
 	if live >= r.cfg.MaxJobs {
 		r.mu.Unlock()
+		r.cfg.Tenants.NoteShed(spec.Tenant)
 		return FleetJobView{}, ErrFleetBusy
 	}
 	candidates := r.placeLocked(key)
@@ -552,12 +583,24 @@ func (r *Router) Submit(ctx context.Context, spec farm.JobSpec) (FleetJobView, e
 		r.journalAdmitLocked(fj, spill)
 		out := r.fleetViewLocked(fj)
 		r.mu.Unlock()
+		r.cfg.Tenants.NoteSubmitted(spec.Tenant)
 		return out, nil
 	}
 	if firstReject != nil {
+		r.cfg.Tenants.NoteShed(spec.Tenant)
 		return FleetJobView{}, firstReject
 	}
 	return FleetJobView{}, ErrNoNodes
+}
+
+// retryAfterHeader renders a refill delay as a whole-second Retry-After
+// value, rounding up and never below 1.
+func retryAfterHeader(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
 }
 
 // forwardSubmit POSTs a spec to one node's farm API.
@@ -576,6 +619,9 @@ func (r *Router) forwardSubmit(ctx context.Context, addr string, spec farm.JobSp
 		// header keeps propagation working for any intermediary that only
 		// looks at headers.
 		req.Header.Set("X-Trace-Id", spec.TraceID)
+	}
+	if spec.Tenant != "" {
+		req.Header.Set("X-Tenant", spec.Tenant)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dedupsim/internal/farm"
+	"dedupsim/internal/obs"
+	"dedupsim/internal/tenant"
+)
+
+// TestFleetTenantQuota pins the fleet front door's tenant contract:
+// the router mints tenant identity (spec field wins, X-Tenant fills,
+// blank defaults), enforces per-tenant admission quotas BEFORE
+// placement so spilling to another node can never launder quota,
+// returns the tenant's own refill delay in Retry-After, rejects
+// unusable names with a 400, and folds node execution stats into
+// per-tenant fleet-wide /stats, /statusz, and /metrics.
+func TestFleetTenantQuota(t *testing.T) {
+	reg := tenant.NewRegistry(tenant.Config{Tenants: map[string]tenant.Limits{
+		"metered": {RatePerSec: 0.0001, Burst: 1},
+	}})
+	r, ts := newTestRouter(t, RouterConfig{HeartbeatEvery: 25 * time.Millisecond, Tenants: reg})
+	startNode(t, r, ts.URL, "n1", farm.Config{Workers: 2})
+
+	post := func(body string, hdr map[string]string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/jobs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+
+	// Burst 1: the first metered job places, the second sheds at the
+	// router with the tenant's own refill delay (1/0.0001 = 10000s —
+	// unmistakably not the generic fleet-busy "1").
+	resp, body := post(`{"design":"Rocket-2C","scale":0.1,"variant":"Dedup","workload":"A","cycles":200,"tenant":"metered"}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first metered submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var placed FleetJobView
+	if err := json.Unmarshal(body, &placed); err != nil {
+		t.Fatal(err)
+	}
+	if placed.Spec.Tenant != "metered" {
+		t.Errorf("placed job tenant = %q, want metered", placed.Spec.Tenant)
+	}
+	resp, body = post(`{"design":"Rocket-2C","scale":0.1,"variant":"Dedup","workload":"A","cycles":200,"tenant":"metered"}`, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second metered submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 9000 {
+		t.Errorf("Retry-After = %q, want the tenant's ~10000s refill delay", resp.Header.Get("Retry-After"))
+	}
+
+	// Tenantless submission lands in the default tenant; X-Tenant fills
+	// an unset spec field; a hopeless name is a 400, not a silent default.
+	resp, body = post(`{"design":"Rocket-2C","scale":0.1,"variant":"Dedup","workload":"A","cycles":200,"seed":2}`, map[string]string{"X-Tenant": "ci"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("header-tenant submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var headered FleetJobView
+	if err := json.Unmarshal(body, &headered); err != nil {
+		t.Fatal(err)
+	}
+	if headered.Spec.Tenant != "ci" {
+		t.Errorf("X-Tenant submit recorded tenant %q, want ci", headered.Spec.Tenant)
+	}
+	resp, body = post(`{"design":"Rocket-2C","scale":0.1,"cycles":200,"seed":3}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenantless submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var defaulted FleetJobView
+	if err := json.Unmarshal(body, &defaulted); err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Spec.Tenant != tenant.Default {
+		t.Errorf("tenantless job admitted as %q, want %q", defaulted.Spec.Tenant, tenant.Default)
+	}
+	resp, _ = post(`{"design":"Rocket-2C","scale":0.1,"cycles":200,"tenant":"`+strings.Repeat("x", tenant.MaxNameLen+1)+`"}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized tenant name: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, id := range []string{placed.ID, headered.ID, defaulted.ID} {
+		if v, err := r.WaitDone(ctx, id); err != nil || v.Status != farm.StatusDone {
+			t.Fatalf("job %s: %v (%+v)", id, err, v)
+		}
+	}
+	// The node-summed execution stats reach the fleet view on the next
+	// poll round.
+	waitFor(t, 15*time.Second, "metered cycles in fleet tenant stats", func() bool {
+		return r.Stats().Tenants["metered"].Cycles >= 200
+	})
+	st := r.Stats()
+	if tv := st.Tenants["metered"]; tv.Submitted != 1 || tv.Shed < 1 {
+		t.Errorf("metered fleet stats: submitted=%d shed=%d, want 1 and >=1", tv.Submitted, tv.Shed)
+	}
+	if tv := st.Tenants[tenant.Default]; tv.Submitted < 1 {
+		t.Errorf("default-tenant fleet submitted = %d, want >= 1", tv.Submitted)
+	}
+
+	sresp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusz, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if !strings.Contains(string(statusz), "tenants (fleet-wide):") || !strings.Contains(string(statusz), "metered") {
+		t.Errorf("/statusz missing the fleet tenant block:\n%s", statusz)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if problems := obs.LintProm(page); len(problems) > 0 {
+		t.Errorf("fleet /metrics lint with tenant series: %v", problems)
+	}
+	for _, series := range []string{
+		`dedupfleet_tenant_jobs_submitted_total{tenant="metered"} 1`,
+		`dedupfleet_tenant_jobs_shed_total{tenant="metered"}`,
+		`dedupfleet_tenant_sim_cycles_total{tenant="metered"}`,
+	} {
+		if !strings.Contains(string(page), series) {
+			t.Errorf("fleet /metrics missing %s", series)
+		}
+	}
+}

@@ -49,13 +49,19 @@ func (f *Farm) runBatch(jobs []*Job) {
 		// distinguishes that from a user cancel of the same context.
 		j.attemptCancel = cancel
 		j.preempted = false
+		j.parked = false
+		// Lanes are exempt from priority parking: stopping one lane would
+		// not free the worker until the whole batch ends.
+		j.inBatch = true
 		j.attempts = 1
+		enq := j.enqueuedAt
 		j.mu.Unlock()
-		j.trace.Span("queued", j.created, now.Sub(j.created))
-		f.obs.queueWaitObs(now.Sub(j.created))
+		j.trace.Span("queued", enq, now.Sub(enq))
+		f.obs.queueWaitObs(now.Sub(enq))
+		f.cfg.Tenants.ObserveQueueWait(j.Spec.Tenant, now.Sub(enq))
 		ctxs[len(live)] = ctx
 		timeouts[len(live)] = timeout
-		waits[len(live)] = now.Sub(j.created)
+		waits[len(live)] = now.Sub(enq)
 		live = append(live, j)
 	}
 	if len(live) == 0 {
@@ -138,7 +144,7 @@ func (f *Farm) runBatch(jobs []*Job) {
 			}
 		}
 		rerr := f.runRetryLoop(ctxs[i], j, 1, lastErr)
-		f.finishRun(j, rerr, timeouts[i])
+		f.settleRun(j, rerr, timeouts[i])
 	}
 }
 
@@ -157,7 +163,7 @@ func (f *Farm) retryScalarLane(j *Job, timeout time.Duration) {
 	preemptErr := TransientCause("preempted",
 		fmt.Errorf("preempted by watchdog: no progress for %s", f.cfg.StuckTimeout))
 	err := f.runRetryLoop(ctx, j, 1, preemptErr)
-	f.finishRun(j, err, timeout)
+	f.settleRun(j, err, timeout)
 }
 
 // runBatchAttempt elaborates and compiles once (through the cache), then
@@ -326,6 +332,7 @@ func (f *Farm) runBatchAttempt(jobs []*Job, ctxs []context.Context, timeouts []t
 	var cycles int64
 	for l := range jobs {
 		cycles += be.Cycles[l]
+		f.cfg.Tenants.ChargeCycles(jobs[l].Spec.Tenant, be.Cycles[l])
 	}
 	f.mu.Lock()
 	f.simCycles += cycles

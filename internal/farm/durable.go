@@ -165,14 +165,20 @@ func (f *Farm) recoverFromStore() error {
 		if spec.TraceID == "" {
 			spec.TraceID = obs.NewTraceID()
 		}
+		now := time.Now()
 		j := &Job{
-			ID:      id,
-			Spec:    spec,
-			farm:    f,
-			status:  StatusQueued,
-			created: time.Now(),
-			done:    make(chan struct{}),
+			ID:         id,
+			Spec:       spec,
+			farm:       f,
+			status:     StatusQueued,
+			created:    now,
+			enqueuedAt: now,
+			done:       make(chan struct{}),
 		}
+		// Re-admitted jobs rejoin their tenant's runnable set (normalize
+		// already defaulted pre-tenancy records to the default tenant, so
+		// replaying an old journal needs no format flag-day).
+		f.cfg.Tenants.Activate(spec.Tenant)
 		if f.obs != nil {
 			// The pre-crash trace ring died with the process; the recovered
 			// trace keeps the job's fleet-wide ID and starts its story at

@@ -35,6 +35,7 @@ import (
 	"dedupsim/internal/obs"
 	"dedupsim/internal/partition"
 	"dedupsim/internal/sim"
+	"dedupsim/internal/tenant"
 )
 
 // Config sizes the farm.
@@ -86,6 +87,14 @@ type Config struct {
 	// registered points (see internal/faultinject). Nil — the production
 	// default — costs a single pointer test per site.
 	Faults *faultinject.Registry
+
+	// Tenants is the multi-tenant QoS registry: per-tenant admission
+	// buckets, fair-share weights, priority classes, and accounting (see
+	// internal/tenant). Nil gets a registry with no limits — every
+	// tenant unlimited at weight 1 — so single-tenant deployments pay
+	// only the bookkeeping. A process embedding both a farm and a router
+	// may share one registry between them.
+	Tenants *tenant.Registry
 
 	// DisableObs turns off latency histograms and per-job lifecycle
 	// traces (see obs.go). On — the default — they cost one histogram
@@ -141,6 +150,9 @@ func (c Config) withDefaults() Config {
 	case c.MaxRetries < 0:
 		c.MaxRetries = 0
 	}
+	if c.Tenants == nil {
+		c.Tenants = tenant.NewRegistry(tenant.Config{})
+	}
 	return c
 }
 
@@ -151,6 +163,26 @@ var ErrQueueFull = errors.New("queue full")
 // ErrDraining reports that the farm is shutting down gracefully and no
 // longer accepts jobs. The HTTP layer maps it to 503.
 var ErrDraining = errors.New("draining (not accepting new jobs)")
+
+// ThrottledError reports a per-tenant admission rejection: the tenant's
+// token bucket is empty while the rest of the farm is unaffected. It is
+// deliberately distinct from ErrQueueFull — the queue may be nearly
+// empty — and carries the tenant's own refill delay, which the HTTP
+// layer serves as the Retry-After header.
+type ThrottledError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("farm: tenant %q over admission rate (retry in %s)", e.Tenant, e.RetryAfter)
+}
+
+// errParked marks an attempt stopped by priority preemption: the job
+// was checkpointed and must be requeued, not finished. Non-transient on
+// purpose — it exits the retry loop immediately so the worker frees up
+// for the higher-priority job.
+var errParked = errors.New("parked for higher-priority work")
 
 // Job is one queued or running simulation. All mutable fields are behind
 // mu; external readers use View.
@@ -186,9 +218,22 @@ type Job struct {
 	progressAt    time.Time
 	progressCycle int64
 
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	// parked marks the current attempt as stopped by priority
+	// preemption: the attempt checkpoints at its next chunk boundary and
+	// the job goes back to the queue. inBatch marks a job running as a
+	// batch lane — exempt from parking (stopping one lane would not free
+	// the worker until the whole batch ends).
+	parked  bool
+	inBatch bool
+
+	created time.Time
+	// enqueuedAt is the last time the job entered the pending queue:
+	// submission, or a requeue after being parked. Per-tenant queue-wait
+	// measures from here, so a parked job's earlier run doesn't count as
+	// waiting.
+	enqueuedAt time.Time
+	started    time.Time
+	finished   time.Time
 
 	// trace is the job's lifecycle trace ring (nil with DisableObs; a
 	// nil *Trace no-ops every method). Set once before the job is
@@ -356,6 +401,7 @@ type Farm struct {
 	retriesByCause   map[string]int64
 	shed             int64 // submissions rejected at admission (queue full)
 	preempts         int64 // attempts preempted by the watchdog
+	parks            int64 // attempts parked by priority preemption
 	checkpoints      int64 // snapshots taken
 	cyclesSaved      int64 // cycles skipped by checkpoint resumes
 	artifactsFetched int64 // compile artifacts imported from peers
@@ -524,6 +570,12 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	if spec.TraceID == "" {
 		spec.TraceID = obs.NewTraceID()
 	}
+	// Per-tenant admission runs in front of the bounded-admission path:
+	// a tenant over its rate gets throttled with its own refill delay
+	// while everyone else is untouched (the registry counts the shed).
+	if ra, ok := f.cfg.Tenants.Admit(spec.Tenant); !ok {
+		return nil, &ThrottledError{Tenant: spec.Tenant, RetryAfter: ra}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	// Checked under f.mu (Close sets it under f.mu before draining the
@@ -537,6 +589,7 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	}
 	if f.cfg.Faults.Fire(faultinject.QueuePressure) {
 		f.shed++
+		f.cfg.Tenants.NoteShed(spec.Tenant)
 		return nil, fmt.Errorf("farm: %w (injected queue pressure)", ErrQueueFull)
 	}
 	if len(f.pending) >= f.cfg.QueueDepth {
@@ -546,15 +599,18 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	}
 	if len(f.pending) >= f.cfg.QueueDepth {
 		f.shed++
+		f.cfg.Tenants.NoteShed(spec.Tenant)
 		return nil, fmt.Errorf("farm: %w (%d jobs)", ErrQueueFull, f.cfg.QueueDepth)
 	}
 	f.nextID++
+	now := time.Now()
 	j := &Job{
 		ID:         fmt.Sprintf("job-%d", f.nextID),
 		Spec:       spec,
 		farm:       f,
 		status:     StatusQueued,
-		created:    time.Now(),
+		created:    now,
+		enqueuedAt: now,
 		done:       make(chan struct{}),
 		checkpoint: ckpt,
 	}
@@ -573,13 +629,65 @@ func (f *Farm) Submit(spec JobSpec) (*Job, error) {
 	// Journaled under f.mu so admit records land in ID order; recovery
 	// re-admits in record order and preserves submission fairness.
 	f.journalAdmitLocked(j)
+	// The tenant joins the virtual clock at the current floor (idle time
+	// earns no scheduling credit) and is accounted one accepted job.
+	f.cfg.Tenants.NoteSubmitted(spec.Tenant)
+	f.cfg.Tenants.Activate(spec.Tenant)
 	select {
 	case f.wake <- struct{}{}:
 	default:
 		// Channel full means at least QueueDepth tokens are outstanding —
 		// more than enough draining passes are already owed.
 	}
+	// With every worker busy, a job from a higher-priority tenant may
+	// park the lowest-priority running attempt to free a worker.
+	f.maybeParkLocked(spec.Tenant)
 	return j, nil
+}
+
+// maybeParkLocked parks (checkpoints + requeues) the lowest-priority
+// running scalar attempt when a job from tenantName outranks it and
+// every worker is busy. Caller holds f.mu. Requires checkpoints to be
+// on (otherwise parking would restart the victim from cycle 0), skips
+// batch lanes and VCD jobs, and is bounded by the victim tenant's
+// park-rate bucket so preemption can never livelock a tenant.
+func (f *Farm) maybeParkLocked(tenantName string) {
+	if f.cfg.CheckpointEvery <= 0 || f.running < f.cfg.Workers {
+		return
+	}
+	reg := f.cfg.Tenants
+	prio := reg.Priority(tenantName)
+	var victim *Job
+	victimPrio := 0
+	for _, j := range f.jobs {
+		j.mu.Lock()
+		running := j.status == StatusRunning && !j.inBatch && !j.Spec.VCD &&
+			j.attemptCancel != nil && !j.parked && !j.preempted
+		j.mu.Unlock()
+		if !running {
+			continue
+		}
+		p := reg.Priority(j.Spec.Tenant)
+		if p >= prio {
+			continue
+		}
+		if victim == nil || p < victimPrio {
+			victim, victimPrio = j, p
+		}
+	}
+	if victim == nil || !reg.AllowPark(victim.Spec.Tenant) {
+		return
+	}
+	victim.mu.Lock()
+	var cancel context.CancelFunc
+	if victim.status == StatusRunning && victim.attemptCancel != nil && !victim.parked {
+		victim.parked = true
+		cancel = victim.attemptCancel
+	}
+	victim.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 }
 
 // compactPendingLocked drops terminal (canceled-while-queued) entries
@@ -729,17 +837,20 @@ func (f *Farm) preemptStuck() {
 }
 
 // batchKey identifies jobs that may share one compiled Program and hence
-// one BatchEngine: same design source and simulator variant. Workload,
-// seed, cycle budget, and timeout may differ per lane.
+// one BatchEngine: same design source, simulator variant, and tenant.
+// Workload, seed, cycle budget, and timeout may differ per lane. The
+// tenant is part of the key so coalescing happens within a tenant's
+// runnable set — a batch's cycles are charged to exactly one tenant.
 type batchKey struct {
 	design  string
 	scale   float64
 	firrtl  string
 	variant string
+	tenant  string
 }
 
 func jobBatchKey(s JobSpec) batchKey {
-	return batchKey{design: s.Design, scale: s.Scale, firrtl: s.FIRRTL, variant: s.Variant}
+	return batchKey{design: s.Design, scale: s.Scale, firrtl: s.FIRRTL, variant: s.Variant, tenant: s.Tenant}
 }
 
 // resumable reports whether a still-queued job already holds a resume
@@ -752,59 +863,79 @@ func resumable(j *Job) bool {
 	return j.checkpoint != nil
 }
 
-// takeBatch pops the first still-queued job and, when coalescing is on,
-// claims up to MaxLanes-1 later queued jobs with the same batch key as
-// additional lanes. Claimed jobs are removed from pending while still
-// StatusQueued; the runner re-checks each under its own lock (a racing
-// Cancel may turn one terminal first). VCD jobs never coalesce: waveform
-// capture is built around the scalar engine's prober.
+// takeBatch dequeues the next runnable work under weighted fair share:
+// the tenant registry picks which queued tenant goes next (highest
+// priority class, then smallest virtual time), FIFO order is preserved
+// within that tenant, and when coalescing is on up to MaxLanes-1 later
+// queued jobs of the same batch key (same tenant included) join as
+// lanes. The picked tenant's virtual clock is charged the claimed cycle
+// budget at dequeue — stride-style — so concurrent workers spread
+// across tenants instead of all draining the minimum-vtime tenant.
+// Claimed jobs are removed from pending while still StatusQueued; the
+// runner re-checks each under its own lock (a racing Cancel may turn
+// one terminal first). VCD jobs never coalesce: waveform capture is
+// built around the scalar engine's prober.
 func (f *Farm) takeBatch() []*Job {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var batch []*Job
-	var key batchKey
-	i := 0
-	for ; i < len(f.pending); i++ {
-		j := f.pending[i]
-		j.mu.Lock()
-		queued := j.status == StatusQueued
-		j.mu.Unlock()
-		if queued {
-			batch = append(batch, j)
-			key = jobBatchKey(j.Spec)
-			i++
-			break
+	for {
+		// Drop canceled-while-queued entries first so they neither count
+		// as a tenant's queued work nor get picked below.
+		f.compactPendingLocked()
+		if len(f.pending) == 0 {
+			return nil
 		}
-		// Terminal (canceled while queued): drop in passing.
-	}
-	if len(batch) == 0 {
-		f.pending = f.pending[:0]
-		return nil
-	}
-	rest := f.pending[:0]
-	if f.cfg.MaxLanes > 1 && !batch[0].Spec.VCD && !resumable(batch[0]) {
-		for ; i < len(f.pending); i++ {
-			j := f.pending[i]
-			if len(batch) < f.cfg.MaxLanes && !j.Spec.VCD && !resumable(j) && jobBatchKey(j.Spec) == key {
-				j.mu.Lock()
-				queued := j.status == StatusQueued
-				j.mu.Unlock()
-				if queued {
-					batch = append(batch, j)
-					continue
-				}
-				continue // terminal: drop
+		var names []string
+		seen := map[string]struct{}{}
+		for _, j := range f.pending {
+			if _, ok := seen[j.Spec.Tenant]; !ok {
+				seen[j.Spec.Tenant] = struct{}{}
+				names = append(names, j.Spec.Tenant)
 			}
-			rest = append(rest, j)
 		}
-	} else {
-		rest = append(rest, f.pending[i:]...)
+		who := f.cfg.Tenants.PickTenant(names)
+
+		var batch []*Job
+		var key batchKey
+		var budget int64
+		rest := f.pending[:0]
+		for _, j := range f.pending {
+			if j.Spec.Tenant != who {
+				rest = append(rest, j)
+				continue
+			}
+			j.mu.Lock()
+			queued := j.status == StatusQueued
+			j.mu.Unlock()
+			if !queued {
+				continue // turned terminal since the compact: drop
+			}
+			claim := len(batch) == 0 ||
+				(f.cfg.MaxLanes > 1 && len(batch) < f.cfg.MaxLanes &&
+					!batch[0].Spec.VCD && !resumable(batch[0]) &&
+					!j.Spec.VCD && !resumable(j) && jobBatchKey(j.Spec) == key)
+			if !claim {
+				rest = append(rest, j)
+				continue
+			}
+			if len(batch) == 0 {
+				key = jobBatchKey(j.Spec)
+			}
+			batch = append(batch, j)
+			budget += int64(j.Spec.Cycles)
+		}
+		for k := len(rest); k < len(f.pending); k++ {
+			f.pending[k] = nil
+		}
+		f.pending = rest
+		if len(batch) == 0 {
+			// The picked tenant's queued jobs all went terminal between
+			// the compact and the claim; pick again from what's left.
+			continue
+		}
+		f.cfg.Tenants.ChargeVTime(who, budget)
+		return batch
 	}
-	for k := len(rest); k < len(f.pending); k++ {
-		f.pending[k] = nil
-	}
-	f.pending = rest
-	return batch
 }
 
 // jobTimeout resolves a job's wall-clock budget.
@@ -835,9 +966,11 @@ func (f *Farm) runJob(j *Job) {
 	j.started = now
 	j.progressAt = now
 	j.cancel = cancel
+	enq := j.enqueuedAt
 	j.mu.Unlock()
-	j.trace.Span("queued", j.created, now.Sub(j.created))
-	f.obs.queueWaitObs(now.Sub(j.created))
+	j.trace.Span("queued", enq, now.Sub(enq))
+	f.obs.queueWaitObs(now.Sub(enq))
+	f.cfg.Tenants.ObserveQueueWait(j.Spec.Tenant, now.Sub(enq))
 	f.journalStart(j)
 
 	f.mu.Lock()
@@ -850,7 +983,7 @@ func (f *Farm) runJob(j *Job) {
 	}()
 
 	err := f.runRetryLoop(ctx, j, 0, nil)
-	f.finishRun(j, err, timeout)
+	f.settleRun(j, err, timeout)
 }
 
 // runRetryLoop runs attempts of one job under the retry policy:
@@ -960,6 +1093,7 @@ func (f *Farm) compileSpec(ctx context.Context, spec JobSpec) (c *circuit.Circui
 		f.mu.Lock()
 		f.compileWall += compileTime
 		f.mu.Unlock()
+		f.cfg.Tenants.NoteCompile(spec.Tenant)
 		f.obs.compileObs(compileTime)
 		// Persist the design metadata (warm-recompile fallback) and the
 		// compiled artifact bytes (fast path: decode instead of recompile)
@@ -983,6 +1117,8 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	attemptStart := time.Now()
 	j.mu.Lock()
 	j.preempted = false
+	j.parked = false
+	j.inBatch = false
 	j.attemptCancel = acancel
 	j.progressAt = attemptStart
 	j.mu.Unlock()
@@ -997,10 +1133,16 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 		j.mu.Lock()
 		j.attemptCancel = nil
 		preempted := j.preempted
+		parked := j.parked
 		j.mu.Unlock()
-		// Map a watchdog preemption (attempt context canceled, job
-		// context live) to a retryable fault.
-		if err != nil && preempted && ctx.Err() == nil && errors.Is(err, context.Canceled) {
+		// Map a priority park (attempt context canceled by maybePark, job
+		// context live) to the non-transient park sentinel — the retry
+		// loop exits and settleRun requeues the job — and a watchdog
+		// preemption to a retryable fault.
+		switch {
+		case err != nil && parked && ctx.Err() == nil && errors.Is(err, context.Canceled):
+			err = errParked
+		case err != nil && preempted && ctx.Err() == nil && errors.Is(err, context.Canceled):
 			err = TransientCause("preempted",
 				fmt.Errorf("preempted by watchdog: no progress for %s", f.cfg.StuckTimeout))
 		}
@@ -1100,6 +1242,16 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	for cyc := resume; cyc < j.Spec.Cycles; cyc++ {
 		if cyc%chunk == 0 {
 			if ctxErr := actx.Err(); ctxErr != nil {
+				// A parked attempt snapshots at the boundary where it
+				// noticed the cancel, so the requeued job loses at most
+				// chunk (≤ CheckpointEvery) cycles, not a full checkpoint
+				// interval.
+				j.mu.Lock()
+				parked := j.parked
+				j.mu.Unlock()
+				if parked && vcd == nil && cyc > resume {
+					f.recordCheckpoint(j, e.Save())
+				}
 				return ctxErr
 			}
 			j.noteProgress(cyc)
@@ -1140,8 +1292,55 @@ func (f *Farm) runAttempt(ctx context.Context, j *Job, attempt int) (err error) 
 	f.simCycles += e.Cycles - int64(resume) // only cycles executed this attempt
 	f.simWall += wall
 	f.mu.Unlock()
+	f.cfg.Tenants.ChargeCycles(j.Spec.Tenant, e.Cycles-int64(resume))
 	f.obs.simRunObs(wall)
 	return nil
+}
+
+// settleRun routes a retry-loop result: a parked job goes back to the
+// queue with its checkpoint (priority preemption is a detour, not an
+// ending); everything else reaches a terminal status via finishRun.
+func (f *Farm) settleRun(j *Job, err error, timeout time.Duration) {
+	if errors.Is(err, errParked) {
+		f.requeueParked(j)
+		return
+	}
+	f.finishRun(j, err, timeout)
+}
+
+// requeueParked returns a parked job to the pending queue: status back
+// to Queued, checkpoint kept for the resume, enqueue clock reset. The
+// next dequeue of its tenant picks it up and the resume path counts the
+// cycles the park did not lose.
+func (f *Farm) requeueParked(j *Job) {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		// A racing Cancel won; nothing to requeue.
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusQueued
+	j.parked = false
+	j.preempted = false
+	j.cancel = nil
+	j.attemptCancel = nil
+	j.enqueuedAt = time.Now()
+	ckptCycle := int64(0)
+	if j.checkpoint != nil {
+		ckptCycle = j.checkpoint.Cycles
+	}
+	j.mu.Unlock()
+	j.trace.Instant("parked", "resume_cycle", traceAttrCycle(ckptCycle))
+	f.cfg.Tenants.NoteParked(j.Spec.Tenant)
+	f.cfg.Tenants.Activate(j.Spec.Tenant)
+	f.mu.Lock()
+	f.parks++
+	f.pending = append(f.pending, j)
+	f.mu.Unlock()
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
 }
 
 // finishRun maps an attempt error to the job's terminal status.
@@ -1230,6 +1429,7 @@ func (f *Farm) accountFinish(j *Job, status Status) {
 		}
 	}
 	f.mu.Unlock()
+	f.cfg.Tenants.NoteFinished(j.Spec.Tenant, string(status))
 	// Journaled outside f.mu: an fsync-per-record policy must not stall
 	// submissions and stats behind a disk write.
 	f.journalFinish(j, status)

@@ -10,6 +10,7 @@ import (
 	"dedupsim/internal/gen"
 	"dedupsim/internal/harness"
 	"dedupsim/internal/stimulus"
+	"dedupsim/internal/tenant"
 )
 
 // DesignSpec names the design a job simulates: either a generated design
@@ -80,6 +81,12 @@ type JobSpec struct {
 	// and survives recovery and fleet migration, so one ID names the
 	// job's whole story across nodes.
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant names the submitter for quota, fair-share scheduling, and
+	// accounting (see internal/tenant). The HTTP layer fills it from the
+	// X-Tenant header; empty means the default tenant, which is also how
+	// pre-tenancy journal and WAL records decode — no flag-day. Living in
+	// the spec, it journals, recovers, and migrates with the job.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // normalize applies defaults and validates the statically checkable
@@ -114,6 +121,11 @@ func (s *JobSpec) normalize(cfg Config) error {
 	if s.Design == "" && s.FIRRTL == "" {
 		return fmt.Errorf("farm: job names no design (set design or firrtl)")
 	}
+	name, err := tenant.Normalize(s.Tenant)
+	if err != nil {
+		return fmt.Errorf("farm: %w", err)
+	}
+	s.Tenant = name
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"dedupsim/internal/tenant"
 )
 
 // Stats is the farm-level metrics snapshot served by the API.
@@ -27,6 +29,7 @@ type Stats struct {
 	// (cycles a retry did NOT re-simulate thanks to a checkpoint).
 	JobsShed            int64            `json:"jobs_shed"`
 	JobsPreempted       int64            `json:"jobs_preempted"`
+	JobsParked          int64            `json:"jobs_parked"`
 	RetriesByCause      map[string]int64 `json:"retries_by_cause,omitempty"`
 	CheckpointsTaken    int64            `json:"checkpoints_taken"`
 	CyclesSavedByResume int64            `json:"cycles_saved_by_resume"`
@@ -61,6 +64,11 @@ type Stats struct {
 	// six histograms, no per-label maps — so /stats cannot grow with
 	// traffic.
 	Latency *LatencySummaries `json:"latency,omitempty"`
+
+	// Tenants is the per-tenant QoS block: weights, priorities, quota
+	// sheds, parks, consumed cycles, queue-wait digests, and live
+	// queued/running gauges. Bounded by the registry's tenant cap.
+	Tenants map[string]tenant.View `json:"tenants,omitempty"`
 }
 
 // Stats snapshots the farm's counters.
@@ -78,6 +86,7 @@ func (f *Farm) Stats() Stats {
 		JobsRetried:         f.retries,
 		JobsShed:            f.shed,
 		JobsPreempted:       f.preempts,
+		JobsParked:          f.parks,
 		CheckpointsTaken:    f.checkpoints,
 		CyclesSavedByResume: f.cyclesSaved,
 		Draining:            f.draining,
@@ -92,7 +101,29 @@ func (f *Farm) Stats() Stats {
 			st.RetriesByCause[k] = v
 		}
 	}
+	// Per-tenant queued/running are derived gauges: one scan of the jobs
+	// table at snapshot time instead of incremental counters threaded
+	// through every lifecycle transition.
+	queuedBy := map[string]int{}
+	runningBy := map[string]int{}
+	for _, j := range f.jobs {
+		j.mu.Lock()
+		s := j.status
+		j.mu.Unlock()
+		switch s {
+		case StatusQueued:
+			queuedBy[j.Spec.Tenant]++
+		case StatusRunning:
+			runningBy[j.Spec.Tenant]++
+		}
+	}
 	f.mu.Unlock()
+	st.Tenants = f.cfg.Tenants.Views()
+	for name, v := range st.Tenants {
+		v.Queued = queuedBy[name]
+		v.Running = runningBy[name]
+		st.Tenants[name] = v
+	}
 	if counts := f.cfg.Faults.Counts(); len(counts) > 0 {
 		st.FaultsInjected = counts
 	}
@@ -114,8 +145,9 @@ func (f *Farm) WriteStats(w io.Writer) {
 	fmt.Fprintf(w, "jobs: %d submitted, %d queued, %d running, %d done, %d failed, %d canceled, %d retried\n",
 		st.JobsSubmitted, st.JobsQueued, st.JobsRunning,
 		st.JobsCompleted, st.JobsFailed, st.JobsCanceled, st.JobsRetried)
-	fmt.Fprintf(w, "robustness: %d shed, %d preempted by watchdog, %d checkpoints taken, %d cycles saved by resume\n",
-		st.JobsShed, st.JobsPreempted, st.CheckpointsTaken, st.CyclesSavedByResume)
+	fmt.Fprintf(w, "robustness: %d shed, %d preempted by watchdog, %d parked for priority, %d checkpoints taken, %d cycles saved by resume\n",
+		st.JobsShed, st.JobsPreempted, st.JobsParked, st.CheckpointsTaken, st.CyclesSavedByResume)
+	writeTenantText(w, st.Tenants)
 	if len(st.RetriesByCause) > 0 {
 		fmt.Fprintf(w, "  retries by cause:")
 		for _, cause := range sortedKeys(st.RetriesByCause) {
@@ -177,6 +209,34 @@ func sortedKeys(m map[string]int64) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// sortedTenants returns the tenant names of a view map in stable order.
+func sortedTenants(m map[string]tenant.View) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeTenantText renders the per-tenant QoS block for /statusz.
+func writeTenantText(w io.Writer, views map[string]tenant.View) {
+	if len(views) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "tenants:")
+	for _, name := range sortedTenants(views) {
+		v := views[name]
+		fmt.Fprintf(w, "  %-16s w=%d prio=%d queued=%d running=%d submitted=%d done=%d shed=%d parked=%d cycles=%d",
+			name, v.Weight, v.Priority, v.Queued, v.Running,
+			v.Submitted, v.Completed, v.Shed, v.Parked, v.Cycles)
+		if v.QueueWait != nil {
+			fmt.Fprintf(w, " wait-p99=%.2fms", v.QueueWait.P99Ms)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // queuedLocked counts still-queued entries in the pending slice (skipping

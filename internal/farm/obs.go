@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -123,6 +124,8 @@ func traceOutcome(err error) string {
 	switch {
 	case err == nil:
 		return "ok"
+	case errors.Is(err, errParked):
+		return "parked"
 	case IsTransient(err):
 		return transientCause(err)
 	default:
@@ -143,6 +146,7 @@ func (f *Farm) WriteProm(w io.Writer) error {
 	p.Counter("dedupfarm_jobs_canceled_total", "Jobs canceled.", float64(st.JobsCanceled))
 	p.Counter("dedupfarm_jobs_shed_total", "Submissions rejected at admission (queue full).", float64(st.JobsShed))
 	p.Counter("dedupfarm_jobs_preempted_total", "Attempts preempted by the progress watchdog.", float64(st.JobsPreempted))
+	p.Counter("dedupfarm_jobs_parked_total", "Attempts parked by priority preemption (checkpointed and requeued).", float64(st.JobsParked))
 	p.Counter("dedupfarm_retries_total", "Retried attempts by transient cause.", float64(st.JobsRetried))
 	for _, cause := range sortedKeys(st.RetriesByCause) {
 		p.Counter("dedupfarm_retries_by_cause_total", "Retried attempts split by cause.",
@@ -177,6 +181,45 @@ func (f *Farm) WriteProm(w io.Writer) error {
 
 	p.Counter("dedupfarm_sim_cycles_total", "Simulated cycles across all runs.", float64(st.SimulatedCycles))
 	p.Counter("dedupfarm_sim_wall_seconds_total", "Engine wall time summed across workers.", st.SimWallMs/1e3)
+
+	// Per-tenant QoS series, one label per tenant, bounded by the
+	// registry's tenant cap. Each metric's series are emitted together so
+	// the exposition stays one HELP/TYPE block per name.
+	tnames := sortedTenants(st.Tenants)
+	for _, n := range tnames {
+		p.Counter("dedupfarm_tenant_jobs_submitted_total", "Jobs admitted per tenant.",
+			float64(st.Tenants[n].Submitted), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Counter("dedupfarm_tenant_jobs_shed_total", "Submissions rejected per tenant (quota or queue full).",
+			float64(st.Tenants[n].Shed), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Counter("dedupfarm_tenant_jobs_parked_total", "Attempts parked by priority preemption per victim tenant.",
+			float64(st.Tenants[n].Parked), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Counter("dedupfarm_tenant_sim_cycles_total", "Simulated cycles consumed per tenant.",
+			float64(st.Tenants[n].Cycles), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Counter("dedupfarm_tenant_compiles_total", "Cache-miss compiles triggered per tenant.",
+			float64(st.Tenants[n].Compiles), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Gauge("dedupfarm_tenant_queue_depth", "Jobs waiting in the pending queue per tenant.",
+			float64(st.Tenants[n].Queued), "tenant", n)
+	}
+	for _, n := range tnames {
+		p.Gauge("dedupfarm_tenant_jobs_running", "Jobs currently executing per tenant.",
+			float64(st.Tenants[n].Running), "tenant", n)
+	}
+	for _, n := range tnames {
+		if qw := st.Tenants[n].QueueWait; qw != nil {
+			p.Gauge("dedupfarm_tenant_queue_wait_p99_seconds", "p99 submit-to-start wait per tenant.",
+				qw.P99Ms/1e3, "tenant", n)
+		}
+	}
 
 	if f.obs != nil {
 		hist := func(name, help string, h *obs.Histogram) {

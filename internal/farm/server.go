@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"dedupsim/internal/obs"
 )
@@ -48,14 +50,25 @@ func Handler(f *Farm) http.Handler {
 		}
 		// X-Trace-Id propagates the submitter's trace ID (the router sets
 		// it when forwarding); an ID already in the spec wins so a
-		// migrated job keeps its original identity.
+		// migrated job keeps its original identity. X-Tenant works the
+		// same way: the fleet front door mints it, and a tenant already
+		// in the spec (migration, journal replay) wins.
 		if spec.TraceID == "" {
 			spec.TraceID = r.Header.Get("X-Trace-Id")
+		}
+		if spec.Tenant == "" {
+			spec.Tenant = r.Header.Get("X-Tenant")
 		}
 		j, err := f.Submit(spec)
 		if err != nil {
 			code := http.StatusBadRequest
+			var throttled *ThrottledError
 			switch {
+			case errors.As(err, &throttled):
+				// Per-tenant quota: Retry-After is this tenant's own token
+				// refill time, not a global constant.
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(throttled.RetryAfter), 10))
 			case errors.Is(err, ErrQueueFull):
 				// Load shedding: the client should back off and retry.
 				code = http.StatusTooManyRequests
@@ -241,4 +254,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// retryAfterSeconds renders a refill delay as a whole-second Retry-After
+// value, rounding up and never below 1 (clients treat 0 as "retry now",
+// which would hammer an empty bucket).
+func retryAfterSeconds(d time.Duration) int64 {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }

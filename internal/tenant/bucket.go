@@ -1,0 +1,62 @@
+package tenant
+
+import (
+	"math"
+	"time"
+)
+
+// bucket is a token bucket with lazy refill. A zero rate means
+// unlimited: every take succeeds and the bucket keeps no state. All
+// methods take the current time explicitly so tests are deterministic
+// and the Registry can meter many buckets off one clock read.
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int, now time.Time) bucket {
+	return bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// refill credits tokens for the time since the last refill.
+func (b *bucket) refill(now time.Time) {
+	if b.rate <= 0 {
+		return
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*dt.Seconds())
+	}
+	b.last = now
+}
+
+// take consumes one token. On refusal it reports how long until the
+// bucket refills the missing fraction — the per-tenant Retry-After,
+// computed from this tenant's own refill rate rather than a constant.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// resize applies new rate/burst limits, clamping stored tokens to the
+// new burst so a live reload takes effect immediately.
+func (b *bucket) resize(rate float64, burst int, now time.Time) {
+	b.refill(now)
+	b.rate = rate
+	b.burst = float64(burst)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.last.IsZero() {
+		b.last = now
+	}
+}

@@ -1,0 +1,321 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+
+	"dedupsim/internal/obs"
+)
+
+// Registry is the live per-tenant state table: resolved limits,
+// admission and preemption buckets, the fair-share virtual clock, and
+// accounting counters. One Registry serves one tier — the farm meters
+// its node-local queue, the router meters the fleet front door — and
+// both can share a Registry when embedded in one process.
+//
+// All methods are safe for concurrent use. State is created lazily on
+// first touch and bounded: names beyond maxTenants collapse into the
+// shared Overflow entry so an adversarial submitter cannot grow the
+// table without bound.
+type Registry struct {
+	mu     sync.Mutex
+	cfg    Config
+	states map[string]*state
+	// floor is the virtual-time floor: the vtime of the most recently
+	// dequeued tenant. A tenant going from idle to queued starts at the
+	// floor (Activate), so sitting out does not bank scheduling credit
+	// it could later spend starving everyone else.
+	floor float64
+}
+
+// state is one tenant's live scheduling and accounting state.
+type state struct {
+	limits Limits
+	admit  bucket
+	park   bucket
+	// vtime is the tenant's position on the shared virtual clock:
+	// dequeued cycle budget ÷ weight. The scheduler always picks the
+	// queued tenant with the smallest vtime within the highest queued
+	// priority class.
+	vtime float64
+
+	submitted int64
+	completed int64
+	failed    int64
+	canceled  int64
+	shed      int64
+	parked    int64
+	compiles  int64
+	cycles    int64
+
+	queueWait obs.Histogram
+}
+
+// NewRegistry builds a registry under cfg. A zero Config is valid:
+// every tenant gets weight 1, unlimited admission, priority 0.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{cfg: cfg, states: map[string]*state{}}
+}
+
+// SetConfig swaps the limits live (the SIGHUP reload path): existing
+// tenants get their buckets resized in place — tokens clamped to the
+// new burst — and keep their counters and virtual-time position.
+func (r *Registry) SetConfig(cfg Config) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg = cfg
+	for name, st := range r.states {
+		l := cfg.limitsFor(name)
+		st.limits = l
+		st.admit.resize(l.RatePerSec, l.Burst, now)
+		st.park.resize(parkRate(l), parkBurst(l), now)
+	}
+}
+
+func parkRate(l Limits) float64 {
+	if l.ParksPerMin < 0 {
+		return 0 // bucket unlimited — but AllowPark checks the sign first
+	}
+	return l.ParksPerMin / 60
+}
+
+func parkBurst(l Limits) int { return 1 }
+
+// stateFor resolves (lazily creating) a tenant's state. Caller holds
+// r.mu. Names beyond the table bound collapse into Overflow.
+func (r *Registry) stateFor(name string) *state {
+	if st, ok := r.states[name]; ok {
+		return st
+	}
+	if len(r.states) >= maxTenants {
+		name = Overflow
+		if st, ok := r.states[name]; ok {
+			return st
+		}
+	}
+	now := time.Now()
+	l := r.cfg.limitsFor(name)
+	st := &state{
+		limits: l,
+		admit:  newBucket(l.RatePerSec, l.Burst, now),
+		park:   newBucket(parkRate(l), parkBurst(l), now),
+		// New tenants start at the floor, not zero: being new earns no
+		// scheduling credit over tenants already in line.
+		vtime: r.floor,
+	}
+	r.states[name] = st
+	return st
+}
+
+// Limits returns a tenant's effective (default-resolved) limits.
+func (r *Registry) Limits(name string) Limits {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stateFor(name).limits
+}
+
+// Priority returns a tenant's priority class.
+func (r *Registry) Priority(name string) int {
+	return r.Limits(name).Priority
+}
+
+// Admit takes one admission token from the tenant's bucket. On
+// refusal it reports the tenant's own refill delay — the Retry-After
+// the HTTP tier serves with the 429 — and bumps the tenant's shed
+// counter. Tenants with no configured rate always admit.
+func (r *Registry) Admit(name string) (retryAfter time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stateFor(name)
+	ok, retryAfter = st.admit.take(time.Now())
+	if !ok {
+		st.shed++
+	}
+	return retryAfter, ok
+}
+
+// AllowPark takes one preemption token against the would-be victim's
+// tenant: the per-tenant park-rate bound that makes preemption thrash
+// impossible. A negative ParksPerMin always refuses.
+func (r *Registry) AllowPark(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stateFor(name)
+	if st.limits.ParksPerMin < 0 {
+		return false
+	}
+	ok, _ := st.park.take(time.Now())
+	return ok
+}
+
+// Activate brings a tenant onto the virtual clock at no less than the
+// floor. Submit calls it on every enqueue: for a continuously
+// backlogged tenant it is a no-op (its vtime is at or above the
+// floor); for a tenant returning from idle it forfeits the idle time.
+func (r *Registry) Activate(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stateFor(name)
+	if st.vtime < r.floor {
+		st.vtime = r.floor
+	}
+}
+
+// PickTenant chooses which queued tenant dequeues next: the highest
+// priority class first, then the smallest virtual time, then the name
+// (a deterministic tie-break). The winner's vtime becomes the new
+// floor. names must be non-empty.
+func (r *Registry) PickTenant(names []string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := ""
+	var bestSt *state
+	for _, name := range names {
+		st := r.stateFor(name)
+		if bestSt == nil ||
+			st.limits.Priority > bestSt.limits.Priority ||
+			(st.limits.Priority == bestSt.limits.Priority &&
+				(st.vtime < bestSt.vtime || (st.vtime == bestSt.vtime && name < best))) {
+			best, bestSt = name, st
+		}
+	}
+	if bestSt != nil && bestSt.vtime > r.floor {
+		r.floor = bestSt.vtime
+	}
+	return best
+}
+
+// ChargeVTime advances a tenant's virtual clock by cycles ÷ weight.
+// The farm charges at dequeue time using the claimed jobs' cycle
+// budgets (stride-style), so concurrent workers can't all pick the
+// same minimum-vtime tenant before any completion lands.
+func (r *Registry) ChargeVTime(name string, cycles int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stateFor(name)
+	st.vtime += float64(cycles) / float64(st.limits.Weight)
+}
+
+// ChargeCycles accounts cycles actually simulated for the tenant.
+func (r *Registry) ChargeCycles(name string, cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.stateFor(name).cycles += cycles
+	r.mu.Unlock()
+}
+
+// NoteSubmitted counts one accepted job.
+func (r *Registry) NoteSubmitted(name string) {
+	r.mu.Lock()
+	r.stateFor(name).submitted++
+	r.mu.Unlock()
+}
+
+// NoteShed counts one rejected submission (queue full or fleet busy —
+// bucket refusals are counted by Admit itself).
+func (r *Registry) NoteShed(name string) {
+	r.mu.Lock()
+	r.stateFor(name).shed++
+	r.mu.Unlock()
+}
+
+// NoteParked counts one priority preemption against the victim tenant.
+func (r *Registry) NoteParked(name string) {
+	r.mu.Lock()
+	r.stateFor(name).parked++
+	r.mu.Unlock()
+}
+
+// NoteCompile counts one cache-miss compile triggered by the tenant.
+func (r *Registry) NoteCompile(name string) {
+	r.mu.Lock()
+	r.stateFor(name).compiles++
+	r.mu.Unlock()
+}
+
+// NoteFinished counts one terminal transition ("done", "failed",
+// "canceled").
+func (r *Registry) NoteFinished(name, outcome string) {
+	r.mu.Lock()
+	st := r.stateFor(name)
+	switch outcome {
+	case "done":
+		st.completed++
+	case "failed":
+		st.failed++
+	case "canceled":
+		st.canceled++
+	}
+	r.mu.Unlock()
+}
+
+// ObserveQueueWait records one job's submit→start wait for the tenant.
+func (r *Registry) ObserveQueueWait(name string, d time.Duration) {
+	r.mu.Lock()
+	st := r.stateFor(name)
+	r.mu.Unlock()
+	// Histogram is internally synchronized; observe outside r.mu.
+	st.queueWait.Observe(d)
+}
+
+// View is one tenant's externally visible accounting snapshot, served
+// in /stats blocks and /statusz lines on both tiers.
+type View struct {
+	Weight     int     `json:"weight"`
+	Priority   int     `json:"priority,omitempty"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+
+	Submitted int64 `json:"jobs_submitted"`
+	Completed int64 `json:"jobs_completed"`
+	Failed    int64 `json:"jobs_failed,omitempty"`
+	Canceled  int64 `json:"jobs_canceled,omitempty"`
+	Shed      int64 `json:"jobs_shed"`
+	Parked    int64 `json:"jobs_parked"`
+	Compiles  int64 `json:"compiles_triggered"`
+	Cycles    int64 `json:"cycles_simulated"`
+
+	// VirtualTime is the tenant's fair-share clock position (dequeued
+	// cycles ÷ weight) — a scheduling debug aid, not an SLO number.
+	VirtualTime float64 `json:"virtual_time,omitempty"`
+
+	// QueueWait digests the tenant's submit→start waits (nil before the
+	// first observation).
+	QueueWait *obs.Summary `json:"queue_wait,omitempty"`
+
+	// Queued and Running are point-in-time gauges the holder fills at
+	// snapshot time (the registry does not track queue membership).
+	Queued  int `json:"jobs_queued,omitempty"`
+	Running int `json:"jobs_running,omitempty"`
+}
+
+// Views snapshots every tenant the registry has seen.
+func (r *Registry) Views() map[string]View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]View, len(r.states))
+	for name, st := range r.states {
+		v := View{
+			Weight:      st.limits.Weight,
+			Priority:    st.limits.Priority,
+			RatePerSec:  st.limits.RatePerSec,
+			Submitted:   st.submitted,
+			Completed:   st.completed,
+			Failed:      st.failed,
+			Canceled:    st.canceled,
+			Shed:        st.shed,
+			Parked:      st.parked,
+			Compiles:    st.compiles,
+			Cycles:      st.cycles,
+			VirtualTime: st.vtime,
+		}
+		if s := st.queueWait.Snapshot(); s.Count > 0 {
+			sum := s.Summarize()
+			v.QueueWait = &sum
+		}
+		out[name] = v
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package tenant makes submitters a first-class concept: every job
+// carries a tenant name, and the farm and fleet router consult one
+// shared Registry for admission quotas (token bucket per tenant),
+// weighted fair-share scheduling (virtual time keyed on consumed cycles
+// ÷ weight), priority classes, and per-tenant accounting.
+//
+// The package is deliberately self-contained — no farm or cluster
+// imports — so both tiers can share it: the farm meters its own queue
+// with a node-local Registry while the router enforces the same limits
+// fleet-wide at the front door, and spilling a job to another node can
+// never launder quota.
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"unicode"
+)
+
+// Default is the tenant every job without an explicit tenant belongs
+// to. It exists so old journal and placement-WAL records — written
+// before tenancy, with no tenant field in their spec JSON — decode
+// into a valid tenant with no format flag-day: an absent field is the
+// default tenant.
+const Default = "default"
+
+// MaxNameLen bounds a tenant name. Names reach journals, metrics
+// labels, and the HTTP API, so they stay short and printable.
+const MaxNameLen = 64
+
+// maxTenants bounds the Registry's per-tenant state table. A submitter
+// inventing unbounded tenant names must not grow router or farm memory
+// without bound; names beyond the cap collapse into one shared
+// "overflow" bucket that still meters and accounts them under the
+// default limits.
+const maxTenants = 4096
+
+// Overflow is the shared accounting bucket for tenant names beyond the
+// registry's bound.
+const Overflow = "overflow"
+
+// Normalize validates a tenant name from a job spec: an unset name maps
+// to Default; a set name must survive space-trimming non-empty, fit in
+// MaxNameLen, and contain no control characters. The returned name is
+// what should be stored in the spec (and hence journaled), so identity
+// is canonical everywhere downstream.
+func Normalize(name string) (string, error) {
+	if name == "" {
+		return Default, nil
+	}
+	trimmed := strings.TrimSpace(name)
+	if trimmed == "" {
+		return "", fmt.Errorf("tenant: name %q is empty after trimming", name)
+	}
+	if len(trimmed) > MaxNameLen {
+		return "", fmt.Errorf("tenant: name longer than %d bytes", MaxNameLen)
+	}
+	for _, r := range trimmed {
+		if unicode.IsControl(r) {
+			return "", fmt.Errorf("tenant: name contains a control character")
+		}
+	}
+	return trimmed, nil
+}
+
+// Limits is one tenant's QoS configuration. The zero value means "no
+// special treatment": weight 1, unlimited admission rate, priority 0,
+// and the default preemption bound.
+type Limits struct {
+	// Weight is the fair-share weight: with every tenant backlogged,
+	// observed simulated-cycle shares converge to the weight ratios
+	// (0 = default 1).
+	Weight int `json:"weight,omitempty"`
+	// RatePerSec is the admission token-bucket refill rate in jobs per
+	// second; 0 means unlimited (no bucket).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (0 = max(1, ceil(RatePerSec))).
+	Burst int `json:"burst,omitempty"`
+	// Priority is the tenant's priority class. A queued job whose tenant
+	// priority exceeds a running job's can preempt it: the victim is
+	// checkpointed and requeued (see the farm's park path). 0 is the
+	// normal class.
+	Priority int `json:"priority,omitempty"`
+	// ParksPerMin bounds how often this tenant's running jobs may be
+	// parked by priority preemption — the anti-thrash bound: each park
+	// loses at most CheckpointEvery cycles, and a bounded park rate
+	// guarantees forward progress for the victim. 0 = default 6/min;
+	// negative = this tenant's jobs are never parked.
+	ParksPerMin float64 `json:"parks_per_min,omitempty"`
+}
+
+const defaultParksPerMin = 6.0
+
+// withDefaults resolves the zero values documented on each field.
+func (l Limits) withDefaults() Limits {
+	if l.Weight <= 0 {
+		l.Weight = 1
+	}
+	if l.Burst <= 0 {
+		l.Burst = int(l.RatePerSec)
+		if float64(l.Burst) < l.RatePerSec {
+			l.Burst++
+		}
+		if l.Burst < 1 {
+			l.Burst = 1
+		}
+	}
+	if l.ParksPerMin == 0 {
+		l.ParksPerMin = defaultParksPerMin
+	}
+	return l
+}
+
+// Config is the `-tenant-config` file format: per-tenant limits plus a
+// default applied to tenants not listed. Both daemons load it at
+// startup and re-load it live on SIGHUP.
+//
+//	{
+//	  "default": {"weight": 1},
+//	  "tenants": {
+//	    "ci":     {"weight": 4, "rate_per_sec": 50, "burst": 100},
+//	    "bulk":   {"weight": 1, "rate_per_sec": 5},
+//	    "urgent": {"weight": 2, "priority": 10}
+//	  }
+//	}
+type Config struct {
+	// Default applies to any tenant not named in Tenants.
+	Default Limits `json:"default"`
+	// Tenants maps tenant name to its limits.
+	Tenants map[string]Limits `json:"tenants,omitempty"`
+}
+
+// ParseConfig decodes and validates a config document. Unknown fields
+// are rejected so a typoed limit name fails loudly instead of silently
+// metering nothing.
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("tenant: bad config: %w", err)
+	}
+	for name, l := range cfg.Tenants {
+		if _, err := Normalize(name); err != nil {
+			return Config{}, err
+		}
+		if l.RatePerSec < 0 {
+			return Config{}, fmt.Errorf("tenant: %s: negative rate_per_sec", name)
+		}
+		if l.Weight < 0 {
+			return Config{}, fmt.Errorf("tenant: %s: negative weight", name)
+		}
+	}
+	if cfg.Default.RatePerSec < 0 {
+		return Config{}, fmt.Errorf("tenant: default: negative rate_per_sec")
+	}
+	return cfg, nil
+}
+
+// LoadFile reads and parses a config file.
+func LoadFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("tenant: %w", err)
+	}
+	return ParseConfig(data)
+}
+
+// limitsFor resolves a tenant's effective limits under cfg.
+func (c Config) limitsFor(name string) Limits {
+	if l, ok := c.Tenants[name]; ok {
+		return l.withDefaults()
+	}
+	return c.Default.withDefaults()
+}

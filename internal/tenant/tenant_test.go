@@ -1,0 +1,262 @@
+package tenant
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", Default, true},
+		{"ci", "ci", true},
+		{"  ci  ", "ci", true},
+		{"   ", "", false},
+		{"\t\n", "", false},
+		{strings.Repeat("x", MaxNameLen), strings.Repeat("x", MaxNameLen), true},
+		{strings.Repeat("x", MaxNameLen+1), "", false},
+		{"bad\x00name", "", false},
+		{"bad\nname", "", false},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Normalize(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Normalize(%q) = %q; want error", c.in, got)
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"default": {"weight": 1},
+		"tenants": {
+			"ci":     {"weight": 4, "rate_per_sec": 50, "burst": 100},
+			"urgent": {"weight": 2, "priority": 10, "parks_per_min": -1}
+		}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	ci := cfg.limitsFor("ci")
+	if ci.Weight != 4 || ci.RatePerSec != 50 || ci.Burst != 100 {
+		t.Fatalf("ci limits = %+v", ci)
+	}
+	urgent := cfg.limitsFor("urgent")
+	if urgent.Priority != 10 || urgent.ParksPerMin != -1 {
+		t.Fatalf("urgent limits = %+v", urgent)
+	}
+	other := cfg.limitsFor("anyone")
+	if other.Weight != 1 || other.RatePerSec != 0 || other.ParksPerMin != defaultParksPerMin {
+		t.Fatalf("default limits = %+v", other)
+	}
+
+	bad := []string{
+		`{"tenants": {"ci": {"weight": 4, "typo_field": 1}}}`,
+		`{"tenants": {"ci": {"rate_per_sec": -1}}}`,
+		`{"tenants": {"ci": {"weight": -1}}}`,
+		`{"tenants": {"  ": {"weight": 1}}}`,
+		`{"default": {"rate_per_sec": -5}}`,
+		`not json`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseConfig([]byte(doc)); err == nil {
+			t.Errorf("ParseConfig(%q) accepted bad config", doc)
+		}
+	}
+}
+
+func TestBucketRetryAfter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBucket(2, 1, now) // 2 tokens/sec, burst 1
+	if ok, _ := b.take(now); !ok {
+		t.Fatal("first take should succeed")
+	}
+	ok, retry := b.take(now)
+	if ok {
+		t.Fatal("second take should be refused")
+	}
+	// Empty bucket at 2 tokens/sec needs 0.5s for the next token.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v; want (0, 500ms]", retry)
+	}
+	// After the refill interval the bucket admits again.
+	if ok, _ := b.take(now.Add(600 * time.Millisecond)); !ok {
+		t.Fatal("take after refill should succeed")
+	}
+
+	unlimited := newBucket(0, 0, now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := unlimited.take(now); !ok {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+}
+
+func TestRegistryAdmitIsolatesTenants(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"tenants": {"slow": {"rate_per_sec": 0.5, "burst": 1}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(cfg)
+	if _, ok := reg.Admit("slow"); !ok {
+		t.Fatal("slow tenant's first job should admit")
+	}
+	retry, ok := reg.Admit("slow")
+	if ok {
+		t.Fatal("slow tenant's second job should be shed")
+	}
+	if retry <= 0 || retry > 2*time.Second {
+		t.Fatalf("retryAfter = %v; want (0, 2s]", retry)
+	}
+	// Other tenants are unaffected by slow's empty bucket.
+	for i := 0; i < 50; i++ {
+		if _, ok := reg.Admit("fast"); !ok {
+			t.Fatal("unlimited tenant was shed")
+		}
+	}
+	if v := reg.Views()["slow"]; v.Shed != 1 {
+		t.Fatalf("slow shed = %d; want 1", v.Shed)
+	}
+}
+
+func TestRegistryFairSharePick(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"tenants": {"heavy": {"weight": 2}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(cfg)
+	for _, n := range []string{"heavy", "light"} {
+		reg.Activate(n)
+	}
+	// Dequeue 3000 cycles' worth of work; heavy (weight 2) should take
+	// twice the cycles of light (weight 1).
+	counts := map[string]int64{}
+	for i := 0; i < 30; i++ {
+		who := reg.PickTenant([]string{"heavy", "light"})
+		reg.ChargeVTime(who, 100)
+		counts[who] += 100
+	}
+	if counts["heavy"] != 2000 || counts["light"] != 1000 {
+		t.Fatalf("cycle split = %v; want heavy=2000 light=1000", counts)
+	}
+}
+
+func TestRegistryPriorityWinsOverVTime(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"tenants": {"urgent": {"priority": 10}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(cfg)
+	reg.Activate("bulk")
+	reg.Activate("urgent")
+	// Even with a huge vtime, the higher priority class dequeues first.
+	reg.ChargeVTime("urgent", 1_000_000)
+	if who := reg.PickTenant([]string{"bulk", "urgent"}); who != "urgent" {
+		t.Fatalf("PickTenant = %q; want urgent", who)
+	}
+}
+
+func TestRegistryActivationFloor(t *testing.T) {
+	reg := NewRegistry(Config{})
+	reg.Activate("a")
+	reg.Activate("b")
+	// a runs alone for a long time.
+	for i := 0; i < 100; i++ {
+		reg.PickTenant([]string{"a"})
+		reg.ChargeVTime("a", 1000)
+	}
+	// b was idle the whole time; when it activates it must not have
+	// banked credit — it should share from now on, not monopolize.
+	reg.Activate("b")
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		who := reg.PickTenant([]string{"a", "b"})
+		reg.ChargeVTime(who, 1000)
+		counts[who]++
+	}
+	if counts["b"] > 6 {
+		t.Fatalf("idle tenant monopolized after activation: %v", counts)
+	}
+}
+
+func TestRegistryParkBound(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"tenants": {
+			"never":  {"parks_per_min": -1},
+			"slow":   {"parks_per_min": 6}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(cfg)
+	if reg.AllowPark("never") {
+		t.Fatal("parks_per_min < 0 must never allow a park")
+	}
+	if !reg.AllowPark("slow") {
+		t.Fatal("first park within the bound should be allowed")
+	}
+	if reg.AllowPark("slow") {
+		t.Fatal("second immediate park should be refused (burst 1)")
+	}
+}
+
+func TestRegistrySetConfigPreservesCounters(t *testing.T) {
+	reg := NewRegistry(Config{})
+	reg.NoteSubmitted("ci")
+	reg.ChargeCycles("ci", 500)
+	cfg, err := ParseConfig([]byte(`{"tenants": {"ci": {"weight": 7, "rate_per_sec": 1, "burst": 1}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetConfig(cfg)
+	v := reg.Views()["ci"]
+	if v.Weight != 7 {
+		t.Fatalf("weight after reload = %d; want 7", v.Weight)
+	}
+	if v.Submitted != 1 || v.Cycles != 500 {
+		t.Fatalf("counters lost on reload: %+v", v)
+	}
+	// New rate is enforced immediately.
+	if _, ok := reg.Admit("ci"); !ok {
+		t.Fatal("burst-1 bucket should admit once")
+	}
+	if _, ok := reg.Admit("ci"); ok {
+		t.Fatal("burst-1 bucket should refuse the second admit")
+	}
+}
+
+func TestRegistryOverflowCollapse(t *testing.T) {
+	reg := NewRegistry(Config{})
+	for i := 0; i < maxTenants+10; i++ {
+		reg.NoteSubmitted(fmt.Sprintf("t%d", i))
+	}
+	views := reg.Views()
+	if len(views) > maxTenants+1 {
+		t.Fatalf("registry grew past bound: %d states", len(views))
+	}
+}
+
+func TestRegistryFinishOutcomes(t *testing.T) {
+	reg := NewRegistry(Config{})
+	reg.NoteFinished("a", "done")
+	reg.NoteFinished("a", "failed")
+	reg.NoteFinished("a", "canceled")
+	reg.NoteParked("a")
+	reg.NoteCompile("a")
+	reg.ObserveQueueWait("a", 5*time.Millisecond)
+	v := reg.Views()["a"]
+	if v.Completed != 1 || v.Failed != 1 || v.Canceled != 1 || v.Parked != 1 || v.Compiles != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.QueueWait == nil || v.QueueWait.Count != 1 {
+		t.Fatalf("queue wait summary missing: %+v", v.QueueWait)
+	}
+}
